@@ -1,0 +1,86 @@
+// Ablation of DESIGN.md's "global vs local scope" and "data-informed
+// sensitivity" choices: prune-accuracy curves of the paper's WT against
+// (a) LayerWT — identical magnitudes ranked per layer instead of globally —
+// and (b) Rand — value-independent random pruning, the sanity floor.
+// Also sweeps SiPP's profiling-sample budget (the data-informed ablation).
+
+#include "common.hpp"
+
+#include "core/prune_retrain.hpp"
+#include "nn/models.hpp"
+#include "nn/trainer.hpp"
+
+using namespace rp;
+
+int main(int argc, char** argv) {
+  return bench::run_bench(argc, argv, [](exp::Runner& runner) {
+    const auto task = nn::synth_cifar_task();
+    const std::string arch = "resnet8";
+    bench::print_banner("Ablation: pruning-scope and sensitivity choices", runner, {arch});
+    const auto& s = runner.scale();
+
+    // --- scope ablation: WT vs LayerWT vs Rand --------------------------------
+    {
+      std::vector<double> xs;
+      std::vector<exp::Series> series;
+      exp::Table table({"method", "acc @ checkpoints (increasing ratio)"});
+      for (core::PruneMethod m :
+           {core::PruneMethod::WT, core::PruneMethod::LayerWT, core::PruneMethod::Rand}) {
+        const auto curve = runner.curve_cached(arch, task, m, 0, *runner.test_set(task));
+        if (xs.empty()) {
+          for (const auto& p : curve) xs.push_back(p.ratio);
+        }
+        std::vector<double> acc;
+        std::string cells;
+        for (const auto& p : curve) {
+          acc.push_back(100.0 * (1.0 - p.error));
+          cells += exp::fmt_pct(1.0 - p.error, 1) + " ";
+        }
+        series.push_back({core::to_string(m), std::move(acc)});
+        table.add_row({core::to_string(m), cells});
+      }
+      exp::print_chart("Scope ablation [" + arch + "]: accuracy (%) vs prune ratio", "ratio",
+                       xs, series);
+      table.print();
+    }
+
+    // --- sensitivity ablation: SiPP profiling-sample budget --------------------
+    {
+      exp::Table table({"profile samples", "nominal potential", "gauss/3 potential"});
+      auto gauss = bench::corrupted_test(runner, task, "gauss", s.severity);
+      for (int64_t samples : {int64_t{8}, int64_t{32}, s.profile_samples}) {
+        // Run a dedicated sweep with the reduced profiling budget (uncached —
+        // small enough at fast scale).
+        auto net = runner.trained(arch, task, 0);
+        core::PruneRetrainConfig prc;
+        prc.method = core::PruneMethod::SiPP;
+        prc.keep_per_cycle = s.keep_per_cycle;
+        prc.cycles = s.cycles;
+        prc.retrain = runner.train_config(arch, 0);
+        prc.retrain.epochs = s.retrain_epochs;
+        for (int& ms : prc.retrain.schedule.milestones) {
+          ms = ms * s.retrain_epochs / std::max(1, s.epochs);
+        }
+        prc.profile_samples = samples;
+
+        std::vector<core::CurvePoint> nom_curve, gauss_curve;
+        core::prune_retrain(*net, *runner.train_set(task), prc, [&](int, double ratio) {
+          nom_curve.push_back({ratio, nn::evaluate(*net, *runner.test_set(task)).error()});
+          gauss_curve.push_back({ratio, nn::evaluate(*net, *gauss).error()});
+        });
+        const double nom_base = runner.dense_error(arch, task, 0, *runner.test_set(task));
+        const double gauss_base = runner.dense_error(arch, task, 0, *gauss);
+        table.add_row({std::to_string(samples),
+                       exp::fmt_pct(core::prune_potential(nom_curve, nom_base, bench::kDelta), 1),
+                       exp::fmt_pct(core::prune_potential(gauss_curve, gauss_base, bench::kDelta),
+                                    1)});
+      }
+      exp::print_header("Sensitivity ablation: SiPP potential vs profiling-sample budget");
+      table.print();
+    }
+
+    std::printf("\nexpected: WT >= LayerWT >> Rand at high ratios (global ranking exploits\n"
+                "cross-layer slack; random pruning collapses first); SiPP is robust to the\n"
+                "profiling budget once a few dozen samples are used.\n");
+  });
+}

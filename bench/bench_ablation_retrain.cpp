@@ -1,0 +1,74 @@
+// Ablation of the retraining regime (Renda, Frankle & Carbin 2020, the
+// pipeline the paper adopts): LR rewinding (the paper's choice) vs
+// fine-tuning at the final learning rate vs weight rewinding, compared on
+// nominal accuracy and on a hard corruption across the prune sweep.
+
+#include "common.hpp"
+
+#include "core/prune_retrain.hpp"
+#include "nn/models.hpp"
+#include "nn/trainer.hpp"
+
+using namespace rp;
+
+int main(int argc, char** argv) {
+  return bench::run_bench(argc, argv, [](exp::Runner& runner) {
+    const auto task = nn::synth_cifar_task();
+    const std::string arch = "resnet8";
+    bench::print_banner("Ablation: retraining regime (fine-tune / LR rewind / weight rewind)",
+                        runner, {arch});
+    const auto& s = runner.scale();
+    auto gauss = bench::corrupted_test(runner, task, "gauss", s.severity);
+
+    std::vector<double> xs;
+    std::vector<exp::Series> nominal_series, gauss_series;
+    exp::Table table({"mode", "nominal potential", "gauss/3 potential"});
+
+    for (core::RetrainMode mode : {core::RetrainMode::LrRewind, core::RetrainMode::FineTune,
+                                   core::RetrainMode::WeightRewind}) {
+      auto net = runner.trained(arch, task, 0);
+      core::PruneRetrainConfig prc;
+      prc.method = core::PruneMethod::WT;
+      prc.keep_per_cycle = s.keep_per_cycle;
+      prc.cycles = s.cycles;
+      prc.retrain = runner.train_config(arch, 0);
+      prc.retrain.epochs = s.retrain_epochs;
+      for (int& ms : prc.retrain.schedule.milestones) {
+        ms = ms * s.retrain_epochs / std::max(1, s.epochs);
+      }
+      prc.retrain.schedule.total_epochs = s.retrain_epochs;
+      prc.mode = mode;
+
+      std::vector<core::CurvePoint> nom_curve, gauss_curve;
+      core::prune_retrain(*net, *runner.train_set(task), prc, [&](int, double ratio) {
+        nom_curve.push_back({ratio, nn::evaluate(*net, *runner.test_set(task)).error()});
+        gauss_curve.push_back({ratio, nn::evaluate(*net, *gauss).error()});
+      });
+
+      if (xs.empty()) {
+        for (const auto& p : nom_curve) xs.push_back(p.ratio);
+      }
+      std::vector<double> nom_acc, gauss_acc;
+      for (const auto& p : nom_curve) nom_acc.push_back(100.0 * (1.0 - p.error));
+      for (const auto& p : gauss_curve) gauss_acc.push_back(100.0 * (1.0 - p.error));
+      nominal_series.push_back({core::to_string(mode), std::move(nom_acc)});
+      gauss_series.push_back({core::to_string(mode), std::move(gauss_acc)});
+
+      const double nom_base = runner.dense_error(arch, task, 0, *runner.test_set(task));
+      const double gauss_base = runner.dense_error(arch, task, 0, *gauss);
+      table.add_row({core::to_string(mode),
+                     exp::fmt_pct(core::prune_potential(nom_curve, nom_base, bench::kDelta), 1),
+                     exp::fmt_pct(core::prune_potential(gauss_curve, gauss_base, bench::kDelta),
+                                  1)});
+    }
+
+    exp::print_chart("Retrain-mode ablation: nominal accuracy (%) vs prune ratio", "ratio", xs,
+                     nominal_series);
+    exp::print_chart("Retrain-mode ablation: gauss/3 accuracy (%) vs prune ratio", "ratio", xs,
+                     gauss_series);
+    table.print();
+    std::printf("\nexpected (Renda et al. + this paper): LR rewinding >= weight rewinding >\n"
+                "fine-tuning at high prune ratios; the o.o.d. (gauss) gap persists under\n"
+                "every retraining regime — it is not an artifact of the retrain recipe.\n");
+  });
+}

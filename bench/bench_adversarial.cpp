@@ -1,0 +1,74 @@
+// Extension experiment: adversarial robustness of pruned networks (the
+// paper's Section 2 "Robustness" discussion and Section 6.2's prediction
+// that adversarial inputs show the most significant pruned-vs-dense
+// trade-offs). Measures FGSM/PGD accuracy of the dense parent and pruned
+// checkpoints, and the adversarial prune potential.
+
+#include "common.hpp"
+
+#include "core/adversarial.hpp"
+#include "nn/models.hpp"
+
+using namespace rp;
+
+int main(int argc, char** argv) {
+  return bench::run_bench(argc, argv, [](exp::Runner& runner) {
+    const auto task = nn::synth_cifar_task();
+    const std::string arch = "resnet8";
+    bench::print_banner("Extension: adversarial robustness of pruned networks", runner, {arch});
+    const int64_t n_images = runner.scale().paper ? 128 : 64;
+    const std::vector<double> eps_levels{0.0, 0.02, 0.05, 0.1, 0.2};
+
+    for (core::PruneMethod m : {core::PruneMethod::WT, core::PruneMethod::FT}) {
+      auto dense = runner.trained(arch, task, 0);
+      const auto family = runner.sweep(arch, task, m, 0);
+
+      exp::Table table(
+          {"model", "attack", "eps 0.00", "eps 0.02", "eps 0.05", "eps 0.10", "eps 0.20"});
+      auto add_rows = [&](const std::string& label, nn::Network& net) {
+        for (core::Attack attack : {core::Attack::Fgsm, core::Attack::Pgd}) {
+          std::vector<std::string> row{label, core::to_string(attack)};
+          for (double eps : eps_levels) {
+            row.push_back(exp::fmt_pct(core::adversarial_accuracy(
+                              net, *runner.test_set(task), attack, static_cast<float>(eps),
+                              n_images),
+                          1));
+          }
+          table.add_row(std::move(row));
+        }
+      };
+
+      add_rows("dense", *dense);
+      auto mid = runner.instantiate(arch, task, family[family.size() / 2]);
+      auto last = runner.instantiate(arch, task, family.back());
+      add_rows("pruned @" + exp::fmt_pct(mid->prune_ratio(), 0) + "%", *mid);
+      add_rows("pruned @" + exp::fmt_pct(last->prune_ratio(), 0) + "%", *last);
+
+      exp::print_header("Adversarial accuracy [" + arch + ", " + core::to_string(m) + "]");
+      table.print();
+
+      // Adversarial prune potential: Definition 1 with the FGSM distribution.
+      exp::Table pot({"eps", "adversarial prune potential"});
+      for (double eps : eps_levels) {
+        const double base = 1.0 - core::adversarial_accuracy(
+                                      *dense, *runner.test_set(task), core::Attack::Fgsm,
+                                      static_cast<float>(eps), n_images);
+        std::vector<core::CurvePoint> curve;
+        for (const auto& c : family) {
+          auto net = runner.instantiate(arch, task, c);
+          curve.push_back({c.ratio, 1.0 - core::adversarial_accuracy(
+                                              *net, *runner.test_set(task), core::Attack::Fgsm,
+                                              static_cast<float>(eps), n_images)});
+        }
+        pot.add_row({exp::fmt(eps, 2),
+                     exp::fmt_pct(core::prune_potential(curve, base, bench::kDelta), 1)});
+      }
+      pot.print();
+    }
+
+    std::printf("\nexpected shape: adversarial accuracy drops sharply with eps for every\n"
+                "model; the pruned models' adversarial prune potential collapses at far\n"
+                "smaller eps than the l-inf random-noise potential (Figure 1) — the\n"
+                "worst-case end of the distribution-shift spectrum.\n");
+  });
+}

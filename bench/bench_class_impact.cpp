@@ -1,0 +1,57 @@
+// Extension experiment: per-class impact of pruning (Hooker et al. 2019,
+// "Selective Brain Damage", cited by the paper's related work). Even when
+// the aggregate accuracy is commensurate, a few classes absorb most of the
+// damage — and distribution shift widens the spread.
+
+#include "common.hpp"
+
+#include "core/class_impact.hpp"
+#include "nn/models.hpp"
+
+using namespace rp;
+
+int main(int argc, char** argv) {
+  return bench::run_bench(argc, argv, [](exp::Runner& runner) {
+    const auto task = nn::synth_cifar_task();
+    const std::string arch = "resnet8";
+    bench::print_banner("Extension: per-class impact of pruning (selective brain damage)",
+                        runner, {arch});
+
+    auto dense = runner.trained(arch, task, 0);
+
+    for (core::PruneMethod m : {core::PruneMethod::WT, core::PruneMethod::FT}) {
+      const auto family = runner.sweep(arch, task, m, 0);
+      auto pruned = runner.instantiate(arch, task, family[family.size() / 2]);
+
+      exp::Table table({"distribution", "class", "dense acc", "pruned acc", "impact"});
+      double nominal_spread = 0.0, shifted_spread = 0.0;
+
+      auto analyze = [&](const std::string& label, const data::Dataset& ds, double& spread) {
+        const auto impacts = core::class_impact(*dense, *pruned, ds);
+        spread = core::impact_spread(impacts);
+        // Report the two most- and the least-damaged class.
+        for (size_t k : {size_t{0}, size_t{1}, impacts.size() - 1}) {
+          const auto& ci = impacts[k];
+          table.add_row({label, std::to_string(ci.cls), exp::fmt_pct(ci.dense_accuracy, 1),
+                         exp::fmt_pct(ci.pruned_accuracy, 1), exp::fmt_pct(ci.impact, 1)});
+        }
+      };
+
+      analyze("nominal", *runner.test_set(task), nominal_spread);
+      analyze("gauss/3", *bench::corrupted_test(runner, task, "gauss", runner.scale().severity),
+              shifted_spread);
+
+      exp::print_header("Per-class impact [" + arch + ", " + core::to_string(m) + " @ " +
+                        exp::fmt_pct(pruned->prune_ratio(), 0) + "% sparsity]");
+      table.print();
+      std::printf("impact spread (max - min over classes): nominal %s pts, gauss/3 %s pts\n",
+                  exp::fmt_pct(nominal_spread, 1).c_str(),
+                  exp::fmt_pct(shifted_spread, 1).c_str());
+    }
+
+    std::printf("\nexpected shape: pruning damage concentrates on a few classes (nonzero\n"
+                "spread) even at commensurate aggregate accuracy, and the spread widens\n"
+                "under distribution shift — per-class evaluation belongs in any pruning\n"
+                "deployment checklist (Section 7).\n");
+  });
+}

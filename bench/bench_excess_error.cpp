@@ -1,0 +1,69 @@
+// Reproduces Figure 6c/6f and Figures 39-44: the difference in excess error
+// between pruned and unpruned networks as a function of the prune ratio,
+// with the through-origin OLS fit and bootstrapped 95% confidence band of
+// Appendix D.5. A positive slope means pruned networks lose *more* accuracy
+// than their parent when the data distribution shifts.
+
+#include "common.hpp"
+
+#include "nn/models.hpp"
+#include "nn/trainer.hpp"
+
+using namespace rp;
+
+int main(int argc, char** argv) {
+  return bench::run_bench(argc, argv, [](exp::Runner& runner) {
+    const auto task = nn::synth_cifar_task();
+    const std::vector<std::string> archs =
+        runner.scale().paper ? nn::classification_archs()
+                             : std::vector<std::string>{"resnet8", "vgg11", "wrn"};
+    bench::print_banner(
+        "Figure 6c/6f + Figures 39-44: difference in excess error vs prune ratio", runner,
+        archs);
+
+    auto shifted = bench::mixed_corrupted_test(runner, task, runner.scale().severity);
+    const int reps = runner.scale().reps;
+
+    for (const auto& arch : archs) {
+      exp::Table table({"method", "OLS slope (% / unit ratio)", "95% CI", "corr(ratio, dExcess)"});
+      std::vector<exp::Series> series;
+      std::vector<double> xs;
+
+      for (core::PruneMethod m : core::kAllMethods) {
+        std::vector<double> ratios, deltas;
+        std::vector<double> rep0_curve;
+        for (int rep = 0; rep < reps; ++rep) {
+          const double dense_nom = runner.dense_error(arch, task, rep, *runner.test_set(task));
+          const double dense_shift = runner.dense_error(arch, task, rep, *shifted);
+          const auto nom = runner.curve_cached(arch, task, m, rep, *runner.test_set(task));
+          const auto shift = runner.curve_cached(arch, task, m, rep, *shifted);
+          for (size_t i = 0; i < nom.size(); ++i) {
+            const double d = core::excess_error_difference(shift[i].error, nom[i].error,
+                                                           dense_shift, dense_nom);
+            ratios.push_back(nom[i].ratio);
+            deltas.push_back(100.0 * d);
+            if (rep == 0) rep0_curve.push_back(100.0 * d);
+            if (rep == 0 && xs.size() < nom.size()) xs.push_back(nom[i].ratio);
+          }
+        }
+        const double slope = exp::ols_slope_origin(ratios, deltas);
+        const auto ci = exp::bootstrap_slope_ci(ratios, deltas, runner.scale().bootstrap_iters,
+                                                0.95, seed_from_string(arch.c_str()));
+        table.add_row({core::to_string(m), exp::fmt(slope, 2),
+                       "[" + exp::fmt(ci.lo, 2) + ", " + exp::fmt(ci.hi, 2) + "]",
+                       exp::fmt(exp::pearson(ratios, deltas), 2)});
+        series.push_back({core::to_string(m), std::move(rep0_curve)});
+      }
+
+      exp::print_chart("Figures 39-44 [" + arch +
+                           "]: difference in excess error (%) vs prune ratio (rep 0)",
+                       "ratio", xs, series);
+      table.print();
+    }
+
+    std::printf("\npaper shape check: slopes are positive for most (arch, method) pairs —\n"
+                "pruned networks suffer disproportionately under shift — with filter\n"
+                "pruning steeper than weight pruning; the genuinely overparameterized\n"
+                "wide net (wrn) shows the flattest slope (Figure 44).\n");
+  });
+}

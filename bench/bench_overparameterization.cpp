@@ -1,0 +1,76 @@
+// Reproduces Table 2 and Tables 9/10: the average and minimum prune
+// potential over the train distribution (nominal test data) and the test
+// distribution (all corruption families), per network and pruning method —
+// the paper's quantitative measure of *genuine* overparameterization.
+
+#include "common.hpp"
+
+#include "core/guidelines.hpp"
+#include "nn/models.hpp"
+
+using namespace rp;
+
+int main(int argc, char** argv) {
+  return bench::run_bench(argc, argv, [](exp::Runner& runner) {
+    const auto task = nn::synth_cifar_task();
+    const std::vector<std::string> archs =
+        runner.scale().paper ? nn::classification_archs()
+                             : std::vector<std::string>{"resnet8", "vgg11", "wrn"};
+    bench::print_banner(
+        "Table 2 + Tables 9/10: average/minimum prune potential, train vs test distribution",
+        runner, archs);
+
+    const int severity = runner.scale().severity;
+    const int reps = runner.scale().reps;
+    const auto corruptions = corrupt::all_names();
+
+    exp::Table t2({"model", "method", "train dist.", "test dist. (avg)", "diff",
+                   "test dist. (min)", "guideline"});
+
+    for (const auto& arch : archs) {
+      for (core::PruneMethod m : core::kAllMethods) {
+        // Per-rep: potential on nominal data and per-corruption potentials.
+        std::vector<double> train_pot, test_avg, test_min;
+        for (int rep = 0; rep < reps; ++rep) {
+          const double nominal = bench::potential_one_rep(runner, arch, task, m, rep,
+                                                          *runner.test_set(task));
+          std::vector<double> per_corruption;
+          for (const auto& name : corruptions) {
+            auto ds = bench::corrupted_test(runner, task, name, severity);
+            per_corruption.push_back(
+                bench::potential_one_rep(runner, arch, task, m, rep, *ds));
+          }
+          const auto s = core::summarize_potentials(per_corruption);
+          train_pot.push_back(nominal);
+          test_avg.push_back(s.average);
+          test_min.push_back(s.minimum);
+        }
+        const auto ts = exp::summarize(train_pot);
+        const auto as = exp::summarize(test_avg);
+        const auto ms = exp::summarize(test_min);
+
+        core::PotentialEvidence evidence;
+        evidence.train = ts.mean;
+        evidence.test_average = as.mean;
+        evidence.test_minimum = ms.mean;
+        evidence.shifts_modeled = false;
+
+        t2.add_row({arch, core::to_string(m),
+                    exp::fmt_pm(100 * ts.mean, 100 * ts.stddev, 1),
+                    exp::fmt_pm(100 * as.mean, 100 * as.stddev, 1),
+                    exp::fmt(100 * (as.mean - ts.mean), 1),
+                    exp::fmt_pm(100 * ms.mean, 100 * ms.stddev, 1),
+                    core::to_string(core::recommend(evidence))});
+      }
+    }
+
+    exp::print_header("Tables 2/9/10: prune potential (%) on train vs test distribution");
+    t2.print();
+    std::printf(
+        "\npaper shape check: every network loses potential from train to test\n"
+        "distribution (negative diff, often ~-10 to -20 points); the minimum over\n"
+        "corruptions collapses to ~0%% for most (model, method) pairs, while the\n"
+        "wide net (wrn) keeps a high minimum — the paper's 'genuinely\n"
+        "overparameterized' case; the guideline column applies Section 1's rules.\n");
+  });
+}

@@ -1,0 +1,55 @@
+// Reproduces Figure 6b/6e and Figures 29-34: the prune potential of
+// CIFAR-analog networks evaluated separately on every corruption family
+// (severity 3 of 5), for weight pruning (WT, SiPP) and filter pruning
+// (FT, PFP). The paper's key finding appears here: for hard corruptions the
+// potential collapses — often to 0% — even though the nominal potential is
+// high.
+
+#include "common.hpp"
+
+#include "nn/models.hpp"
+
+using namespace rp;
+
+int main(int argc, char** argv) {
+  return bench::run_bench(argc, argv, [](exp::Runner& runner) {
+    const auto task = nn::synth_cifar_task();
+    const std::vector<std::string> archs =
+        runner.scale().paper
+            ? nn::classification_archs()
+            : std::vector<std::string>{"resnet8", "vgg11", "wrn"};
+    bench::print_banner(
+        "Figure 6b/6e + Figures 29-34: prune potential per corruption (severity 3)", runner,
+        archs);
+    const int severity = runner.scale().severity;
+    const int reps = runner.scale().reps;
+
+    for (const auto& arch : archs) {
+      exp::Table table({"distribution", "category", "WT", "SiPP", "FT", "PFP"});
+
+      auto add_distribution = [&](const std::string& label, const std::string& category,
+                                  const data::Dataset& ds) {
+        std::vector<std::string> row{label, category};
+        for (core::PruneMethod m : core::kAllMethods) {
+          const auto s = bench::potential(runner, arch, task, m, ds, reps);
+          row.push_back(exp::fmt_pm(100.0 * s.mean, 100.0 * s.stddev, 1));
+        }
+        table.add_row(std::move(row));
+      };
+
+      add_distribution("nominal", "-", *runner.test_set(task));
+      for (const auto& name : corrupt::all_names()) {
+        auto ds = bench::corrupted_test(runner, task, name, severity);
+        add_distribution(name, corrupt::get(name).category(), *ds);
+      }
+
+      exp::print_header("Figures 29-34 [" + arch + "]: prune potential (%) per distribution");
+      table.print();
+    }
+
+    std::printf("\npaper shape check: nominal potential is the ceiling; noise-family\n"
+                "corruptions (gauss/impulse/shot) collapse the potential toward 0%%, mild\n"
+                "digital corruptions (jpeg) barely move it, and filter pruning (FT/PFP)\n"
+                "sits below weight pruning (WT/SiPP) throughout.\n");
+  });
+}

@@ -1,0 +1,92 @@
+// Reproduces Figure 7 and Figures 35-37: per-corruption prune potential on
+// the larger tasks — the ImageNet analog (classification, incl. the natural
+// shift datasets CIFAR10.1/ObjectNet analogs) and the VOC-segmentation
+// analog. The paper reports markedly higher variance across corruptions on
+// these tasks than on CIFAR10.
+
+#include "common.hpp"
+
+#include "data/synth.hpp"
+#include "nn/models.hpp"
+
+using namespace rp;
+
+namespace {
+
+/// Natural-shift test set: same generator, drifted nuisance parameters.
+data::DatasetPtr shifted_test(exp::Runner& runner, const nn::TaskSpec& task,
+                              const data::GenParams& params, const std::string& name) {
+  data::SynthConfig cfg;
+  cfg.n = runner.scale().test_n;
+  cfg.h = task.in_h;
+  cfg.w = task.in_w;
+  cfg.num_classes = task.num_classes;
+  cfg.seed = seed_from_string((task.name + "/shift/" + name).c_str());
+  cfg.params = params;
+  cfg.name = name;
+  return data::make_synth_classification(cfg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::run_bench(argc, argv, [](exp::Runner& runner) {
+    bench::print_banner(
+        "Figure 7 + Figures 35-37: prune potential per corruption on the large tasks", runner,
+        {"resnet_im", "segnet"});
+    const int severity = runner.scale().severity;
+    // Large-task sweeps are expensive; repetitions are a --paper feature.
+    const int reps = runner.scale().paper ? runner.scale().reps : 1;
+
+    // --- Figure 35: ImageNet-analog classification -----------------------------
+    {
+      const auto task = nn::synth_imagenet_task();
+      const std::string arch = "resnet_im";
+      exp::Table table({"distribution", "WT", "SiPP", "FT", "PFP"});
+
+      auto add = [&](const std::string& label, const data::Dataset& ds) {
+        std::vector<std::string> row{label};
+        for (core::PruneMethod m : core::kAllMethods) {
+          const auto s = bench::potential(runner, arch, task, m, ds, reps);
+          row.push_back(exp::fmt_pm(100 * s.mean, 100 * s.stddev, 1));
+        }
+        table.add_row(std::move(row));
+      };
+
+      add("nominal", *runner.test_set(task));
+      add("v2 (CIFAR10.1 analog)", *shifted_test(runner, task, data::v2_params(), "v2"));
+      add("objectnet analog", *shifted_test(runner, task, data::objectnet_params(), "objectnet"));
+      for (const auto& name : corrupt::all_names()) {
+        add(name, *bench::corrupted_test(runner, task, name, severity));
+      }
+      exp::print_header("Figure 35 [resnet_im]: prune potential (%) per distribution");
+      table.print();
+    }
+
+    // --- Figure 37: segmentation analog ----------------------------------------
+    {
+      const auto task = nn::synth_seg_task();
+      const std::string arch = "segnet";
+      exp::Table table({"distribution", "WT", "SiPP", "FT", "PFP"});
+      auto add = [&](const std::string& label, const data::Dataset& ds) {
+        std::vector<std::string> row{label};
+        for (core::PruneMethod m : core::kAllMethods) {
+          const auto s = bench::potential(runner, arch, task, m, ds, reps);
+          row.push_back(exp::fmt_pm(100 * s.mean, 100 * s.stddev, 1));
+        }
+        table.add_row(std::move(row));
+      };
+      add("nominal", *runner.test_set(task));
+      for (const auto& name : corrupt::all_names()) {
+        add(name, *bench::corrupted_test(runner, task, name, severity));
+      }
+      exp::print_header("Figure 37 [segnet]: prune potential (%) per distribution (IoU)");
+      table.print();
+    }
+
+    std::printf("\npaper shape check: the large classification task shows higher variance\n"
+                "in potential across corruptions than the CIFAR analog (Figure 7), the\n"
+                "natural-shift sets (v2/objectnet analogs) cut the potential without any\n"
+                "pixel corruption, and the segmentation task's potential is lowest overall.\n");
+  });
+}

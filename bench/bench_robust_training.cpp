@@ -1,0 +1,144 @@
+// Reproduces Section 6: Figure 8 (prune-accuracy curves and prune potential
+// with robust (re-)training), Figures 49-54 (potential per corruption, train
+// vs test side of the Table 11 split), Figures 55-60 (excess error under
+// robust training), and Tables 12/13 (average/minimum potential over both
+// distributions).
+//
+// Robust training bakes a fixed subset of corruptions (the "train
+// distribution", Table 11) into every (re-)training epoch's augmentation
+// pipeline; the held-out corruptions form the test distribution.
+
+#include "common.hpp"
+
+#include "core/robust.hpp"
+#include "nn/models.hpp"
+
+using namespace rp;
+
+int main(int argc, char** argv) {
+  return bench::run_bench(argc, argv, [](exp::Runner& runner) {
+    const auto task = nn::synth_cifar_task();
+    const std::vector<std::string> archs =
+        runner.scale().paper ? std::vector<std::string>{"resnet8", "vgg11", "wrn"}
+                             : std::vector<std::string>{"resnet8"};
+    bench::print_banner("Figure 8 + Figures 49-60 + Tables 12/13: robust (re-)training",
+                        runner, archs);
+
+    const auto split = core::paper_split();
+    const auto augment = core::robust_augment(split);
+    const std::string tag = "robust";
+    // Robust sweeps double the training bill; repetitions are a --paper
+    // feature.
+    const int reps = runner.scale().paper ? runner.scale().reps : 1;
+
+    std::printf("train-side corruptions: ");
+    for (const auto& n : split.train) std::printf("%s ", n.c_str());
+    std::printf("\ntest-side corruptions:  ");
+    for (const auto& n : split.test) std::printf("%s ", n.c_str());
+    std::printf("\n");
+
+    exp::Table summary({"model", "method", "train dist (avg)", "train dist (min)",
+                        "test dist (avg)", "test dist (min)"});
+
+    for (const auto& arch : archs) {
+      // --- Figure 8a: prune-accuracy curves for test-side corruptions ---------
+      {
+        std::vector<double> xs;
+        std::vector<exp::Series> series;
+        for (const std::string label : {"nominal", "gauss", "fog", "jpeg"}) {
+          data::DatasetPtr ds = (label == "nominal")
+                                    ? runner.test_set(task)
+                                    : bench::corrupted_test(runner, task, label, split.severity);
+          const auto curve =
+              runner.curve_cached(arch, task, core::PruneMethod::WT, 0, *ds, tag, augment);
+          if (xs.empty()) {
+            for (const auto& p : curve) xs.push_back(p.ratio);
+          }
+          std::vector<double> acc;
+          for (const auto& p : curve) acc.push_back(100.0 * (1.0 - p.error));
+          series.push_back({label, std::move(acc)});
+        }
+        exp::print_chart("Figure 8a [robust WT-pruned " + arch +
+                             "]: accuracy (%) vs prune ratio (test-side corruptions)",
+                         "ratio", xs, series);
+      }
+
+      // --- Figures 49-54 + Tables 12/13 ---------------------------------------
+      for (core::PruneMethod m : core::kAllMethods) {
+        exp::Table table({"distribution", "side", "potential (%)"});
+        std::vector<double> train_avg(static_cast<size_t>(reps), 0.0),
+            train_min(static_cast<size_t>(reps), 1.0), test_avg(static_cast<size_t>(reps), 0.0),
+            test_min(static_cast<size_t>(reps), 1.0);
+
+        auto eval_side = [&](const std::vector<std::string>& names, const char* side,
+                             std::vector<double>& avg, std::vector<double>& mn) {
+          for (const auto& name : names) {
+            auto ds = bench::corrupted_test(runner, task, name, split.severity);
+            std::vector<double> per_rep;
+            for (int rep = 0; rep < reps; ++rep) {
+              const double p =
+                  bench::potential_one_rep(runner, arch, task, m, rep, *ds, tag, augment);
+              per_rep.push_back(p);
+              avg[static_cast<size_t>(rep)] += p / static_cast<double>(names.size());
+              mn[static_cast<size_t>(rep)] = std::min(mn[static_cast<size_t>(rep)], p);
+            }
+            const auto s = exp::summarize(per_rep);
+            table.add_row({name, side, exp::fmt_pm(100 * s.mean, 100 * s.stddev, 1)});
+          }
+        };
+        eval_side(split.train, "train", train_avg, train_min);
+        eval_side(split.test, "test", test_avg, test_min);
+
+        exp::print_header("Figures 49-54 [" + arch + ", " + core::to_string(m) +
+                          ", robust]: potential per corruption");
+        table.print();
+
+        summary.add_row({arch, core::to_string(m),
+                         exp::fmt_pm(100 * exp::summarize(train_avg).mean,
+                                     100 * exp::summarize(train_avg).stddev, 1),
+                         exp::fmt_pm(100 * exp::summarize(train_min).mean,
+                                     100 * exp::summarize(train_min).stddev, 1),
+                         exp::fmt_pm(100 * exp::summarize(test_avg).mean,
+                                     100 * exp::summarize(test_avg).stddev, 1),
+                         exp::fmt_pm(100 * exp::summarize(test_min).mean,
+                                     100 * exp::summarize(test_min).stddev, 1)});
+      }
+
+      // --- Figures 55-60: excess error under robust training ------------------
+      {
+        auto shifted = bench::mixed_corrupted_test(runner, task, split.severity);
+        exp::Table table({"method", "OLS slope (% / unit ratio)", "95% CI"});
+        for (core::PruneMethod m : core::kAllMethods) {
+          std::vector<double> ratios, deltas;
+          for (int rep = 0; rep < reps; ++rep) {
+            const double dnom =
+                runner.dense_error(arch, task, rep, *runner.test_set(task), tag, augment);
+            const double dshift = runner.dense_error(arch, task, rep, *shifted, tag, augment);
+            const auto nom =
+                runner.curve_cached(arch, task, m, rep, *runner.test_set(task), tag, augment);
+            const auto shift = runner.curve_cached(arch, task, m, rep, *shifted, tag, augment);
+            for (size_t i = 0; i < nom.size(); ++i) {
+              ratios.push_back(nom[i].ratio);
+              deltas.push_back(100.0 * core::excess_error_difference(shift[i].error,
+                                                                     nom[i].error, dshift, dnom));
+            }
+          }
+          const double slope = exp::ols_slope_origin(ratios, deltas);
+          const auto ci = exp::bootstrap_slope_ci(ratios, deltas, runner.scale().bootstrap_iters,
+                                                  0.95, seed_from_string((arch + tag).c_str()));
+          table.add_row({core::to_string(m), exp::fmt(slope, 2),
+                         "[" + exp::fmt(ci.lo, 2) + ", " + exp::fmt(ci.hi, 2) + "]"});
+        }
+        exp::print_header("Figures 55-60 [" + arch + ", robust]: excess-error slopes");
+        table.print();
+      }
+    }
+
+    exp::print_header("Tables 12/13: avg/min potential with robust training (%)");
+    summary.print();
+    std::printf("\npaper shape check: relative to the nominal-training results (Tables\n"
+                "9/10), robust training lifts the test-side average potential close to the\n"
+                "train-side value and raises the minimum above 0%% for most methods; the\n"
+                "excess-error slopes shrink toward 0 (Figures 55-60) but variance remains.\n");
+  });
+}

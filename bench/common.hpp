@@ -1,0 +1,135 @@
+#pragma once
+
+// Shared plumbing for the experiment benches. Every bench binary reproduces
+// one or more tables/figures of the paper: it builds (or loads from the
+// artifact cache) the trained and pruned models it needs, evaluates them on
+// the relevant distributions, and prints the same rows/series the paper
+// reports. Run with --paper to scale toward the paper's protocol.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/prune_potential.hpp"
+#include "corrupt/corruption.hpp"
+#include "exp/runner.hpp"
+#include "exp/table.hpp"
+
+namespace rp::bench {
+
+/// δ = 0.5%, the margin used for every prune-potential evaluation in the
+/// paper (Section 5.1).
+inline constexpr double kDelta = 0.005;
+
+/// Corrupted test set for a task (baked deterministically from the runner's
+/// nominal test set).
+inline data::DatasetPtr corrupted_test(exp::Runner& runner, const nn::TaskSpec& task,
+                                       const std::string& corruption, int severity) {
+  const auto seed =
+      seed_from_string((task.name + "/corrupt/" + corruption).c_str()) + severity;
+  return corrupt::make_corrupted(*runner.test_set(task), corruption, severity, seed);
+}
+
+/// Test set with a uniformly random corruption (severity fixed) applied per
+/// image — evaluates the paper's "average over all corruptions" test
+/// distribution with a single dataset pass.
+inline data::DatasetPtr mixed_corrupted_test(exp::Runner& runner, const nn::TaskSpec& task,
+                                             int severity) {
+  const auto names = corrupt::all_names();
+  data::ImageTransform pick = [names, severity](const Tensor& image, Rng& rng) {
+    const auto& name = names[static_cast<size_t>(rng.randint(static_cast<int64_t>(names.size())))];
+    return corrupt::get(name).apply(image, severity, rng);
+  };
+  Rng rng(seed_from_string((task.name + "/mixed-corrupt").c_str()) +
+          static_cast<uint64_t>(severity));
+  return data::bake(*runner.test_set(task), pick, rng, "all-corruptions/avg");
+}
+
+/// ℓ∞-noisy test set.
+inline data::DatasetPtr noisy_test(exp::Runner& runner, const nn::TaskSpec& task, float eps) {
+  const auto seed = seed_from_string((task.name + "/noise").c_str()) +
+                    static_cast<uint64_t>(1000 * eps);
+  return corrupt::make_noisy(*runner.test_set(task), eps, seed);
+}
+
+/// One repetition's prune potential of (arch, method) on `eval_ds`:
+/// evaluates the dense parent and every checkpoint on the dataset and applies
+/// Definition 1 with margin δ.
+inline double potential_one_rep(exp::Runner& runner, const std::string& arch,
+                                const nn::TaskSpec& task, core::PruneMethod method, int rep,
+                                const data::Dataset& eval_ds, const std::string& tag = "",
+                                const data::ImageTransform& extra_augment = {}) {
+  const double base_error = runner.dense_error(arch, task, rep, eval_ds, tag, extra_augment);
+  const auto curve = runner.curve_cached(arch, task, method, rep, eval_ds, tag, extra_augment);
+  return core::prune_potential(curve, base_error, kDelta);
+}
+
+/// Prune potential over all repetitions, as mean ± std (the paper's
+/// error-bar protocol).
+inline exp::Summary potential(exp::Runner& runner, const std::string& arch,
+                              const nn::TaskSpec& task, core::PruneMethod method,
+                              const data::Dataset& eval_ds, int reps,
+                              const std::string& tag = "",
+                              const data::ImageTransform& extra_augment = {}) {
+  std::vector<double> values;
+  for (int rep = 0; rep < reps; ++rep) {
+    values.push_back(
+        potential_one_rep(runner, arch, task, method, rep, eval_ds, tag, extra_augment));
+  }
+  return exp::summarize(values);
+}
+
+/// Prints the experiment banner: scale profile plus the per-arch training
+/// recipe (the paper's Table 3/5/7 analog).
+inline void print_banner(const std::string& what, const exp::Runner& runner,
+                         const std::vector<std::string>& archs) {
+  const auto& s = runner.scale();
+  exp::print_header(what);
+  std::printf("profile: %s | reps %d | train %lld / test %lld | epochs %d (+%d/cycle) | "
+              "cycles %d (keep %.2f) | severity %d\n",
+              s.paper ? "paper" : "fast", s.reps, static_cast<long long>(s.train_n),
+              static_cast<long long>(s.test_n), s.epochs, s.retrain_epochs, s.cycles,
+              s.keep_per_cycle, s.severity);
+  exp::Table t({"arch", "lr", "schedule", "momentum", "nesterov", "weight decay", "batch"});
+  for (const auto& arch : archs) {
+    const auto cfg = runner.train_config(arch, 0);
+    std::string sched;
+    if (cfg.schedule.kind == nn::LrSchedule::Kind::Poly) {
+      sched = "poly(" + exp::fmt(cfg.schedule.poly_power, 1) + ")";
+    } else {
+      sched = "step x" + exp::fmt(cfg.schedule.gamma, 1) + " @{";
+      for (size_t i = 0; i < cfg.schedule.milestones.size(); ++i) {
+        sched += (i ? "," : "") + std::to_string(cfg.schedule.milestones[i]);
+      }
+      sched += "}";
+    }
+    t.add_row({arch, exp::fmt(cfg.schedule.base_lr, 3), sched, exp::fmt(cfg.sgd.momentum, 1),
+               cfg.sgd.nesterov ? "yes" : "no", exp::fmt(cfg.sgd.weight_decay, 4),
+               std::to_string(cfg.batch_size)});
+  }
+  t.print();
+}
+
+/// Mask-aware FLOP-reduction ratio of a checkpoint vs the dense parent.
+inline double flop_reduction(exp::Runner& runner, const std::string& arch,
+                             const nn::TaskSpec& task, const exp::Checkpoint& c,
+                             int64_t dense_flops) {
+  auto net = runner.instantiate(arch, task, c);
+  return 1.0 - static_cast<double>(net->flops()) / static_cast<double>(dense_flops);
+}
+
+/// Standard bench main wrapper: parses scale args, runs `body`, reports
+/// errors with a non-zero exit.
+template <typename Body>
+int run_bench(int argc, char** argv, const Body& body) {
+  try {
+    exp::Runner runner(exp::scale_from_args(argc, argv));
+    body(runner);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench failed: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace rp::bench

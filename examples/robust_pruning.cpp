@@ -1,0 +1,71 @@
+// Robust pruning: Section 6's recipe end to end. Trains and prunes the same
+// network twice — once nominally, once with the Table-11 corruption split
+// baked into the (re-)training augmentation — and compares the accuracy of
+// the pruned models on held-out corruptions. Demonstrates the paper's
+// "trade implicit for explicit regularization" result.
+//
+// Usage: ./build/examples/robust_pruning [--paper]
+
+#include <cstdio>
+
+#include "core/robust.hpp"
+#include "corrupt/corruption.hpp"
+#include "exp/runner.hpp"
+#include "exp/table.hpp"
+#include "nn/trainer.hpp"
+
+using namespace rp;
+
+int main(int argc, char** argv) {
+  try {
+    exp::Runner runner(exp::scale_from_args(argc, argv));
+    const auto task = nn::synth_cifar_task();
+    const std::string arch = "resnet8";
+    const auto method = core::PruneMethod::WT;
+
+    const auto split = core::paper_split();
+    const auto augment = core::robust_augment(split);
+
+    std::printf("pruning %s nominally and robustly (corruptions in training: ", arch.c_str());
+    for (const auto& n : split.train) std::printf("%s ", n.c_str());
+    std::printf(")\n\n");
+
+    // Both pipelines: train -> iterative prune+retrain -> take the last
+    // commensurate checkpoint.
+    const auto nominal_family = runner.sweep(arch, task, method, 0);
+    const auto robust_family = runner.sweep(arch, task, method, 0, augment, "robust");
+    auto nominal_net = runner.instantiate(arch, task, nominal_family.back());
+    auto robust_net = runner.instantiate(arch, task, robust_family.back());
+    std::printf("pruned to %.1f%% (nominal) / %.1f%% (robust) sparsity\n\n",
+                100.0 * nominal_net->prune_ratio(), 100.0 * robust_net->prune_ratio());
+
+    exp::Table table({"evaluation", "side", "nominal-pruned acc", "robust-pruned acc", "gain"});
+    auto add = [&](const std::string& label, const std::string& side, const data::Dataset& ds) {
+      const double a = nn::evaluate(*nominal_net, ds).accuracy;
+      const double b = nn::evaluate(*robust_net, ds).accuracy;
+      table.add_row({label, side, exp::fmt_pct(a, 1), exp::fmt_pct(b, 1),
+                     (b >= a ? "+" : "") + exp::fmt_pct(b - a, 1)});
+    };
+
+    add("clean test set", "-", *runner.test_set(task));
+    for (const auto& name : split.train) {
+      add(name, "train-side",
+          *corrupt::make_corrupted(*runner.test_set(task), name, split.severity,
+                                   seed_from_string(name.c_str())));
+    }
+    for (const auto& name : split.test) {
+      add(name, "TEST-side",
+          *corrupt::make_corrupted(*runner.test_set(task), name, split.severity,
+                                   seed_from_string(name.c_str())));
+    }
+    table.print();
+
+    std::printf("\nexpected outcome (Section 6): large gains on the train-side corruptions,\n"
+                "partial gains on the held-out TEST-side corruptions — robust training only\n"
+                "recovers robustness for shifts that can be modeled during training.\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "robust_pruning failed: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,78 @@
+// Safety advisor: the paper's deployment workflow (Section 7,
+// "Generalization-aware pruning") as a tool. Given a network and a pruning
+// method it:
+//
+//   1. runs the PRUNERETRAIN sweep,
+//   2. measures the prune potential on the nominal test set (the hold-out
+//      data *set*) and on every corruption family (the hold-out data
+//      *distribution*),
+//   3. issues one of the paper's four guidelines plus a concrete safe prune
+//      ratio.
+//
+// Usage: ./build/examples/safety_advisor [--paper]
+
+#include <cstdio>
+
+#include "core/guidelines.hpp"
+#include "corrupt/corruption.hpp"
+#include "exp/runner.hpp"
+#include "exp/table.hpp"
+
+using namespace rp;
+
+int main(int argc, char** argv) {
+  try {
+    exp::Runner runner(exp::scale_from_args(argc, argv));
+    const auto task = nn::synth_cifar_task();
+    const std::string arch = "resnet8";
+    const auto method = core::PruneMethod::WT;
+    const int severity = runner.scale().severity;
+    constexpr double kDelta = 0.005;
+
+    std::printf("assessing %s + %s pruning for deployment...\n\n", arch.c_str(),
+                core::to_string(method).c_str());
+
+    // Potential on the hold-out data set (train distribution).
+    const double nominal_base = runner.dense_error(arch, task, 0, *runner.test_set(task));
+    const auto nominal_curve =
+        runner.curve_cached(arch, task, method, 0, *runner.test_set(task));
+    const double train_potential = core::prune_potential(nominal_curve, nominal_base, kDelta);
+
+    // Potential on the hold-out data distribution (every corruption family).
+    exp::Table table({"distribution", "dense acc", "prune potential"});
+    table.add_row({"nominal", exp::fmt_pct(1 - nominal_base, 1), exp::fmt_pct(train_potential, 1)});
+    std::vector<double> potentials;
+    for (const auto& name : corrupt::all_names()) {
+      auto ds = corrupt::make_corrupted(*runner.test_set(task), name, severity,
+                                        seed_from_string(name.c_str()));
+      const double base = runner.dense_error(arch, task, 0, *ds);
+      const auto curve = runner.curve_cached(arch, task, method, 0, *ds);
+      const double p = core::prune_potential(curve, base, kDelta);
+      potentials.push_back(p);
+      table.add_row({name, exp::fmt_pct(1 - base, 1), exp::fmt_pct(p, 1)});
+    }
+    table.print();
+
+    const auto summary = core::summarize_potentials(potentials);
+    core::PotentialEvidence evidence;
+    evidence.train = train_potential;
+    evidence.test_average = summary.average;
+    evidence.test_minimum = summary.minimum;
+    evidence.shifts_modeled = false;
+
+    const auto guideline = core::recommend(evidence);
+    std::printf("\nnominal potential:       %s%%\n", exp::fmt_pct(train_potential, 1).c_str());
+    std::printf("o.o.d. potential (avg):  %s%%\n", exp::fmt_pct(summary.average, 1).c_str());
+    std::printf("o.o.d. potential (min):  %s%%\n", exp::fmt_pct(summary.minimum, 1).c_str());
+    std::printf("\nguideline: %s\n  \"%s\"\n", core::to_string(guideline).c_str(),
+                core::describe(guideline).c_str());
+    std::printf("safe prune ratio: %s%%\n",
+                exp::fmt_pct(core::safe_prune_ratio(evidence), 1).c_str());
+    std::printf("\n(if the deployment shifts can be modeled, rerun with robust retraining —\n"
+                " see examples/robust_pruning — to regain most of the lost potential.)\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "safety_advisor failed: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "data/dataset.hpp"
+#include "nn/network.hpp"
+
+namespace rp::core {
+
+/// White-box ℓ∞ adversarial attacks (extension experiments).
+///
+/// The paper's related work (Section 2, "Robustness" / "Robust training and
+/// pruning") discusses adversarial robustness of pruned networks with
+/// conflicting prior evidence; these attacks extend the repository's
+/// distribution-shift suite to the adversarial end of the spectrum, where
+/// the paper predicts the largest pruned-vs-dense gaps ("for significantly
+/// different corruption models (or adversarial inputs) we may observe more
+/// significant trade-offs", Section 6.2).
+
+/// Gradient of the cross-entropy loss w.r.t. the input image ([C, H, W]).
+Tensor input_gradient(nn::Network& net, const Tensor& image, int64_t label);
+
+/// Fast Gradient Sign Method: x' = clamp(x + eps * sign(∂L/∂x)).
+Tensor fgsm(nn::Network& net, const Tensor& image, int64_t label, float eps);
+
+/// Projected Gradient Descent: `steps` FGSM steps of size `alpha`, each
+/// projected back into the ℓ∞ ball of radius `eps` around the original
+/// image and into the valid pixel range [0, 1].
+Tensor pgd(nn::Network& net, const Tensor& image, int64_t label, float eps, float alpha,
+           int steps);
+
+enum class Attack { Fgsm, Pgd };
+
+std::string to_string(Attack a);
+
+/// Accuracy of `net` on the first `n_images` of `ds` under the given attack
+/// (eps = 0 reduces to clean accuracy). PGD uses alpha = eps/4 and 8 steps.
+double adversarial_accuracy(nn::Network& net, const data::Dataset& ds, Attack attack, float eps,
+                            int64_t n_images);
+
+}  // namespace rp::core

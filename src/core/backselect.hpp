@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/network.hpp"
+
+namespace rp::core {
+
+/// Configuration of the greedy backward selection of Carter et al. (2019),
+/// used by the paper's informative-feature comparison (Section 4.1, Eq. 1).
+struct BackSelectConfig {
+  /// Pixels removed per greedy step. 1 reproduces the exact greedy
+  /// procedure; larger chunks trade fidelity for wall-clock (the ranking of
+  /// high-importance pixels — the ones experiments keep — is preserved).
+  int chunk = 8;
+  /// Value masked pixels are replaced with (mid-gray of the [0,1] range).
+  float fill = 0.5f;
+  /// Forward-pass batch size for candidate evaluation.
+  int batch = 256;
+};
+
+/// Greedy backward selection: repeatedly masks the pixel whose removal
+/// reduces the network's confidence in `target_class` the least. Returns all
+/// pixel indices (row-major y*W+x) in removal order, i.e. ascending
+/// informativeness — the *last* entries are the most informative pixels.
+std::vector<int64_t> backselect_order(nn::Network& net, const Tensor& image, int64_t target_class,
+                                      const BackSelectConfig& cfg = {});
+
+/// Keep-mask (1 = keep) for the top `keep_fraction` most informative pixels
+/// of a removal order produced by backselect_order.
+std::vector<uint8_t> informative_mask(std::span<const int64_t> order, double keep_fraction);
+
+/// Applies a pixel keep-mask to all channels, filling masked pixels.
+Tensor apply_pixel_mask(const Tensor& image, std::span<const uint8_t> keep, float fill = 0.5f);
+
+/// Softmax confidence of `net` toward `cls` on a single image.
+float confidence(nn::Network& net, const Tensor& image, int64_t cls);
+
+/// A labeled model in a cross-evaluation (parent / pruned family / separate).
+struct ModelRef {
+  std::string label;
+  nn::Network* net = nullptr;
+};
+
+/// The paper's Figure 3/12-15 heatmap: entry (g, e) is the mean confidence of
+/// evaluator model `e` toward the *true* class on images masked to the
+/// `keep_fraction` most informative pixels of *generator* model `g` (selected
+/// w.r.t. g's own predicted class), over the first `n_images` of `ds`.
+Tensor informative_feature_matrix(std::span<const ModelRef> models, const data::Dataset& ds,
+                                  int64_t n_images, double keep_fraction,
+                                  const BackSelectConfig& cfg = {});
+
+}  // namespace rp::core

@@ -1,0 +1,74 @@
+#include "core/class_impact.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/trainer.hpp"
+#include "tensor/ops.hpp"
+
+namespace rp::core {
+
+std::vector<ClassAccuracy> per_class_accuracy(nn::Network& net, const data::Dataset& ds) {
+  if (ds.segmentation()) {
+    throw std::invalid_argument("per_class_accuracy: classification datasets only");
+  }
+  const int64_t n = ds.size();
+  if (n == 0) throw std::invalid_argument("per_class_accuracy: empty dataset");
+
+  Tensor images(Shape{n, ds.image(0).size(0), ds.image(0).size(1), ds.image(0).size(2)});
+  for (int64_t i = 0; i < n; ++i) images.set_slice0(i, ds.image(i));
+  const auto pred = argmax_rows(nn::predict(net, images));
+
+  const int num_classes = net.task().num_classes;
+  std::vector<int64_t> hits(static_cast<size_t>(num_classes), 0);
+  std::vector<int64_t> counts(static_cast<size_t>(num_classes), 0);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t y = ds.label(i);
+    if (y < 0 || y >= num_classes) throw std::out_of_range("per_class_accuracy: bad label");
+    counts[static_cast<size_t>(y)]++;
+    hits[static_cast<size_t>(y)] += (pred[static_cast<size_t>(i)] == y);
+  }
+
+  std::vector<ClassAccuracy> out;
+  for (int c = 0; c < num_classes; ++c) {
+    ClassAccuracy ca;
+    ca.cls = c;
+    ca.count = counts[static_cast<size_t>(c)];
+    ca.accuracy = ca.count == 0 ? 0.0
+                                : static_cast<double>(hits[static_cast<size_t>(c)]) /
+                                      static_cast<double>(ca.count);
+    out.push_back(ca);
+  }
+  return out;
+}
+
+std::vector<ClassImpact> class_impact(nn::Network& dense, nn::Network& pruned,
+                                      const data::Dataset& ds) {
+  const auto a = per_class_accuracy(dense, ds);
+  const auto b = per_class_accuracy(pruned, ds);
+  if (a.size() != b.size()) throw std::logic_error("class_impact: class-count mismatch");
+  std::vector<ClassImpact> out;
+  for (size_t c = 0; c < a.size(); ++c) {
+    ClassImpact ci;
+    ci.cls = a[c].cls;
+    ci.dense_accuracy = a[c].accuracy;
+    ci.pruned_accuracy = b[c].accuracy;
+    ci.impact = a[c].accuracy - b[c].accuracy;
+    out.push_back(ci);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ClassImpact& x, const ClassImpact& y) { return x.impact > y.impact; });
+  return out;
+}
+
+double impact_spread(std::span<const ClassImpact> impacts) {
+  if (impacts.empty()) throw std::invalid_argument("impact_spread: empty input");
+  double lo = impacts[0].impact, hi = impacts[0].impact;
+  for (const auto& ci : impacts) {
+    lo = std::min(lo, ci.impact);
+    hi = std::max(hi, ci.impact);
+  }
+  return hi - lo;
+}
+
+}  // namespace rp::core

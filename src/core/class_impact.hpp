@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/network.hpp"
+
+namespace rp::core {
+
+/// Per-class impact analysis in the spirit of Hooker et al. (2019),
+/// "Selective Brain Damage" — cited by the paper's related work: pruning's
+/// accuracy cost is not spread uniformly over classes; a few classes absorb
+/// a disproportionate share of the damage even when aggregate accuracy is
+/// commensurate.
+
+struct ClassAccuracy {
+  int64_t cls = 0;
+  int64_t count = 0;       ///< samples of this class in the dataset
+  double accuracy = 0.0;
+};
+
+/// Accuracy per ground-truth class over the whole dataset (classification
+/// datasets only).
+std::vector<ClassAccuracy> per_class_accuracy(nn::Network& net, const data::Dataset& ds);
+
+struct ClassImpact {
+  int64_t cls = 0;
+  double dense_accuracy = 0.0;
+  double pruned_accuracy = 0.0;
+  /// dense - pruned; positive = the class lost accuracy through pruning.
+  double impact = 0.0;
+};
+
+/// Per-class accuracy difference dense vs pruned, sorted by descending
+/// impact (most-damaged classes first).
+std::vector<ClassImpact> class_impact(nn::Network& dense, nn::Network& pruned,
+                                      const data::Dataset& ds);
+
+/// Dispersion of the impact across classes: max - min impact. Near zero
+/// means pruning damaged all classes evenly; large values are the
+/// "selective brain damage" signature.
+double impact_spread(std::span<const ClassImpact> impacts);
+
+}  // namespace rp::core

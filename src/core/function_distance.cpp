@@ -1,0 +1,31 @@
+#include "core/function_distance.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rp::core {
+
+ParentIdentification identify_parent(nn::Network& pruned, std::span<const Candidate> candidates,
+                                     const data::Dataset& ds, float eps, int64_t n_images,
+                                     int reps, uint64_t seed) {
+  if (candidates.empty()) throw std::invalid_argument("identify_parent: no candidates");
+
+  ParentIdentification result;
+  for (const Candidate& c : candidates) {
+    CandidateScore cs;
+    cs.label = c.label;
+    cs.similarity = noise_similarity(pruned, *c.net, ds, eps, n_images, reps, seed);
+    // Matching predictions dominate; the softmax distance breaks ties among
+    // candidates with similar agreement.
+    cs.score = cs.similarity.match_fraction - 0.5 * cs.similarity.softmax_l2;
+    result.ranking.push_back(std::move(cs));
+  }
+  std::sort(result.ranking.begin(), result.ranking.end(),
+            [](const CandidateScore& a, const CandidateScore& b) { return a.score > b.score; });
+  if (result.ranking.size() > 1) {
+    result.margin = result.ranking[0].score - result.ranking[1].score;
+  }
+  return result;
+}
+
+}  // namespace rp::core

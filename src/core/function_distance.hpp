@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/noise_similarity.hpp"
+
+namespace rp::core {
+
+/// Parent identification (Section 4's operational claim: the functional
+/// similarity metrics "enable us to distinguish the parent of a pruned
+/// network ... from separately trained networks").
+///
+/// Given a pruned network and a set of candidate unpruned networks, ranks
+/// the candidates by functional similarity under ℓ∞ noise and returns the
+/// best match plus the evidence.
+
+struct CandidateScore {
+  std::string label;
+  NoiseSimilarity similarity;
+  /// Combined score: match fraction minus a softmax-distance penalty; higher
+  /// means more likely the parent.
+  double score = 0.0;
+};
+
+struct ParentIdentification {
+  /// Candidates sorted by descending score; front() is the inferred parent.
+  std::vector<CandidateScore> ranking;
+  /// Score margin between the best and second-best candidate — a confidence
+  /// proxy (0 when only one candidate was given).
+  double margin = 0.0;
+};
+
+/// Labeled candidate network.
+struct Candidate {
+  std::string label;
+  nn::Network* net = nullptr;
+};
+
+/// Ranks `candidates` as potential parents of `pruned` using noise
+/// similarity on `ds` (eps, n_images, reps as in noise_similarity).
+ParentIdentification identify_parent(nn::Network& pruned, std::span<const Candidate> candidates,
+                                     const data::Dataset& ds, float eps, int64_t n_images,
+                                     int reps, uint64_t seed);
+
+}  // namespace rp::core

@@ -1,0 +1,65 @@
+#include "core/guidelines.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rp::core {
+
+std::string to_string(Guideline g) {
+  switch (g) {
+    case Guideline::DoNotPrune:
+      return "do-not-prune";
+    case Guideline::PruneModerately:
+      return "prune-moderately";
+    case Guideline::PruneFully:
+      return "prune-fully";
+    case Guideline::PruneWithAugmentation:
+      return "prune-with-augmentation";
+  }
+  throw std::invalid_argument("bad Guideline");
+}
+
+std::string describe(Guideline g) {
+  switch (g) {
+    case Guideline::DoNotPrune:
+      return "Don't prune if unexpected shifts in the data distribution may occur during "
+             "deployment.";
+    case Guideline::PruneModerately:
+      return "Prune moderately if you have partial knowledge of the distribution shifts during "
+             "training and pruning.";
+    case Guideline::PruneFully:
+      return "Prune to the full extent if you can account for all shifts in the data "
+             "distribution during training and pruning.";
+    case Guideline::PruneWithAugmentation:
+      return "Maximize the prune potential by explicitly considering data augmentation during "
+             "retraining.";
+  }
+  throw std::invalid_argument("bad Guideline");
+}
+
+Guideline recommend(const PotentialEvidence& e) {
+  if (e.shifts_modeled) {
+    // Shifts are in the training pipeline: the nominal potential transfers
+    // (Section 6) — prune fully, via augmentation if potential was regained.
+    return e.test_average >= 0.9 * e.train ? Guideline::PruneFully
+                                           : Guideline::PruneWithAugmentation;
+  }
+  // Unmodeled shifts: the minimum o.o.d. potential is the safety margin.
+  if (e.test_minimum <= 0.05) return Guideline::DoNotPrune;
+  return Guideline::PruneModerately;
+}
+
+double safe_prune_ratio(const PotentialEvidence& e) {
+  switch (recommend(e)) {
+    case Guideline::DoNotPrune:
+      return 0.0;
+    case Guideline::PruneModerately:
+      return e.test_minimum;
+    case Guideline::PruneFully:
+    case Guideline::PruneWithAugmentation:
+      return std::min(e.train, e.test_average);
+  }
+  return 0.0;
+}
+
+}  // namespace rp::core

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+
+namespace rp::core {
+
+/// The paper's practitioner guidelines (Section 1 / "Generalization-aware
+/// pruning", Section 7), mapped onto measured prune potentials so they can
+/// be issued programmatically at deployment time.
+enum class Guideline {
+  DoNotPrune,              ///< unexpected shifts possible, test potential ~ 0
+  PruneModerately,         ///< partial shift knowledge, prune to the o.o.d. potential
+  PruneFully,              ///< all shifts modeled, nominal potential transfers
+  PruneWithAugmentation,   ///< shifts known: regain potential via robust retraining
+};
+
+std::string to_string(Guideline g);
+/// The guideline's full sentence as stated in the paper.
+std::string describe(Guideline g);
+
+/// Measured evidence about one (network, task) pair, produced by the prune
+/// potential experiments: potential on the train distribution and
+/// average/minimum potential over the held-out test distribution.
+struct PotentialEvidence {
+  double train = 0.0;
+  double test_average = 0.0;
+  double test_minimum = 0.0;
+  /// True when the anticipated deployment shifts were included in the
+  /// (re-)training augmentation pipeline (Section 6's setting).
+  bool shifts_modeled = false;
+};
+
+/// Issues a guideline from measured evidence.
+Guideline recommend(const PotentialEvidence& e);
+
+/// The prune ratio that is safe under the recommended guideline: the
+/// minimum test-distribution potential when shifts are unmodeled, the
+/// average when they are modeled, and 0 under DoNotPrune.
+double safe_prune_ratio(const PotentialEvidence& e);
+
+}  // namespace rp::core

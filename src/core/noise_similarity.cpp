@@ -1,0 +1,55 @@
+#include "core/noise_similarity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "corrupt/corruption.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/ops.hpp"
+
+namespace rp::core {
+
+NoiseSimilarity noise_similarity(nn::Network& a, nn::Network& b, const data::Dataset& ds,
+                                 float eps, int64_t n_images, int reps, uint64_t seed) {
+  if (reps < 1) throw std::invalid_argument("noise_similarity: reps must be >= 1");
+  n_images = std::min<int64_t>(n_images, ds.size());
+  if (n_images < 1) throw std::invalid_argument("noise_similarity: empty dataset");
+
+  Rng rng(seed);
+  const auto noise = corrupt::uniform_noise(eps);
+
+  int64_t matches = 0;
+  double l2_sum = 0.0;
+  int64_t total = 0;
+
+  Tensor batch(Shape{n_images, ds.image(0).size(0), ds.image(0).size(1), ds.image(0).size(2)});
+  for (int rep = 0; rep < reps; ++rep) {
+    for (int64_t i = 0; i < n_images; ++i) {
+      Tensor img = ds.image(i);
+      if (eps > 0.0f) img = noise(img, rng);
+      batch.set_slice0(i, img);
+    }
+    const Tensor pa = softmax_rows(nn::predict(a, batch));
+    const Tensor pb = softmax_rows(nn::predict(b, batch));
+    const auto la = argmax_rows(pa);
+    const auto lb = argmax_rows(pb);
+    for (int64_t i = 0; i < n_images; ++i) {
+      matches += (la[static_cast<size_t>(i)] == lb[static_cast<size_t>(i)]);
+      double d2 = 0.0;
+      for (int64_t c = 0; c < pa.size(1); ++c) {
+        const double d = static_cast<double>(pa.at(i, c)) - pb.at(i, c);
+        d2 += d * d;
+      }
+      l2_sum += std::sqrt(d2);
+      ++total;
+    }
+  }
+
+  NoiseSimilarity r;
+  r.match_fraction = static_cast<double>(matches) / static_cast<double>(total);
+  r.softmax_l2 = l2_sum / static_cast<double>(total);
+  return r;
+}
+
+}  // namespace rp::core

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "data/dataset.hpp"
+#include "nn/network.hpp"
+
+namespace rp::core {
+
+/// Function-distance metrics of Section 4.1: how similarly two networks
+/// behave in the ℓ∞ neighbourhood of test points.
+struct NoiseSimilarity {
+  /// E[argmax f_a(x') == argmax f_b(x')] over x' = x + U(-eps, eps)^n —
+  /// the fraction of matching label predictions (Figure 4a).
+  double match_fraction = 0.0;
+  /// E[|softmax f_a(x') - softmax f_b(x')|_2] — the norm difference of the
+  /// softmax outputs (Figure 4b).
+  double softmax_l2 = 0.0;
+};
+
+/// Estimates both metrics over the first `n_images` of `ds` with `reps`
+/// independent noise draws per image (the paper uses 1000 images x 100
+/// repetitions). eps = 0 compares the networks on clean data. Deterministic
+/// given `seed`.
+NoiseSimilarity noise_similarity(nn::Network& a, nn::Network& b, const data::Dataset& ds,
+                                 float eps, int64_t n_images, int reps, uint64_t seed);
+
+}  // namespace rp::core

@@ -1,0 +1,40 @@
+#include "core/prune_potential.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rp::core {
+
+double prune_potential(std::span<const CurvePoint> curve, double base_error, double delta) {
+  if (delta < 0.0) throw std::invalid_argument("prune_potential: delta must be >= 0");
+  double best = 0.0;
+  for (const CurvePoint& p : curve) {
+    if (p.error - base_error <= delta) best = std::max(best, p.ratio);
+  }
+  return best;
+}
+
+double excess_error(double error_shifted, double error_nominal) {
+  return error_shifted - error_nominal;
+}
+
+double excess_error_difference(double pruned_error_shifted, double pruned_error_nominal,
+                               double unpruned_error_shifted, double unpruned_error_nominal) {
+  return excess_error(pruned_error_shifted, pruned_error_nominal) -
+         excess_error(unpruned_error_shifted, unpruned_error_nominal);
+}
+
+PotentialSummary summarize_potentials(std::span<const double> potentials) {
+  if (potentials.empty()) throw std::invalid_argument("summarize_potentials: empty input");
+  PotentialSummary s;
+  s.minimum = potentials[0];
+  double sum = 0.0;
+  for (double p : potentials) {
+    sum += p;
+    s.minimum = std::min(s.minimum, p);
+  }
+  s.average = sum / static_cast<double>(potentials.size());
+  return s;
+}
+
+}  // namespace rp::core

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace rp::core {
+
+/// One point of a prune-accuracy curve: a pruned checkpoint's achieved prune
+/// ratio and its error (1 - headline metric) on some evaluation distribution.
+struct CurvePoint {
+  double ratio = 0.0;  ///< achieved prune ratio in [0, 1)
+  double error = 0.0;  ///< task error in [0, 1]
+};
+
+/// Definition 1 of the paper: the maximal prune ratio whose checkpoint stays
+/// within margin `delta` of the unpruned network's error on the same
+/// distribution:
+///
+///   P = max { ratio : error(ratio) - base_error <= delta }
+///
+/// evaluated over the discrete checkpoint family produced by PRUNERETRAIN
+/// (points need not be sorted). Returns 0 when no checkpoint qualifies.
+double prune_potential(std::span<const CurvePoint> curve, double base_error, double delta);
+
+/// Definition 2 of the paper: excess error of a model under distribution
+/// shift, e(θ, D') = err(θ, D') - err(θ, D).
+double excess_error(double error_shifted, double error_nominal);
+
+/// The paper's headline o.o.d. statistic (Figures 6c/6f, 39-47): the
+/// difference in excess error between a pruned network and its unpruned
+/// parent,
+///
+///   Δe = e(ĉ⊙θ̂, D') - e(θ, D')
+///
+/// Zero means the nominal prune-accuracy trade-off transfers to the shifted
+/// distribution; positive values mean the pruned network suffers
+/// disproportionately more from the shift.
+double excess_error_difference(double pruned_error_shifted, double pruned_error_nominal,
+                               double unpruned_error_shifted, double unpruned_error_nominal);
+
+/// Average and minimum prune potential across a set of per-distribution
+/// curves — the overparameterization summary of Tables 2/9/10/12/13.
+struct PotentialSummary {
+  double average = 0.0;
+  double minimum = 0.0;
+};
+PotentialSummary summarize_potentials(std::span<const double> potentials);
+
+}  // namespace rp::core

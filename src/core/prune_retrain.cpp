@@ -1,0 +1,70 @@
+#include "core/prune_retrain.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rp::core {
+
+double cycle_target_ratio(double keep_per_cycle, int cycle) {
+  if (keep_per_cycle <= 0.0 || keep_per_cycle >= 1.0) {
+    throw std::invalid_argument("keep_per_cycle must be in (0, 1)");
+  }
+  return 1.0 - std::pow(keep_per_cycle, cycle);
+}
+
+std::string to_string(RetrainMode m) {
+  switch (m) {
+    case RetrainMode::LrRewind:
+      return "lr-rewind";
+    case RetrainMode::FineTune:
+      return "fine-tune";
+    case RetrainMode::WeightRewind:
+      return "weight-rewind";
+  }
+  throw std::invalid_argument("bad RetrainMode");
+}
+
+void prune_retrain(nn::Network& net, const data::Dataset& train_ds,
+                   const PruneRetrainConfig& cfg, const CycleObserver& on_cycle) {
+  if (cfg.cycles < 1) throw std::invalid_argument("prune_retrain: need at least one cycle");
+
+  nn::TrainConfig retrain = cfg.retrain;
+  if (cfg.mode == RetrainMode::FineTune) {
+    // Constant learning rate at the schedule's final value, no warm-up.
+    const float final_lr = cfg.retrain.schedule.lr_at(
+        std::max(0, cfg.retrain.schedule.total_epochs > 0 ? cfg.retrain.schedule.total_epochs - 1
+                                                          : cfg.retrain.epochs - 1));
+    retrain.schedule = nn::LrSchedule{};
+    retrain.schedule.base_lr = final_lr;
+    retrain.schedule.warmup_epochs = 0;
+    retrain.schedule.milestones = {};
+  }
+
+  // Weight-rewind target: the state right after initial training (before
+  // any pruning). Masks are re-applied after restoring.
+  std::vector<std::pair<std::string, Tensor>> rewind_state;
+  if (cfg.mode == RetrainMode::WeightRewind) rewind_state = net.state();
+
+  for (int cycle = 1; cycle <= cfg.cycles; ++cycle) {
+    if (is_data_informed(cfg.method)) {
+      nn::profile_activations(net, train_ds, cfg.profile_samples);
+    }
+    prune_to_ratio(net, cfg.method, cycle_target_ratio(cfg.keep_per_cycle, cycle));
+
+    if (cfg.mode == RetrainMode::WeightRewind) {
+      // Restore surviving weights (values only — the freshly updated masks
+      // stay) and let enforce_masks zero the pruned positions again.
+      auto masks_backup = net.state();  // contains current masks
+      net.load_state(rewind_state);
+      for (auto& [name, tensor] : masks_backup) {
+        if (name.ends_with(".mask")) net.load_state({{name, tensor}});
+      }
+      net.enforce_masks();
+    }
+
+    nn::train(net, train_ds, retrain);
+    if (on_cycle) on_cycle(cycle, net.prune_ratio());
+  }
+}
+
+}  // namespace rp::core

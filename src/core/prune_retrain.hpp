@@ -1,0 +1,57 @@
+#pragma once
+
+#include <functional>
+
+#include "core/pruner.hpp"
+#include "nn/trainer.hpp"
+
+namespace rp::core {
+
+/// How weights and learning rate are handled between prune and retrain —
+/// the three regimes compared by Renda, Frankle & Carbin (2020), whose
+/// pipeline the paper adopts:
+///
+///   LrRewind     — keep the pruned weights, re-run the full LR schedule
+///                  (the paper's choice: "we re-use the same learning rate
+///                  schedule and retrain for the same amount of epochs")
+///   FineTune     — keep the pruned weights, retrain at the schedule's final
+///                  (smallest) learning rate
+///   WeightRewind — reset surviving weights to their values right after the
+///                  initial training, then re-run the full schedule
+enum class RetrainMode { LrRewind, FineTune, WeightRewind };
+
+std::string to_string(RetrainMode m);
+
+/// Configuration of the paper's Algorithm 1 (PRUNERETRAIN).
+///
+/// `keep_per_cycle` is the paper's α (Tables 3/5/7): after cycle i the
+/// overall keep fraction is αⁱ, i.e. the same relative share of the
+/// *remaining* parameters is removed every cycle.
+struct PruneRetrainConfig {
+  PruneMethod method = PruneMethod::WT;
+  double keep_per_cycle = 0.85;
+  int cycles = 6;
+  nn::TrainConfig retrain;
+  RetrainMode mode = RetrainMode::LrRewind;
+  /// Samples used for the activation-profiling pass of SiPP/PFP.
+  int64_t profile_samples = 128;
+};
+
+/// Observer invoked after each prune+retrain cycle with the 1-based cycle
+/// index and the achieved overall prune ratio. Typical use: snapshot
+/// `net.state()` to build the checkpoint family the experiments consume.
+using CycleObserver = std::function<void(int cycle, double achieved_ratio)>;
+
+/// Algorithm 1, lines 3-7: starting from a *trained* network, iteratively
+/// prune to the cycle's target ratio and retrain with the original
+/// hyperparameters. The initial training (lines 1-2) is the caller's
+/// responsibility (nn::train), mirroring the paper's structure where
+/// networks are trained once and then pruned with several methods.
+void prune_retrain(nn::Network& net, const data::Dataset& train_ds,
+                   const PruneRetrainConfig& cfg, const CycleObserver& on_cycle = {});
+
+/// Target overall prune ratio after `cycle` cycles (1-based) with keep
+/// fraction `keep_per_cycle`: 1 - keep^cycle.
+double cycle_target_ratio(double keep_per_cycle, int cycle);
+
+}  // namespace rp::core

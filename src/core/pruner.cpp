@@ -1,0 +1,325 @@
+#include "core/pruner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace rp::core {
+
+namespace {
+
+using nn::Parameter;
+using nn::PrunableSpec;
+
+struct WeightRef {
+  float score;
+  int spec;
+  int64_t flat;
+};
+
+/// Sum of |row| entries currently active in `w`'s row `row`.
+int64_t active_in_row(const Parameter& w, int64_t row) {
+  const int64_t fan_in = w.value.size(1);
+  int64_t n = 0;
+  for (int64_t j = 0; j < fan_in; ++j) n += (w.mask.at(row, j) != 0.0f);
+  return n;
+}
+
+bool row_active(const Parameter& w, int64_t row) { return active_in_row(w, row) > 0; }
+
+float row_l1(const Parameter& w, int64_t row) {
+  const int64_t fan_in = w.value.size(1);
+  float s = 0.0f;
+  for (int64_t j = 0; j < fan_in; ++j) s += std::fabs(w.value.at(row, j) * w.mask.at(row, j));
+  return s;
+}
+
+/// Ensures a parameter carries a mask (lazily created for bias/BN params
+/// that only become maskable once structured pruning touches them).
+void ensure_mask(Parameter& p) {
+  if (p.mask.empty()) p.mask = Tensor::ones(p.value.shape());
+}
+
+/// Zeroes mask and value of one output unit: the weight row, the bias entry,
+/// and every coupled per-unit parameter (batch-norm gamma/beta).
+void kill_unit(const PrunableSpec& spec, int64_t row) {
+  Parameter& w = *spec.weight;
+  const int64_t fan_in = w.value.size(1);
+  for (int64_t j = 0; j < fan_in; ++j) {
+    w.mask.at(row, j) = 0.0f;
+    w.value.at(row, j) = 0.0f;
+  }
+  auto kill_entry = [row](Parameter* p) {
+    if (!p) return;
+    ensure_mask(*p);
+    p->mask[row] = 0.0f;
+    p->value[row] = 0.0f;
+  };
+  kill_entry(spec.bias);
+  for (Parameter* p : spec.out_coupled) kill_entry(p);
+}
+
+void check_profiled(const std::vector<PrunableSpec>& specs, PruneMethod m) {
+  for (const auto& spec : specs) {
+    const auto& in = *spec.in_act_stat;
+    const auto& out = *spec.out_act_stat;
+    if (std::any_of(in.begin(), in.end(), [](float v) { return v > 0; }) ||
+        std::any_of(out.begin(), out.end(), [](float v) { return v > 0; })) {
+      return;
+    }
+  }
+  throw std::logic_error(to_string(m) +
+                         " is data-informed: run nn::profile_activations before pruning");
+}
+
+// ----- unstructured: WT / SiPP ---------------------------------------------------
+
+void prune_unstructured(nn::Network& net, PruneMethod method, int64_t to_prune) {
+  const auto& specs = net.prunable();
+  std::vector<WeightRef> refs;
+  refs.reserve(static_cast<size_t>(net.prunable_active()));
+
+  for (int s = 0; s < static_cast<int>(specs.size()); ++s) {
+    const PrunableSpec& spec = specs[static_cast<size_t>(s)];
+    const Parameter& w = *spec.weight;
+    const int64_t fan_in = w.value.size(1);
+    const size_t first = refs.size();
+    for (int64_t i = 0; i < w.value.size(0); ++i) {
+      for (int64_t j = 0; j < fan_in; ++j) {
+        const int64_t flat = i * fan_in + j;
+        if (w.mask[flat] == 0.0f) continue;
+        float score = std::fabs(w.value[flat]);
+        if (method == PruneMethod::SiPP) {
+          // Data-informed saliency |W_ij * a_j(x)|: scale by the maximal
+          // activation magnitude of the input group feeding this column.
+          const int64_t group = j / spec.group_size;
+          score *= (*spec.in_act_stat)[static_cast<size_t>(group)];
+        } else if (method == PruneMethod::Rand) {
+          // Deterministic pseudo-random score per (layer, weight) position:
+          // independent of the weight's value, stable across cycles.
+          uint64_t h = static_cast<uint64_t>(s) * 0x9e3779b97f4a7c15ull +
+                       static_cast<uint64_t>(flat) + 0xbf58476d1ce4e5b9ull;
+          h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+          h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+          score = static_cast<float>((h ^ (h >> 31)) >> 40);
+        }
+        refs.push_back({score, s, flat});
+      }
+    }
+    if (method == PruneMethod::LayerWT) {
+      // Scope ablation: replace magnitudes by their within-layer percentile,
+      // so a global threshold removes the same *fraction* from every layer.
+      std::vector<float> mags;
+      mags.reserve(refs.size() - first);
+      for (size_t k = first; k < refs.size(); ++k) mags.push_back(refs[k].score);
+      std::sort(mags.begin(), mags.end());
+      for (size_t k = first; k < refs.size(); ++k) {
+        const auto rank =
+            std::lower_bound(mags.begin(), mags.end(), refs[k].score) - mags.begin();
+        refs[k].score = static_cast<float>(rank) / static_cast<float>(mags.size());
+      }
+    }
+    if (method == PruneMethod::SiPP) {
+      // SiPP ranks *relative* sensitivities: normalize by the layer's top
+      // score so activation-scale differences across layers cannot starve
+      // (and eventually disconnect) whole layers — the role of the per-layer
+      // sample-complexity budget in the reference algorithm.
+      float layer_max = 0.0f;
+      for (size_t k = first; k < refs.size(); ++k) layer_max = std::max(layer_max, refs[k].score);
+      if (layer_max > 0.0f) {
+        for (size_t k = first; k < refs.size(); ++k) refs[k].score /= layer_max;
+      }
+    }
+  }
+
+  if (to_prune >= static_cast<int64_t>(refs.size())) to_prune = static_cast<int64_t>(refs.size());
+  if (to_prune <= 0) return;
+  std::nth_element(refs.begin(), refs.begin() + to_prune - 1, refs.end(),
+                   [](const WeightRef& a, const WeightRef& b) { return a.score < b.score; });
+  for (int64_t k = 0; k < to_prune; ++k) {
+    const WeightRef& r = refs[static_cast<size_t>(k)];
+    Parameter& w = *specs[static_cast<size_t>(r.spec)].weight;
+    w.mask[r.flat] = 0.0f;
+    w.value[r.flat] = 0.0f;
+  }
+}
+
+// ----- structured: FT / PFP --------------------------------------------------------
+
+struct FilterRef {
+  float score;  ///< ranking key (method-specific)
+  int spec;
+  int64_t row;
+  int64_t cost;  ///< active weights removed by pruning this filter
+};
+
+/// Collects active, non-output-layer filters with method-specific scores.
+std::vector<FilterRef> collect_filters(const std::vector<PrunableSpec>& specs, PruneMethod method,
+                                       size_t output_spec) {
+  std::vector<FilterRef> filters;
+  for (size_t s = 0; s < specs.size(); ++s) {
+    if (s == output_spec) continue;  // never remove output classes
+    const PrunableSpec& spec = specs[s];
+    // Per-layer normalization constant for PFP's relative sensitivities.
+    float layer_total = 0.0f;
+    if (method == PruneMethod::PFP) {
+      for (int64_t i = 0; i < spec.out_units; ++i) {
+        if (!row_active(*spec.weight, i)) continue;
+        layer_total += (*spec.out_act_stat)[static_cast<size_t>(i)] * row_l1(*spec.weight, i);
+      }
+      if (layer_total <= 0.0f) layer_total = 1.0f;
+    }
+    for (int64_t i = 0; i < spec.out_units; ++i) {
+      const int64_t cost = active_in_row(*spec.weight, i);
+      if (cost == 0) continue;
+      float score;
+      if (method == PruneMethod::FT) {
+        score = row_l1(*spec.weight, i);
+      } else {
+        // PFP: data-informed filter sensitivity (max output activation times
+        // filter mass), normalized within the layer so that layers with a
+        // flat sensitivity profile give up more filters — the role of PFP's
+        // error-guarantee-driven budget allocation.
+        score = (*spec.out_act_stat)[static_cast<size_t>(i)] * row_l1(*spec.weight, i) /
+                layer_total;
+      }
+      filters.push_back({score, static_cast<int>(s), i, cost});
+    }
+  }
+  return filters;
+}
+
+void prune_structured_pfp(nn::Network& net, int64_t to_prune) {
+  auto specs = net.prunable();  // copy of spec descriptors (pointers stay valid)
+  const size_t output_spec = specs.size() - 1;
+  auto filters = collect_filters(specs, PruneMethod::PFP, output_spec);
+
+  std::sort(filters.begin(), filters.end(),
+            [](const FilterRef& a, const FilterRef& b) { return a.score < b.score; });
+
+  std::vector<int64_t> alive(specs.size(), 0);
+  for (const auto& f : filters) alive[static_cast<size_t>(f.spec)]++;
+
+  int64_t pruned = 0;
+  for (const auto& f : filters) {
+    if (pruned >= to_prune) break;
+    if (alive[static_cast<size_t>(f.spec)] <= 1) continue;  // keep layers connected
+    kill_unit(specs[static_cast<size_t>(f.spec)], f.row);
+    alive[static_cast<size_t>(f.spec)]--;
+    pruned += f.cost;
+  }
+}
+
+void prune_structured_ft(nn::Network& net, int64_t to_prune) {
+  auto specs = net.prunable();
+  const size_t output_spec = specs.size() - 1;
+  auto filters = collect_filters(specs, PruneMethod::FT, output_spec);
+
+  // Group per layer, ascending by filter norm.
+  std::vector<std::vector<FilterRef>> by_layer(specs.size());
+  for (const auto& f : filters) by_layer[static_cast<size_t>(f.spec)].push_back(f);
+  for (auto& layer : by_layer) {
+    std::sort(layer.begin(), layer.end(),
+              [](const FilterRef& a, const FilterRef& b) { return a.score < b.score; });
+  }
+
+  // Find the smallest uniform per-layer fraction that meets the weight
+  // budget (FT deploys "a uniform prune ratio across layers").
+  auto weights_pruned_at = [&](double frac) {
+    int64_t total = 0;
+    for (const auto& layer : by_layer) {
+      if (layer.empty()) continue;
+      const auto n = std::min<int64_t>(static_cast<int64_t>(frac * layer.size()),
+                                       static_cast<int64_t>(layer.size()) - 1);
+      for (int64_t k = 0; k < n; ++k) total += layer[static_cast<size_t>(k)].cost;
+    }
+    return total;
+  };
+
+  double lo = 0.0, hi = 1.0;
+  for (int iter = 0; iter < 40; ++iter) {
+    const double mid = (lo + hi) / 2;
+    if (weights_pruned_at(mid) >= to_prune) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  const double frac = hi;
+
+  for (const auto& layer : by_layer) {
+    if (layer.empty()) continue;
+    const auto n = std::min<int64_t>(static_cast<int64_t>(frac * layer.size()),
+                                     static_cast<int64_t>(layer.size()) - 1);
+    for (int64_t k = 0; k < n; ++k) {
+      const FilterRef& f = layer[static_cast<size_t>(k)];
+      kill_unit(specs[static_cast<size_t>(f.spec)], f.row);
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_string(PruneMethod m) {
+  switch (m) {
+    case PruneMethod::WT:
+      return "WT";
+    case PruneMethod::SiPP:
+      return "SiPP";
+    case PruneMethod::FT:
+      return "FT";
+    case PruneMethod::PFP:
+      return "PFP";
+    case PruneMethod::Rand:
+      return "Rand";
+    case PruneMethod::LayerWT:
+      return "LayerWT";
+  }
+  throw std::invalid_argument("bad PruneMethod");
+}
+
+PruneMethod method_from_string(const std::string& s) {
+  if (s == "WT" || s == "wt") return PruneMethod::WT;
+  if (s == "SiPP" || s == "sipp") return PruneMethod::SiPP;
+  if (s == "FT" || s == "ft") return PruneMethod::FT;
+  if (s == "PFP" || s == "pfp") return PruneMethod::PFP;
+  if (s == "Rand" || s == "rand") return PruneMethod::Rand;
+  if (s == "LayerWT" || s == "layerwt") return PruneMethod::LayerWT;
+  throw std::invalid_argument("unknown prune method '" + s + "'");
+}
+
+bool is_structured(PruneMethod m) { return m == PruneMethod::FT || m == PruneMethod::PFP; }
+bool is_data_informed(PruneMethod m) { return m == PruneMethod::SiPP || m == PruneMethod::PFP; }
+
+void prune_to_ratio(nn::Network& net, PruneMethod method, double target_ratio) {
+  if (target_ratio < 0.0 || target_ratio >= 1.0) {
+    throw std::invalid_argument("prune_to_ratio: target must be in [0, 1)");
+  }
+  if (net.prunable().empty()) throw std::logic_error("prune_to_ratio: network has no prunable layers");
+  if (is_data_informed(method)) check_profiled(net.prunable(), method);
+
+  const int64_t total = net.prunable_total();
+  const int64_t active = net.prunable_active();
+  const auto target_active = static_cast<int64_t>(std::llround((1.0 - target_ratio) * total));
+  const int64_t to_prune = active - target_active;
+  if (to_prune <= 0) return;
+
+  switch (method) {
+    case PruneMethod::WT:
+    case PruneMethod::SiPP:
+    case PruneMethod::Rand:
+    case PruneMethod::LayerWT:
+      prune_unstructured(net, method, to_prune);
+      break;
+    case PruneMethod::FT:
+      prune_structured_ft(net, to_prune);
+      break;
+    case PruneMethod::PFP:
+      prune_structured_pfp(net, to_prune);
+      break;
+  }
+  net.enforce_masks();
+}
+
+}  // namespace rp::core

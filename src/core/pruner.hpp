@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+
+#include "nn/network.hpp"
+
+namespace rp::core {
+
+/// The four pruning methods of the paper's Table 1.
+///
+///   WT   — Weight Thresholding: global magnitude ranking (unstructured)
+///   SiPP — Sensitivity-informed Pruning: global |W·a(x)| ranking, data-
+///          informed via profiled activations (unstructured)
+///   FT   — Filter Thresholding: per-layer ℓ1 filter-norm ranking with a
+///          uniform per-layer prune ratio (structured)
+///   PFP  — Provable Filter Pruning: data-informed filter sensitivities with
+///          sensitivity-driven per-layer budget allocation (structured)
+///
+/// Two ablation baselines beyond the paper's Table 1:
+///
+///   Rand    — random unstructured pruning (sanity floor for every method)
+///   LayerWT — per-layer-uniform magnitude pruning: ablates WT's *global*
+///             ranking scope (the DESIGN.md "global vs local scope" choice)
+enum class PruneMethod { WT, SiPP, FT, PFP, Rand, LayerWT };
+
+std::string to_string(PruneMethod m);
+PruneMethod method_from_string(const std::string& s);
+
+/// FT and PFP remove whole filters/neurons; WT and SiPP remove individual
+/// weights.
+bool is_structured(PruneMethod m);
+/// SiPP and PFP need activation statistics from a profiling pass
+/// (nn::profile_activations) before pruning.
+bool is_data_informed(PruneMethod m);
+
+/// The paper's four methods, in presentation order (excludes the ablation
+/// baselines).
+inline constexpr PruneMethod kAllMethods[] = {PruneMethod::WT, PruneMethod::SiPP, PruneMethod::FT,
+                                              PruneMethod::PFP};
+
+/// The ablation baselines.
+inline constexpr PruneMethod kBaselineMethods[] = {PruneMethod::Rand, PruneMethod::LayerWT};
+
+/// Updates the network's binary masks so that the overall prune ratio over
+/// prunable weights reaches at least `target_ratio` (fraction of the
+/// *original* prunable weight count removed, in [0, 1)). Pruning is
+/// monotone: already-pruned weights stay pruned, so calling repeatedly with
+/// growing targets realizes the iterative schedule of Algorithm 1.
+///
+/// Structured methods never prune the network's output layer and always
+/// leave at least one filter alive per layer; their achieved ratio can
+/// therefore saturate below very high targets.
+///
+/// Data-informed methods throw std::logic_error if no profiling pass has
+/// populated the activation statistics.
+void prune_to_ratio(nn::Network& net, PruneMethod method, double target_ratio);
+
+}  // namespace rp::core

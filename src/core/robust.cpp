@@ -1,0 +1,48 @@
+#include "core/robust.hpp"
+
+#include <stdexcept>
+
+#include "corrupt/corruption.hpp"
+
+namespace rp::core {
+
+CorruptionSplit paper_split() {
+  CorruptionSplit s;
+  s.train = {"impulse", "shot", "motion", "zoom", "snow", "contrast", "elastic", "pixelate"};
+  s.test = {"gauss", "speckle", "defocus", "glass", "brightness", "fog", "frost", "jpeg"};
+  s.severity = 3;
+  return s;
+}
+
+CorruptionSplit random_split(uint64_t seed, int per_category_train) {
+  Rng rng(seed);
+  CorruptionSplit s;
+  for (const std::string category : {"noise", "blur", "weather", "digital"}) {
+    auto names = corrupt::names_in_category(category);
+    rng.shuffle(names);
+    const auto k = std::min<size_t>(static_cast<size_t>(per_category_train), names.size() - 1);
+    for (size_t i = 0; i < names.size(); ++i) {
+      (i < k ? s.train : s.test).push_back(names[i]);
+    }
+  }
+  return s;
+}
+
+data::ImageTransform robust_augment(const CorruptionSplit& split) {
+  if (split.train.empty()) {
+    throw std::invalid_argument("robust_augment: split has no train corruptions");
+  }
+  // Validate names eagerly so a typo fails at construction, not mid-epoch.
+  for (const auto& name : split.train) corrupt::get(name);
+
+  const auto names = split.train;
+  const int severity = split.severity;
+  return [names, severity](const Tensor& image, Rng& rng) {
+    // Index n == "no corruption" (uniform over corruptions + identity).
+    const auto pick = rng.randint(static_cast<int64_t>(names.size()) + 1);
+    if (pick == static_cast<int64_t>(names.size())) return image;
+    return corrupt::get(names[static_cast<size_t>(pick)]).apply(image, severity, rng);
+  };
+}
+
+}  // namespace rp::core

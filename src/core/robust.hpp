@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace rp::core {
+
+/// The paper's Table 11 protocol: the corruption families are split into a
+/// train distribution (baked into the (re-)training augmentation pipeline)
+/// and a mutually exclusive test distribution, with every category (noise /
+/// blur / weather / digital) represented on both sides.
+struct CorruptionSplit {
+  std::vector<std::string> train;
+  std::vector<std::string> test;
+  int severity = 3;
+};
+
+/// The exact split of Table 11 (severity 3 of 5):
+///   train: impulse, shot | motion, zoom | snow | contrast, elastic, pixelate
+///   test:  gauss         | defocus, glass | brightness, fog, frost | jpeg
+CorruptionSplit paper_split();
+
+/// A randomized split with the same structure: `per_category_train`
+/// corruptions of each category go to the train side, the rest to test.
+CorruptionSplit random_split(uint64_t seed, int per_category_train = 2);
+
+/// Robust-training augmentation (Section 6.1): every time an image is
+/// sampled, one of the train-side corruptions — or no corruption — is chosen
+/// uniformly at random and applied.
+data::ImageTransform robust_augment(const CorruptionSplit& split);
+
+}  // namespace rp::core

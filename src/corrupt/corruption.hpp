@@ -1,0 +1,56 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rp::corrupt {
+
+/// One common-corruption family in the style of Hendrycks & Dietterich's
+/// CIFAR10-C: a parametric image transform with five monotonically harsher
+/// severity levels. All corruptions operate on [C, H, W] images with values
+/// in [0, 1] and clamp their output back into that range.
+class Corruption {
+ public:
+  virtual ~Corruption() = default;
+
+  virtual std::string name() const = 0;
+  /// One of "noise", "blur", "weather", "digital" — the four categories the
+  /// paper's robust-training split (Table 11) is stratified over.
+  virtual std::string category() const = 0;
+  /// severity in [1, 5]; draws all randomness from `rng`.
+  virtual Tensor apply(const Tensor& image, int severity, Rng& rng) const = 0;
+};
+
+/// The full registry, in a fixed canonical order (noise, blur, weather,
+/// digital families). 16 corruptions: the 15 of CIFAR10-C plus speckle noise
+/// (also used by the paper's Figure 6).
+const std::vector<std::unique_ptr<Corruption>>& registry();
+
+/// Lookup by name; throws std::invalid_argument for unknown names.
+const Corruption& get(const std::string& name);
+
+std::vector<std::string> all_names();
+std::vector<std::string> names_in_category(const std::string& category);
+
+/// Wraps a corruption at fixed severity as a per-sample dataset transform.
+data::ImageTransform transform(const std::string& name, int severity);
+
+/// ℓ∞-bounded uniform noise injection (Section 4.1 of the paper): every
+/// pixel moves by U(-eps, eps), clamped to [0, 1]. `eps` is in pixel units.
+data::ImageTransform uniform_noise(float eps);
+
+/// Bakes a corrupted copy of a dataset (the "-C test set" protocol):
+/// deterministic given `seed`.
+std::shared_ptr<data::InMemoryDataset> make_corrupted(const data::Dataset& ds,
+                                                      const std::string& name, int severity,
+                                                      uint64_t seed);
+
+/// Bakes an ℓ∞-noisy copy of a dataset.
+std::shared_ptr<data::InMemoryDataset> make_noisy(const data::Dataset& ds, float eps,
+                                                  uint64_t seed);
+
+}  // namespace rp::corrupt

@@ -1,0 +1,492 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+#include <stdexcept>
+
+#include "corrupt/corruption.hpp"
+#include "corrupt/image_util.hpp"
+#include "tensor/ops.hpp"
+
+namespace rp::corrupt {
+
+namespace {
+
+constexpr float kPi = std::numbers::pi_v<float>;
+
+void check_severity(int severity) {
+  if (severity < 1 || severity > 5) {
+    throw std::invalid_argument("corruption severity must be in [1, 5]");
+  }
+}
+
+/// Convenience base holding name/category; children implement apply().
+class Base : public Corruption {
+ public:
+  Base(std::string name, std::string category)
+      : name_(std::move(name)), category_(std::move(category)) {}
+  std::string name() const override { return name_; }
+  std::string category() const override { return category_; }
+
+ private:
+  std::string name_, category_;
+};
+
+// ----- noise -----------------------------------------------------------------
+
+class GaussNoise final : public Base {
+ public:
+  GaussNoise() : Base("gauss", "noise") {}
+  Tensor apply(const Tensor& image, int severity, Rng& rng) const override {
+    check_severity(severity);
+    static constexpr float kSigma[5] = {0.06f, 0.10f, 0.16f, 0.23f, 0.32f};
+    Tensor out = image;
+    for (float& v : out.data()) v += rng.normal(0.0f, kSigma[severity - 1]);
+    clamp01(out);
+    return out;
+  }
+};
+
+class ShotNoise final : public Base {
+ public:
+  ShotNoise() : Base("shot", "noise") {}
+  Tensor apply(const Tensor& image, int severity, Rng& rng) const override {
+    check_severity(severity);
+    // Poisson photon count with rate lambda * x, gaussian-approximated:
+    // variance of x' is x / lambda, so darker pixels stay cleaner.
+    static constexpr float kLambda[5] = {120.0f, 55.0f, 25.0f, 12.0f, 6.0f};
+    const float lam = kLambda[severity - 1];
+    Tensor out = image;
+    for (float& v : out.data()) {
+      v += rng.normal(0.0f, std::sqrt(std::max(v, 0.0f) / lam));
+    }
+    clamp01(out);
+    return out;
+  }
+};
+
+class ImpulseNoise final : public Base {
+ public:
+  ImpulseNoise() : Base("impulse", "noise") {}
+  Tensor apply(const Tensor& image, int severity, Rng& rng) const override {
+    check_severity(severity);
+    static constexpr float kProb[5] = {0.02f, 0.04f, 0.08f, 0.14f, 0.22f};
+    const float p = kProb[severity - 1];
+    Tensor out = image;
+    const int64_t h = out.size(1), w = out.size(2);
+    // Salt-and-pepper affects whole pixels (all channels) like real sensors.
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) {
+        if (!rng.bernoulli(p)) continue;
+        const float v = rng.bernoulli(0.5f) ? 1.0f : 0.0f;
+        for (int64_t c = 0; c < out.size(0); ++c) out.at(c, y, x) = v;
+      }
+    }
+    return out;
+  }
+};
+
+class SpeckleNoise final : public Base {
+ public:
+  SpeckleNoise() : Base("speckle", "noise") {}
+  Tensor apply(const Tensor& image, int severity, Rng& rng) const override {
+    check_severity(severity);
+    static constexpr float kSigma[5] = {0.10f, 0.17f, 0.25f, 0.35f, 0.50f};
+    Tensor out = image;
+    for (float& v : out.data()) v += v * rng.normal(0.0f, kSigma[severity - 1]);
+    clamp01(out);
+    return out;
+  }
+};
+
+// ----- blur ------------------------------------------------------------------
+
+class DefocusBlur final : public Base {
+ public:
+  DefocusBlur() : Base("defocus", "blur") {}
+  Tensor apply(const Tensor& image, int severity, Rng& /*rng*/) const override {
+    check_severity(severity);
+    static constexpr float kRadius[5] = {0.6f, 0.9f, 1.3f, 1.8f, 2.5f};
+    Tensor out = conv_kernel(image, disk_kernel(kRadius[severity - 1]));
+    clamp01(out);
+    return out;
+  }
+};
+
+class GlassBlur final : public Base {
+ public:
+  GlassBlur() : Base("glass", "blur") {}
+  Tensor apply(const Tensor& image, int severity, Rng& rng) const override {
+    check_severity(severity);
+    static constexpr int kDelta[5] = {1, 1, 2, 2, 3};
+    static constexpr int kPasses[5] = {1, 2, 2, 3, 3};
+    const int delta = kDelta[severity - 1];
+    Tensor out = image;
+    const int64_t c = out.size(0), h = out.size(1), w = out.size(2);
+    for (int pass = 0; pass < kPasses[severity - 1]; ++pass) {
+      for (int64_t y = 0; y < h; ++y) {
+        for (int64_t x = 0; x < w; ++x) {
+          const int64_t dy = rng.randint(2 * delta + 1) - delta;
+          const int64_t dx = rng.randint(2 * delta + 1) - delta;
+          const int64_t sy = std::clamp(y + dy, int64_t{0}, h - 1);
+          const int64_t sx = std::clamp(x + dx, int64_t{0}, w - 1);
+          for (int64_t ch = 0; ch < c; ++ch) {
+            std::swap(out.at(ch, y, x), out.at(ch, sy, sx));
+          }
+        }
+      }
+    }
+    return out;
+  }
+};
+
+class MotionBlur final : public Base {
+ public:
+  MotionBlur() : Base("motion", "blur") {}
+  Tensor apply(const Tensor& image, int severity, Rng& rng) const override {
+    check_severity(severity);
+    static constexpr int64_t kLength[5] = {3, 4, 5, 6, 8};
+    const float angle = rng.uniform(0.0f, kPi);
+    Tensor out = conv_kernel(image, line_kernel(kLength[severity - 1], angle));
+    clamp01(out);
+    return out;
+  }
+};
+
+class ZoomBlur final : public Base {
+ public:
+  ZoomBlur() : Base("zoom", "blur") {}
+  Tensor apply(const Tensor& image, int severity, Rng& /*rng*/) const override {
+    check_severity(severity);
+    static constexpr float kMaxZoom[5] = {1.06f, 1.11f, 1.16f, 1.22f, 1.31f};
+    const float max_zoom = kMaxZoom[severity - 1];
+    const int64_t c = image.size(0), h = image.size(1), w = image.size(2);
+    const float cy = static_cast<float>(h - 1) / 2, cx = static_cast<float>(w - 1) / 2;
+    Tensor acc(image.shape());
+    const int steps = 6;
+    for (int s = 0; s < steps; ++s) {
+      const float z = 1.0f + (max_zoom - 1.0f) * static_cast<float>(s) / (steps - 1);
+      for (int64_t ch = 0; ch < c; ++ch) {
+        for (int64_t y = 0; y < h; ++y) {
+          for (int64_t x = 0; x < w; ++x) {
+            const float sy = cy + (static_cast<float>(y) - cy) / z;
+            const float sx = cx + (static_cast<float>(x) - cx) / z;
+            acc.at(ch, y, x) += bilinear_sample(image, ch, sy, sx);
+          }
+        }
+      }
+    }
+    acc *= (1.0f / steps);
+    clamp01(acc);
+    return acc;
+  }
+};
+
+// ----- weather ----------------------------------------------------------------
+
+class Snow final : public Base {
+ public:
+  Snow() : Base("snow", "weather") {}
+  Tensor apply(const Tensor& image, int severity, Rng& rng) const override {
+    check_severity(severity);
+    static constexpr float kDensity[5] = {0.004f, 0.008f, 0.015f, 0.03f, 0.05f};
+    static constexpr float kWhiten[5] = {0.06f, 0.10f, 0.15f, 0.22f, 0.30f};
+    Tensor out = image;
+    const int64_t c = out.size(0), h = out.size(1), w = out.size(2);
+    // Global whitening (overcast light) ...
+    const float t = kWhiten[severity - 1];
+    for (float& v : out.data()) v = (1 - t) * v + t;
+    // ... plus discrete flakes: short bright streaks.
+    const auto flakes = static_cast<int64_t>(kDensity[severity - 1] * static_cast<float>(h * w));
+    for (int64_t f = 0; f < flakes; ++f) {
+      const int64_t y = rng.randint(h), x = rng.randint(w);
+      const int64_t len = 1 + rng.randint(2);
+      for (int64_t k = 0; k <= len; ++k) {
+        const int64_t yy = std::min(y + k, h - 1);
+        for (int64_t ch = 0; ch < c; ++ch) {
+          out.at(ch, yy, x) = std::min(1.0f, out.at(ch, yy, x) + 0.45f);
+        }
+      }
+    }
+    clamp01(out);
+    return out;
+  }
+};
+
+class Frost final : public Base {
+ public:
+  Frost() : Base("frost", "weather") {}
+  Tensor apply(const Tensor& image, int severity, Rng& rng) const override {
+    check_severity(severity);
+    static constexpr float kAmount[5] = {0.15f, 0.25f, 0.35f, 0.45f, 0.60f};
+    const float amount = kAmount[severity - 1];
+    const int64_t h = image.size(1), w = image.size(2);
+    // Icy occlusion: a low-frequency field thresholded into frosty patches.
+    Tensor field = lowfreq_noise(h, w, 4, rng);
+    Tensor out = image;
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) {
+        const float f = field.at(y, x);
+        if (f < 0.55f) continue;
+        const float a = amount * std::min(1.0f, (f - 0.55f) / 0.25f);
+        for (int64_t c = 0; c < out.size(0); ++c) {
+          out.at(c, y, x) = (1 - a) * out.at(c, y, x) + a * 0.85f;
+        }
+      }
+    }
+    return out;
+  }
+};
+
+class Fog final : public Base {
+ public:
+  Fog() : Base("fog", "weather") {}
+  Tensor apply(const Tensor& image, int severity, Rng& rng) const override {
+    check_severity(severity);
+    static constexpr float kAmount[5] = {0.15f, 0.25f, 0.35f, 0.45f, 0.60f};
+    const float amount = kAmount[severity - 1];
+    const int64_t h = image.size(1), w = image.size(2);
+    Tensor field = lowfreq_noise(h, w, 3, rng);
+    Tensor out = image;
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) {
+        const float a = amount * (0.5f + 0.5f * field.at(y, x));
+        for (int64_t c = 0; c < out.size(0); ++c) {
+          out.at(c, y, x) = (1 - a) * out.at(c, y, x) + a * 0.9f;
+        }
+      }
+    }
+    return out;
+  }
+};
+
+class Brightness final : public Base {
+ public:
+  Brightness() : Base("brightness", "weather") {}
+  Tensor apply(const Tensor& image, int severity, Rng& /*rng*/) const override {
+    check_severity(severity);
+    static constexpr float kShift[5] = {0.06f, 0.12f, 0.18f, 0.25f, 0.35f};
+    Tensor out = image;
+    out += kShift[severity - 1];
+    clamp01(out);
+    return out;
+  }
+};
+
+// ----- digital ------------------------------------------------------------------
+
+class Contrast final : public Base {
+ public:
+  Contrast() : Base("contrast", "digital") {}
+  Tensor apply(const Tensor& image, int severity, Rng& /*rng*/) const override {
+    check_severity(severity);
+    static constexpr float kFactor[5] = {0.75f, 0.6f, 0.45f, 0.32f, 0.2f};
+    const float f = kFactor[severity - 1];
+    const float m = mean(image);
+    Tensor out = image;
+    for (float& v : out.data()) v = (v - m) * f + m;
+    clamp01(out);
+    return out;
+  }
+};
+
+class Elastic final : public Base {
+ public:
+  Elastic() : Base("elastic", "digital") {}
+  Tensor apply(const Tensor& image, int severity, Rng& rng) const override {
+    check_severity(severity);
+    static constexpr float kAmp[5] = {0.8f, 1.2f, 1.7f, 2.2f, 3.0f};
+    const float amp = kAmp[severity - 1];
+    const int64_t c = image.size(0), h = image.size(1), w = image.size(2);
+    Tensor dy_field = lowfreq_noise(h, w, 4, rng);
+    Tensor dx_field = lowfreq_noise(h, w, 4, rng);
+    Tensor out(image.shape());
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) {
+        const float sy = static_cast<float>(y) + amp * (2 * dy_field.at(y, x) - 1);
+        const float sx = static_cast<float>(x) + amp * (2 * dx_field.at(y, x) - 1);
+        for (int64_t ch = 0; ch < c; ++ch) {
+          out.at(ch, y, x) = bilinear_sample(image, ch, sy, sx);
+        }
+      }
+    }
+    return out;
+  }
+};
+
+class Pixelate final : public Base {
+ public:
+  Pixelate() : Base("pixelate", "digital") {}
+  Tensor apply(const Tensor& image, int severity, Rng& /*rng*/) const override {
+    check_severity(severity);
+    static constexpr int64_t kBlock[5] = {1, 2, 2, 3, 4};
+    const int64_t block = kBlock[severity - 1];
+    if (block <= 1) {
+      // Severity 1: mild box-filtered resample instead of hard blocks.
+      Tensor kernel = Tensor::full(Shape{2, 2}, 0.25f);
+      Tensor out = conv_kernel(image, kernel);
+      clamp01(out);
+      return out;
+    }
+    const int64_t c = image.size(0), h = image.size(1), w = image.size(2);
+    Tensor out(image.shape());
+    for (int64_t ch = 0; ch < c; ++ch) {
+      for (int64_t by = 0; by < h; by += block) {
+        for (int64_t bx = 0; bx < w; bx += block) {
+          const int64_t ey = std::min(by + block, h), ex = std::min(bx + block, w);
+          float s = 0.0f;
+          for (int64_t y = by; y < ey; ++y)
+            for (int64_t x = bx; x < ex; ++x) s += image.at(ch, y, x);
+          s /= static_cast<float>((ey - by) * (ex - bx));
+          for (int64_t y = by; y < ey; ++y)
+            for (int64_t x = bx; x < ex; ++x) out.at(ch, y, x) = s;
+        }
+      }
+    }
+    return out;
+  }
+};
+
+/// JPEG proxy: 4x4 blockwise DCT-II with uniform quantization of the AC
+/// coefficients — the same ringing/blocking artifact family as real JPEG
+/// without a full codec.
+class Jpeg final : public Base {
+ public:
+  Jpeg() : Base("jpeg", "digital") {}
+  Tensor apply(const Tensor& image, int severity, Rng& /*rng*/) const override {
+    check_severity(severity);
+    static constexpr float kStep[5] = {0.06f, 0.10f, 0.15f, 0.22f, 0.32f};
+    const float q = kStep[severity - 1];
+    const int64_t c = image.size(0), h = image.size(1), w = image.size(2);
+    constexpr int64_t B = 4;
+    // DCT-II basis for N=4.
+    float basis[B][B];
+    for (int64_t k = 0; k < B; ++k) {
+      const float scale = (k == 0) ? std::sqrt(1.0f / B) : std::sqrt(2.0f / B);
+      for (int64_t n = 0; n < B; ++n) {
+        basis[k][n] = scale * std::cos(kPi * (2 * n + 1) * k / (2.0f * B));
+      }
+    }
+    Tensor out = image;
+    float blk[B][B], tmp[B][B], coef[B][B];
+    for (int64_t ch = 0; ch < c; ++ch) {
+      for (int64_t by = 0; by + B <= h; by += B) {
+        for (int64_t bx = 0; bx + B <= w; bx += B) {
+          for (int64_t y = 0; y < B; ++y)
+            for (int64_t x = 0; x < B; ++x) blk[y][x] = out.at(ch, by + y, bx + x);
+          // coef = basis * blk * basisᵀ
+          for (int64_t k = 0; k < B; ++k)
+            for (int64_t x = 0; x < B; ++x) {
+              tmp[k][x] = 0;
+              for (int64_t n = 0; n < B; ++n) tmp[k][x] += basis[k][n] * blk[n][x];
+            }
+          for (int64_t k = 0; k < B; ++k)
+            for (int64_t l = 0; l < B; ++l) {
+              coef[k][l] = 0;
+              for (int64_t n = 0; n < B; ++n) coef[k][l] += tmp[k][n] * basis[l][n];
+            }
+          // Quantize AC coefficients, harsher for higher frequencies.
+          for (int64_t k = 0; k < B; ++k)
+            for (int64_t l = 0; l < B; ++l) {
+              if (k == 0 && l == 0) continue;
+              const float step = q * (1.0f + 0.5f * static_cast<float>(k + l));
+              coef[k][l] = std::round(coef[k][l] / step) * step;
+            }
+          // blk = basisᵀ * coef * basis
+          for (int64_t n = 0; n < B; ++n)
+            for (int64_t l = 0; l < B; ++l) {
+              tmp[n][l] = 0;
+              for (int64_t k = 0; k < B; ++k) tmp[n][l] += basis[k][n] * coef[k][l];
+            }
+          for (int64_t y = 0; y < B; ++y)
+            for (int64_t x = 0; x < B; ++x) {
+              float v = 0;
+              for (int64_t l = 0; l < B; ++l) v += tmp[y][l] * basis[l][x];
+              out.at(ch, by + y, bx + x) = v;
+            }
+        }
+      }
+    }
+    clamp01(out);
+    return out;
+  }
+};
+
+}  // namespace
+
+const std::vector<std::unique_ptr<Corruption>>& registry() {
+  static const auto reg = [] {
+    std::vector<std::unique_ptr<Corruption>> r;
+    r.push_back(std::make_unique<GaussNoise>());
+    r.push_back(std::make_unique<ShotNoise>());
+    r.push_back(std::make_unique<ImpulseNoise>());
+    r.push_back(std::make_unique<SpeckleNoise>());
+    r.push_back(std::make_unique<DefocusBlur>());
+    r.push_back(std::make_unique<GlassBlur>());
+    r.push_back(std::make_unique<MotionBlur>());
+    r.push_back(std::make_unique<ZoomBlur>());
+    r.push_back(std::make_unique<Snow>());
+    r.push_back(std::make_unique<Frost>());
+    r.push_back(std::make_unique<Fog>());
+    r.push_back(std::make_unique<Brightness>());
+    r.push_back(std::make_unique<Contrast>());
+    r.push_back(std::make_unique<Elastic>());
+    r.push_back(std::make_unique<Pixelate>());
+    r.push_back(std::make_unique<Jpeg>());
+    return r;
+  }();
+  return reg;
+}
+
+const Corruption& get(const std::string& name) {
+  for (const auto& c : registry()) {
+    if (c->name() == name) return *c;
+  }
+  throw std::invalid_argument("unknown corruption '" + name + "'");
+}
+
+std::vector<std::string> all_names() {
+  std::vector<std::string> out;
+  for (const auto& c : registry()) out.push_back(c->name());
+  return out;
+}
+
+std::vector<std::string> names_in_category(const std::string& category) {
+  std::vector<std::string> out;
+  for (const auto& c : registry()) {
+    if (c->category() == category) out.push_back(c->name());
+  }
+  if (out.empty()) throw std::invalid_argument("unknown corruption category '" + category + "'");
+  return out;
+}
+
+data::ImageTransform transform(const std::string& name, int severity) {
+  const Corruption& c = get(name);  // validate eagerly
+  return [&c, severity](const Tensor& image, Rng& rng) { return c.apply(image, severity, rng); };
+}
+
+data::ImageTransform uniform_noise(float eps) {
+  return [eps](const Tensor& image, Rng& rng) {
+    Tensor out = image;
+    for (float& v : out.data()) v = std::clamp(v + rng.uniform(-eps, eps), 0.0f, 1.0f);
+    return out;
+  };
+}
+
+std::shared_ptr<data::InMemoryDataset> make_corrupted(const data::Dataset& ds,
+                                                      const std::string& name, int severity,
+                                                      uint64_t seed) {
+  Rng rng(seed);
+  return data::bake(ds, transform(name, severity), rng,
+                    name + "/" + std::to_string(severity));
+}
+
+std::shared_ptr<data::InMemoryDataset> make_noisy(const data::Dataset& ds, float eps,
+                                                  uint64_t seed) {
+  Rng rng(seed);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "noise/%.3f", static_cast<double>(eps));
+  return data::bake(ds, uniform_noise(eps), rng, buf);
+}
+
+}  // namespace rp::corrupt

@@ -1,0 +1,127 @@
+#include "corrupt/image_util.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rp::corrupt {
+
+float bilinear_sample(const Tensor& image, int64_t c, float y, float x) {
+  const int64_t h = image.size(1), w = image.size(2);
+  const float yc = std::clamp(y, 0.0f, static_cast<float>(h - 1));
+  const float xc = std::clamp(x, 0.0f, static_cast<float>(w - 1));
+  const int64_t y0 = static_cast<int64_t>(yc);
+  const int64_t x0 = static_cast<int64_t>(xc);
+  const int64_t y1 = std::min(y0 + 1, h - 1);
+  const int64_t x1 = std::min(x0 + 1, w - 1);
+  const float fy = yc - static_cast<float>(y0);
+  const float fx = xc - static_cast<float>(x0);
+  const float v00 = image.at(c, y0, x0), v01 = image.at(c, y0, x1);
+  const float v10 = image.at(c, y1, x0), v11 = image.at(c, y1, x1);
+  return (1 - fy) * ((1 - fx) * v00 + fx * v01) + fy * ((1 - fx) * v10 + fx * v11);
+}
+
+Tensor conv_kernel(const Tensor& image, const Tensor& kernel) {
+  if (image.ndim() != 3 || kernel.ndim() != 2) {
+    throw std::invalid_argument("conv_kernel: expected [C,H,W] image and [k,k] kernel");
+  }
+  const int64_t c = image.size(0), h = image.size(1), w = image.size(2);
+  const int64_t k = kernel.size(0);
+  const int64_t half = k / 2;
+  Tensor out(image.shape());
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) {
+        float s = 0.0f;
+        for (int64_t ky = 0; ky < k; ++ky) {
+          const int64_t sy = std::clamp(y + ky - half, int64_t{0}, h - 1);
+          for (int64_t kx = 0; kx < k; ++kx) {
+            const int64_t sx = std::clamp(x + kx - half, int64_t{0}, w - 1);
+            s += kernel.at(ky, kx) * image.at(ch, sy, sx);
+          }
+        }
+        out.at(ch, y, x) = s;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor disk_kernel(float radius) {
+  const int64_t half = static_cast<int64_t>(std::ceil(radius));
+  const int64_t k = 2 * half + 1;
+  Tensor kernel(Shape{k, k});
+  float total = 0.0f;
+  for (int64_t y = 0; y < k; ++y) {
+    for (int64_t x = 0; x < k; ++x) {
+      const float dy = static_cast<float>(y - half);
+      const float dx = static_cast<float>(x - half);
+      const float d = std::sqrt(dy * dy + dx * dx);
+      // Soft edge makes sub-pixel radii meaningful.
+      const float v = std::clamp(radius + 0.5f - d, 0.0f, 1.0f);
+      kernel.at(y, x) = v;
+      total += v;
+    }
+  }
+  kernel *= (1.0f / total);
+  return kernel;
+}
+
+Tensor line_kernel(int64_t length, float angle) {
+  const int64_t half = length / 2;
+  const int64_t k = 2 * half + 1;
+  Tensor kernel(Shape{k, k});
+  const float cs = std::cos(angle), sn = std::sin(angle);
+  float total = 0.0f;
+  // Rasterize the segment with bilinear splatting for smooth angles.
+  const int steps = static_cast<int>(length) * 4;
+  for (int i = 0; i <= steps; ++i) {
+    const float t = (static_cast<float>(i) / steps - 0.5f) * static_cast<float>(length - 1);
+    const float y = static_cast<float>(half) + t * sn;
+    const float x = static_cast<float>(half) + t * cs;
+    const int64_t y0 = static_cast<int64_t>(std::floor(y));
+    const int64_t x0 = static_cast<int64_t>(std::floor(x));
+    const float fy = y - static_cast<float>(y0), fx = x - static_cast<float>(x0);
+    const float w00 = (1 - fy) * (1 - fx), w01 = (1 - fy) * fx, w10 = fy * (1 - fx),
+                w11 = fy * fx;
+    auto splat = [&](int64_t yy, int64_t xx, float wgt) {
+      if (yy >= 0 && yy < k && xx >= 0 && xx < k) {
+        kernel.at(yy, xx) += wgt;
+        total += wgt;
+      }
+    };
+    splat(y0, x0, w00);
+    splat(y0, x0 + 1, w01);
+    splat(y0 + 1, x0, w10);
+    splat(y0 + 1, x0 + 1, w11);
+  }
+  kernel *= (1.0f / total);
+  return kernel;
+}
+
+Tensor lowfreq_noise(int64_t h, int64_t w, int64_t cells, Rng& rng) {
+  Tensor coarse(Shape{cells + 1, cells + 1});
+  for (float& v : coarse.data()) v = rng.uniform();
+  Tensor out(Shape{h, w});
+  for (int64_t y = 0; y < h; ++y) {
+    const float gy = static_cast<float>(y) / static_cast<float>(h - 1) * static_cast<float>(cells);
+    const int64_t y0 = std::min<int64_t>(static_cast<int64_t>(gy), cells - 1);
+    const float fy = gy - static_cast<float>(y0);
+    for (int64_t x = 0; x < w; ++x) {
+      const float gx =
+          static_cast<float>(x) / static_cast<float>(w - 1) * static_cast<float>(cells);
+      const int64_t x0 = std::min<int64_t>(static_cast<int64_t>(gx), cells - 1);
+      const float fx = gx - static_cast<float>(x0);
+      const float v00 = coarse.at(y0, x0), v01 = coarse.at(y0, x0 + 1);
+      const float v10 = coarse.at(y0 + 1, x0), v11 = coarse.at(y0 + 1, x0 + 1);
+      out.at(y, x) = (1 - fy) * ((1 - fx) * v00 + fx * v01) + fy * ((1 - fx) * v10 + fx * v11);
+    }
+  }
+  return out;
+}
+
+void clamp01(Tensor& image) {
+  for (float& v : image.data()) v = std::clamp(v, 0.0f, 1.0f);
+}
+
+}  // namespace rp::corrupt

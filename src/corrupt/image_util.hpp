@@ -1,0 +1,32 @@
+#pragma once
+
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rp::corrupt {
+
+/// Shared image-processing primitives for the corruption implementations.
+/// All functions take [C, H, W] images; sampling outside the image clamps to
+/// the border.
+
+/// Bilinear sample of channel `c` at fractional position (y, x).
+float bilinear_sample(const Tensor& image, int64_t c, float y, float x);
+
+/// Convolves every channel with a dense k x k kernel (border clamped).
+Tensor conv_kernel(const Tensor& image, const Tensor& kernel);
+
+/// Normalized disk kernel of the given radius (defocus blur's PSF).
+Tensor disk_kernel(float radius);
+
+/// Normalized line kernel of `length` pixels at `angle` radians (motion blur).
+Tensor line_kernel(int64_t length, float angle);
+
+/// Smooth low-frequency noise field in [0, 1]: coarse uniform grid of
+/// `cells` x `cells` values, bilinearly upsampled to h x w. Used by fog,
+/// frost, and the elastic displacement field.
+Tensor lowfreq_noise(int64_t h, int64_t w, int64_t cells, Rng& rng);
+
+/// Clamps all values into [0, 1].
+void clamp01(Tensor& image);
+
+}  // namespace rp::corrupt

@@ -1,0 +1,59 @@
+#include "data/augment.hpp"
+
+#include <stdexcept>
+
+namespace rp::data {
+
+Tensor hflip(const Tensor& image) {
+  if (image.ndim() != 3) throw std::invalid_argument("hflip: expected [C, H, W]");
+  const int64_t c = image.size(0), h = image.size(1), w = image.size(2);
+  Tensor out(image.shape());
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) out.at(ch, y, x) = image.at(ch, y, w - 1 - x);
+    }
+  }
+  return out;
+}
+
+Tensor pad_crop(const Tensor& image, int64_t pad, int64_t offset_y, int64_t offset_x) {
+  if (image.ndim() != 3) throw std::invalid_argument("pad_crop: expected [C, H, W]");
+  if (offset_y < 0 || offset_y > 2 * pad || offset_x < 0 || offset_x > 2 * pad) {
+    throw std::out_of_range("pad_crop: offsets must lie in [0, 2*pad]");
+  }
+  const int64_t c = image.size(0), h = image.size(1), w = image.size(2);
+  Tensor out(image.shape());
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t y = 0; y < h; ++y) {
+      // Source coordinate in the reflect-padded image.
+      int64_t sy = y + offset_y - pad;
+      if (sy < 0) sy = -sy - 1;
+      if (sy >= h) sy = 2 * h - 1 - sy;
+      for (int64_t x = 0; x < w; ++x) {
+        int64_t sx = x + offset_x - pad;
+        if (sx < 0) sx = -sx - 1;
+        if (sx >= w) sx = 2 * w - 1 - sx;
+        out.at(ch, y, x) = image.at(ch, sy, sx);
+      }
+    }
+  }
+  return out;
+}
+
+ImageTransform pad_crop_flip(int64_t pad) {
+  return [pad](const Tensor& image, Rng& rng) {
+    Tensor out = pad_crop(image, pad, rng.randint(2 * pad + 1), rng.randint(2 * pad + 1));
+    if (rng.bernoulli(0.5f)) out = hflip(out);
+    return out;
+  };
+}
+
+ImageTransform compose(std::vector<ImageTransform> transforms) {
+  return [ts = std::move(transforms)](const Tensor& image, Rng& rng) {
+    Tensor out = image;
+    for (const auto& t : ts) out = t(out, rng);
+    return out;
+  };
+}
+
+}  // namespace rp::data

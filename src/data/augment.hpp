@@ -1,0 +1,22 @@
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace rp::data {
+
+/// Standard CIFAR-style training augmentation: reflect-pad by `pad` pixels,
+/// take a random crop of the original size, then flip horizontally with
+/// probability 1/2. Returns a transform usable with make_batch.
+ImageTransform pad_crop_flip(int64_t pad = 2);
+
+/// Horizontal flip of a [C, H, W] image.
+Tensor hflip(const Tensor& image);
+
+/// Reflect-pads then crops at (offset_y, offset_x); building block of the
+/// random-crop augmentation, exposed for testing.
+Tensor pad_crop(const Tensor& image, int64_t pad, int64_t offset_y, int64_t offset_x);
+
+/// Chains transforms left to right.
+ImageTransform compose(std::vector<ImageTransform> transforms);
+
+}  // namespace rp::data

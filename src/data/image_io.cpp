@@ -1,0 +1,75 @@
+#include "data/image_io.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace rp::data {
+
+void write_ppm(const std::string& path, const Tensor& image) {
+  if (image.ndim() != 3 || image.size(0) != 3) {
+    throw std::invalid_argument("write_ppm: expected [3, H, W], got " +
+                                image.shape().to_string());
+  }
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("write_ppm: cannot open " + path);
+  const int64_t h = image.size(1), w = image.size(2);
+  os << "P6\n" << w << " " << h << "\n255\n";
+  for (int64_t y = 0; y < h; ++y) {
+    for (int64_t x = 0; x < w; ++x) {
+      for (int64_t c = 0; c < 3; ++c) {
+        const float v = std::clamp(image.at(c, y, x), 0.0f, 1.0f);
+        os.put(static_cast<char>(static_cast<uint8_t>(v * 255.0f + 0.5f)));
+      }
+    }
+  }
+  if (!os) throw std::runtime_error("write_ppm: write failed for " + path);
+}
+
+Tensor read_ppm(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("read_ppm: cannot open " + path);
+  std::string magic;
+  int64_t w = 0, h = 0, maxval = 0;
+  is >> magic >> w >> h >> maxval;
+  if (magic != "P6" || w <= 0 || h <= 0 || maxval != 255) {
+    throw std::runtime_error("read_ppm: unsupported PPM header in " + path);
+  }
+  is.get();  // single whitespace after header
+  Tensor image(Shape{3, h, w});
+  for (int64_t y = 0; y < h; ++y) {
+    for (int64_t x = 0; x < w; ++x) {
+      for (int64_t c = 0; c < 3; ++c) {
+        const int v = is.get();
+        if (v < 0) throw std::runtime_error("read_ppm: truncated " + path);
+        image.at(c, y, x) = static_cast<float>(v) / 255.0f;
+      }
+    }
+  }
+  return image;
+}
+
+Tensor tile_images(const Tensor& batch, int64_t cols) {
+  if (batch.ndim() != 4 || batch.size(1) != 3) {
+    throw std::invalid_argument("tile_images: expected [N, 3, H, W]");
+  }
+  if (cols < 1) throw std::invalid_argument("tile_images: cols must be >= 1");
+  const int64_t n = batch.size(0), h = batch.size(2), w = batch.size(3);
+  const int64_t rows = (n + cols - 1) / cols;
+  Tensor out = Tensor::full(Shape{3, rows * (h + 1) - 1, cols * (w + 1) - 1}, 1.0f);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t ty = (i / cols) * (h + 1);
+    const int64_t tx = (i % cols) * (w + 1);
+    for (int64_t c = 0; c < 3; ++c) {
+      for (int64_t y = 0; y < h; ++y) {
+        for (int64_t x = 0; x < w; ++x) {
+          out.at(c, ty + y, tx + x) = batch.at(i, c, y, x);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rp::data

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace rp::data {
+
+/// Minimal binary PPM (P6) image I/O so synthetic and corrupted images can
+/// be inspected with any standard viewer. Images are [3, H, W] float tensors
+/// in [0, 1]; values are clamped and quantized to 8 bits on write.
+
+void write_ppm(const std::string& path, const Tensor& image);
+Tensor read_ppm(const std::string& path);
+
+/// Tiles a batch [N, 3, H, W] into one image with `cols` tiles per row and a
+/// 1-pixel separator, for gallery dumps.
+Tensor tile_images(const Tensor& batch, int64_t cols);
+
+}  // namespace rp::data

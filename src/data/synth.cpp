@@ -1,0 +1,250 @@
+#include "data/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace rp::data {
+
+namespace {
+
+constexpr float kPi = std::numbers::pi_v<float>;
+
+/// Soft 0→1 edge over `width` units of the shape coordinate — gives the
+/// renderer anti-aliased boundaries so blur corruptions act smoothly.
+float smooth_edge(float signed_dist, float width = 0.15f) {
+  const float t = std::clamp(0.5f - signed_dist / width, 0.0f, 1.0f);
+  return t * t * (3.0f - 2.0f * t);
+}
+
+/// Membership (0..1) of unit-square coordinates (u, v) in shape `id`.
+/// Coordinates are already centered, scaled, and rotated.
+float shape_alpha(int id, float u, float v) {
+  const float r = std::sqrt(u * u + v * v);
+  switch (id) {
+    case 0:  // disk
+      return smooth_edge(r - 0.55f);
+    case 1:  // square
+      return smooth_edge(std::max(std::fabs(u), std::fabs(v)) - 0.5f);
+    case 2:  // triangle
+      return smooth_edge(std::max({-v - 0.5f, v - (0.62f - 1.4f * std::fabs(u))}));
+    case 3:  // ring
+      return smooth_edge(std::fabs(r - 0.45f) - 0.15f);
+    case 4:  // cross
+      return smooth_edge(std::max(std::min(std::fabs(u), std::fabs(v)) - 0.18f, r - 0.72f));
+    case 5:  // horizontal stripes in a disk
+      return smooth_edge(r - 0.62f) * (std::sin(v * 3.0f * kPi) > 0.0f ? 1.0f : 0.0f);
+    case 6:  // vertical stripes in a disk
+      return smooth_edge(r - 0.62f) * (std::sin(u * 3.0f * kPi) > 0.0f ? 1.0f : 0.0f);
+    case 7:  // checkerboard in a square
+      return smooth_edge(std::max(std::fabs(u), std::fabs(v)) - 0.55f) *
+             (std::sin(u * 2.5f * kPi) * std::sin(v * 2.5f * kPi) > 0.0f ? 1.0f : 0.0f);
+    case 8:  // diagonal stripes in a disk
+      return smooth_edge(r - 0.62f) * (std::sin((u + v) * 2.2f * kPi) > 0.0f ? 1.0f : 0.0f);
+    case 9: {  // 2x2 dot grid
+      float a = 0.0f;
+      for (float cy : {-0.3f, 0.3f}) {
+        for (float cx : {-0.3f, 0.3f}) {
+          const float d = std::sqrt((u - cx) * (u - cx) + (v - cy) * (v - cy));
+          a = std::max(a, smooth_edge(d - 0.2f));
+        }
+      }
+      return a;
+    }
+    default:
+      throw std::invalid_argument("shape_alpha: unknown shape id");
+  }
+}
+
+struct Rgb {
+  float r, g, b;
+};
+
+/// Class palette: 10 well-separated foreground hues over matching muted
+/// backgrounds; palette set 1 (classes 10..19) swaps and darkens them.
+Rgb class_fg(int cls) {
+  static constexpr Rgb kFg[10] = {
+      {0.9f, 0.2f, 0.2f}, {0.2f, 0.8f, 0.3f}, {0.25f, 0.35f, 0.9f}, {0.9f, 0.8f, 0.2f},
+      {0.8f, 0.3f, 0.8f}, {0.2f, 0.8f, 0.8f}, {0.95f, 0.55f, 0.2f}, {0.55f, 0.9f, 0.6f},
+      {0.6f, 0.5f, 0.95f}, {0.85f, 0.85f, 0.85f}};
+  const Rgb base = kFg[cls % 10];
+  if (cls < 10) return base;
+  return {1.0f - 0.7f * base.r, 1.0f - 0.7f * base.g, 1.0f - 0.7f * base.b};
+}
+
+Rgb class_bg(int cls) {
+  static constexpr Rgb kBg[10] = {
+      {0.15f, 0.2f, 0.3f}, {0.3f, 0.2f, 0.15f}, {0.2f, 0.25f, 0.15f}, {0.15f, 0.15f, 0.25f},
+      {0.25f, 0.3f, 0.2f}, {0.3f, 0.15f, 0.2f}, {0.15f, 0.25f, 0.3f}, {0.25f, 0.15f, 0.3f},
+      {0.2f, 0.3f, 0.3f},  {0.3f, 0.25f, 0.15f}};
+  const Rgb base = kBg[cls % 10];
+  if (cls < 10) return base;
+  return {base.r + 0.25f, base.g + 0.25f, base.b + 0.25f};
+}
+
+struct Instance {
+  int shape_id;
+  float cx, cy;      // center in pixels
+  float scale;       // half-extent in pixels
+  float rot;
+  Rgb fg;
+};
+
+/// Composites one shape instance over the image and (optionally) writes its
+/// class into the dense label plane where coverage dominates.
+void composite(Tensor& img, std::vector<int64_t>* dense, int64_t dense_class, const Instance& in) {
+  const int64_t h = img.size(1), w = img.size(2);
+  const float cs = std::cos(in.rot), sn = std::sin(in.rot);
+  for (int64_t y = 0; y < h; ++y) {
+    for (int64_t x = 0; x < w; ++x) {
+      const float px = (static_cast<float>(x) - in.cx) / in.scale;
+      const float py = (static_cast<float>(y) - in.cy) / in.scale;
+      const float u = cs * px + sn * py;
+      const float v = -sn * px + cs * py;
+      if (std::fabs(u) > 1.4f || std::fabs(v) > 1.4f) continue;
+      const float a = shape_alpha(in.shape_id, u, v);
+      if (a <= 0.0f) continue;
+      img.at(0, y, x) = (1 - a) * img.at(0, y, x) + a * in.fg.r;
+      img.at(1, y, x) = (1 - a) * img.at(1, y, x) + a * in.fg.g;
+      img.at(2, y, x) = (1 - a) * img.at(2, y, x) + a * in.fg.b;
+      if (dense && a > 0.5f) (*dense)[static_cast<size_t>(y * w + x)] = dense_class;
+    }
+  }
+}
+
+Rgb jitter_color(Rgb c, float amount, Rng& rng) {
+  return {std::clamp(c.r + rng.uniform(-amount, amount), 0.0f, 1.0f),
+          std::clamp(c.g + rng.uniform(-amount, amount), 0.0f, 1.0f),
+          std::clamp(c.b + rng.uniform(-amount, amount), 0.0f, 1.0f)};
+}
+
+Tensor render_background(int64_t h, int64_t w, Rgb bg, const GenParams& p, Rng& rng) {
+  Tensor img(Shape{3, h, w});
+  const float chans[3] = {bg.r, bg.g, bg.b};
+  for (int64_t c = 0; c < 3; ++c) {
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) {
+        img.at(c, y, x) = std::clamp(chans[c] + rng.normal(0.0f, p.noise_sigma), 0.0f, 1.0f);
+      }
+    }
+  }
+  return img;
+}
+
+void apply_brightness(Tensor& img, float factor) {
+  for (float& v : img.data()) v = std::clamp(v * factor, 0.0f, 1.0f);
+}
+
+Instance sample_instance(int cls, int64_t h, int64_t w, const GenParams& p, Rng& rng) {
+  Instance in;
+  in.shape_id = cls % 10;
+  in.cx = static_cast<float>(w) / 2 + rng.uniform(-p.pos_jitter, p.pos_jitter);
+  in.cy = static_cast<float>(h) / 2 + rng.uniform(-p.pos_jitter, p.pos_jitter);
+  in.scale = static_cast<float>(std::min(h, w)) * 0.42f * rng.uniform(p.scale_lo, p.scale_hi);
+  in.rot = rng.uniform(-p.rot_jitter, p.rot_jitter);
+  in.fg = jitter_color(class_fg(cls), p.color_jitter, rng);
+  return in;
+}
+
+void maybe_add_clutter(Tensor& img, const GenParams& p, Rng& rng) {
+  if (p.clutter_prob <= 0.0f || !rng.bernoulli(p.clutter_prob)) return;
+  const int64_t h = img.size(1), w = img.size(2);
+  Instance blob;
+  blob.shape_id = 0;  // small off-center disk distractor
+  blob.cx = rng.uniform(0.0f, static_cast<float>(w));
+  blob.cy = rng.uniform(0.0f, static_cast<float>(h));
+  blob.scale = static_cast<float>(std::min(h, w)) * rng.uniform(0.08f, 0.18f);
+  blob.rot = 0.0f;
+  blob.fg = {rng.uniform(), rng.uniform(), rng.uniform()};
+  composite(img, nullptr, 0, blob);
+}
+
+}  // namespace
+
+std::shared_ptr<InMemoryDataset> make_synth_classification(const SynthConfig& cfg) {
+  if (cfg.num_classes < 2 || cfg.num_classes > 20) {
+    throw std::invalid_argument("make_synth_classification: num_classes must be in [2, 20]");
+  }
+  Rng rng(cfg.seed);
+  Tensor images(Shape{cfg.n, 3, cfg.h, cfg.w});
+  std::vector<int64_t> labels(static_cast<size_t>(cfg.n));
+
+  for (int64_t i = 0; i < cfg.n; ++i) {
+    const int cls = static_cast<int>(i % cfg.num_classes);  // balanced classes
+    labels[static_cast<size_t>(i)] = cls;
+    Rgb bg = jitter_color(class_bg(cls), cfg.params.color_jitter, rng);
+    Tensor img = render_background(cfg.h, cfg.w, bg, cfg.params, rng);
+    maybe_add_clutter(img, cfg.params, rng);
+    composite(img, nullptr, 0, sample_instance(cls, cfg.h, cfg.w, cfg.params, rng));
+    apply_brightness(img, 1.0f + rng.uniform(-cfg.params.brightness_jitter,
+                                             cfg.params.brightness_jitter));
+    images.set_slice0(i, img);
+  }
+  return std::make_shared<InMemoryDataset>(std::move(images), std::move(labels), cfg.name);
+}
+
+std::shared_ptr<InMemoryDataset> make_synth_segmentation(int64_t n, uint64_t seed,
+                                                         const GenParams& params,
+                                                         const std::string& name) {
+  const int64_t h = 16, w = 16;
+  Rng rng(seed);
+  Tensor images(Shape{n, 3, h, w});
+  std::vector<int64_t> labels(static_cast<size_t>(n));
+  std::vector<std::vector<int64_t>> dense(static_cast<size_t>(n));
+
+  for (int64_t i = 0; i < n; ++i) {
+    Rgb bg = jitter_color({0.2f, 0.22f, 0.25f}, params.color_jitter, rng);
+    Tensor img = render_background(h, w, bg, params, rng);
+    std::vector<int64_t> mask(static_cast<size_t>(h * w), 0);
+
+    const int num_instances = 1 + static_cast<int>(rng.randint(3));
+    int64_t majority = 0;
+    for (int k = 0; k < num_instances; ++k) {
+      const int cls = 1 + static_cast<int>(rng.randint(5));  // shapes 0..4
+      Instance in = sample_instance(cls - 1, h, w, params, rng);
+      in.fg = jitter_color(class_fg(cls - 1), params.color_jitter, rng);
+      in.scale *= rng.uniform(0.4f, 0.75f);  // smaller instances, several fit
+      in.cx = rng.uniform(3.0f, static_cast<float>(w) - 3.0f);
+      in.cy = rng.uniform(3.0f, static_cast<float>(h) - 3.0f);
+      composite(img, &mask, cls, in);
+      majority = cls;
+    }
+    apply_brightness(img, 1.0f + rng.uniform(-params.brightness_jitter,
+                                             params.brightness_jitter));
+    images.set_slice0(i, img);
+    labels[static_cast<size_t>(i)] = majority;  // coarse image-level tag
+    dense[static_cast<size_t>(i)] = std::move(mask);
+  }
+  return std::make_shared<InMemoryDataset>(std::move(images), std::move(labels), std::move(dense),
+                                           name);
+}
+
+GenParams nominal_params() { return GenParams{}; }
+
+GenParams v2_params() {
+  GenParams p;  // mild drift on top of the nominal distribution
+  p.pos_jitter = 3.4f;
+  p.scale_lo = 0.65f;
+  p.scale_hi = 1.35f;
+  p.rot_jitter = 0.6f;
+  p.color_jitter = 0.20f;
+  p.noise_sigma = 0.07f;
+  p.brightness_jitter = 0.22f;
+  p.clutter_prob = 0.2f;
+  return p;
+}
+
+GenParams objectnet_params() {
+  GenParams p;  // pose/context far outside the training range
+  p.pos_jitter = 5.0f;
+  p.scale_lo = 0.45f;
+  p.scale_hi = 1.55f;
+  p.rot_jitter = 1.1f;
+  p.color_jitter = 0.22f;
+  p.noise_sigma = 0.08f;
+  p.clutter_prob = 0.7f;
+  return p;
+}
+
+}  // namespace rp::data

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <memory>
+
+#include "data/dataset.hpp"
+
+namespace rp::data {
+
+/// Nuisance-parameter ranges of the procedural image generator. The nominal
+/// values define the training distribution; shifted values realize the
+/// paper's natural-distribution-shift datasets (CIFAR10.1, ObjectNet) without
+/// any corruption post-processing.
+struct GenParams {
+  float pos_jitter = 2.8f;        ///< shape-center jitter in pixels
+  float scale_lo = 0.70f;
+  float scale_hi = 1.30f;
+  float rot_jitter = 0.50f;       ///< rotation jitter in radians
+  float color_jitter = 0.16f;     ///< per-channel palette jitter
+  float brightness_jitter = 0.18f;
+  float noise_sigma = 0.05f;      ///< i.i.d. gaussian nuisance on every pixel
+  float clutter_prob = 0.15f;     ///< probability of a distractor blob
+};
+
+/// Full description of a synthetic classification dataset.
+struct SynthConfig {
+  int64_t n = 1024;
+  int64_t h = 16;
+  int64_t w = 16;
+  int num_classes = 10;           ///< up to 20 (10 shapes x 2 palettes)
+  uint64_t seed = 1;
+  GenParams params;
+  std::string name = "nominal";
+};
+
+/// Procedural 10/20-class image classification data: each class is a
+/// distinct (shape, palette, texture) prototype rendered with per-sample
+/// nuisance (position/scale/rotation/color/brightness/noise). Plays the role
+/// of CIFAR10 / ImageNet in all experiments.
+std::shared_ptr<InMemoryDataset> make_synth_classification(const SynthConfig& cfg);
+
+/// Procedural dense-prediction data: 1-3 shape instances on a noisy
+/// background, labels per pixel (0 = background, 1..5 = shape class). Plays
+/// the role of Pascal VOC segmentation.
+std::shared_ptr<InMemoryDataset> make_synth_segmentation(int64_t n, uint64_t seed,
+                                                         const GenParams& params,
+                                                         const std::string& name = "nominal");
+
+// ----- presets used by the experiment suite -----------------------------------
+
+/// Nominal train/test distribution (the paper's D).
+GenParams nominal_params();
+/// Mild generator drift — the CIFAR10.1 analog (natural shift, no corruption).
+GenParams v2_params();
+/// Pose/context pushed outside the training range — the ObjectNet analog.
+GenParams objectnet_params();
+
+}  // namespace rp::data

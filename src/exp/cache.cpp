@@ -1,0 +1,63 @@
+#include "exp/cache.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "tensor/serialize.hpp"
+
+namespace rp::exp {
+
+namespace fs = std::filesystem;
+
+ArtifactCache::ArtifactCache(std::string dir) : dir_(std::move(dir)) {
+  fs::create_directories(dir_);
+}
+
+ArtifactCache& ArtifactCache::global() {
+  static ArtifactCache cache = [] {
+    const char* env = std::getenv("RP_CACHE_DIR");
+    return ArtifactCache(env ? env : "rp_cache");
+  }();
+  return cache;
+}
+
+std::string ArtifactCache::path_for(const std::string& key) const {
+  std::string name = key;
+  for (char& c : name) {
+    if (c == '/' || c == ' ' || c == ':') c = '_';
+  }
+  return dir_ + "/" + name + ".bin";
+}
+
+bool ArtifactCache::has(const std::string& key) const { return fs::exists(path_for(key)); }
+
+void ArtifactCache::put_state(const std::string& key,
+                              const std::vector<std::pair<std::string, Tensor>>& state) const {
+  // Write-then-rename so a crash mid-write never leaves a truncated artifact.
+  const std::string tmp = path_for(key) + ".tmp";
+  save_tensors_file(tmp, state);
+  fs::rename(tmp, path_for(key));
+}
+
+std::optional<std::vector<std::pair<std::string, Tensor>>> ArtifactCache::get_state(
+    const std::string& key) const {
+  if (!has(key)) return std::nullopt;
+  return load_tensors_file(path_for(key));
+}
+
+void ArtifactCache::put_values(const std::string& key, const std::vector<double>& values) const {
+  Tensor t(Shape{static_cast<int64_t>(values.size())});
+  for (size_t i = 0; i < values.size(); ++i) t[static_cast<int64_t>(i)] = static_cast<float>(values[i]);
+  put_state(key, {{"values", t}});
+}
+
+std::optional<std::vector<double>> ArtifactCache::get_values(const std::string& key) const {
+  auto state = get_state(key);
+  if (!state || state->size() != 1 || (*state)[0].first != "values") return std::nullopt;
+  const Tensor& t = (*state)[0].second;
+  std::vector<double> out(static_cast<size_t>(t.numel()));
+  for (int64_t i = 0; i < t.numel(); ++i) out[static_cast<size_t>(i)] = t[i];
+  return out;
+}
+
+}  // namespace rp::exp

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace rp::exp {
+
+/// Disk-backed artifact cache shared by all experiment binaries.
+///
+/// Training and prune-retrain sweeps dominate the suite's wall-clock; the
+/// paper's experiments likewise prune each network once and evaluate it
+/// under many metrics. Benches therefore key every trained / pruned model by
+/// a descriptive string ("resnet8/wt/rep0/cycle3") and reuse each other's
+/// artifacts across process boundaries.
+///
+/// Keys are sanitized into file names under the cache directory; values are
+/// named tensor bundles (tensor/serialize.hpp). The cache is purely an
+/// optimization — deleting the directory reproduces everything bit-for-bit
+/// because all training is deterministic.
+class ArtifactCache {
+ public:
+  /// Creates `dir` if needed.
+  explicit ArtifactCache(std::string dir);
+
+  /// Process-wide instance rooted at $RP_CACHE_DIR (default "rp_cache").
+  static ArtifactCache& global();
+
+  bool has(const std::string& key) const;
+
+  void put_state(const std::string& key,
+                 const std::vector<std::pair<std::string, Tensor>>& state) const;
+  std::optional<std::vector<std::pair<std::string, Tensor>>> get_state(
+      const std::string& key) const;
+
+  /// Small scalar vectors (evaluation results) ride the same format.
+  void put_values(const std::string& key, const std::vector<double>& values) const;
+  std::optional<std::vector<double>> get_values(const std::string& key) const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string path_for(const std::string& key) const;
+  std::string dir_;
+};
+
+}  // namespace rp::exp

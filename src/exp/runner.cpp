@@ -1,0 +1,324 @@
+#include "exp/runner.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+
+#include "data/augment.hpp"
+
+namespace rp::exp {
+
+ExperimentScale fast_scale() { return ExperimentScale{}; }
+
+ExperimentScale paper_scale() {
+  ExperimentScale s;
+  s.paper = true;
+  s.reps = 3;
+  s.train_n = 4096;
+  s.test_n = 1024;
+  s.epochs = 20;
+  s.retrain_epochs = 8;
+  s.cycles = 8;
+  s.keep_per_cycle = 0.62;
+  s.noise_images = 512;
+  s.noise_reps = 50;
+  s.backselect_images = 24;
+  s.backselect_chunk = 8;
+  s.profile_samples = 256;
+  s.bootstrap_iters = 2000;
+  return s;
+}
+
+ExperimentScale scale_from_args(int argc, char** argv) {
+  ExperimentScale s = fast_scale();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--paper") {
+      s = paper_scale();
+    } else if (arg == "--fast") {
+      s = fast_scale();
+    } else if (arg == "--reps" && i + 1 < argc) {
+      s.reps = std::stoi(argv[++i]);
+    } else {
+      throw std::invalid_argument("unknown argument '" + arg +
+                                  "' (expected --fast | --paper | --reps N)");
+    }
+  }
+  return s;
+}
+
+Runner::Runner(ExperimentScale scale, ArtifactCache& cache)
+    : scale_(scale), cache_(scale.paper ? ArtifactCache(cache.dir() + "/paper") : cache) {
+  // Artifacts depend on these knobs but their values are not part of the
+  // cache keys; a fingerprint guards against silently mixing artifacts from
+  // different scales in one directory.
+  const std::vector<double> fingerprint{
+      static_cast<double>(scale_.train_n),  static_cast<double>(scale_.test_n),
+      static_cast<double>(scale_.epochs),   static_cast<double>(scale_.retrain_epochs),
+      static_cast<double>(scale_.batch_size), static_cast<double>(scale_.cycles),
+      // Values round-trip through float32 storage; cast for stable equality.
+      static_cast<double>(static_cast<float>(scale_.keep_per_cycle)),
+      static_cast<double>(scale_.profile_samples)};
+  if (auto existing = cache_.get_values("_scale")) {
+    if (*existing != fingerprint) {
+      throw std::runtime_error(
+          "cache directory '" + cache_.dir() +
+          "' holds artifacts from a different experiment scale; delete it or point "
+          "RP_CACHE_DIR elsewhere");
+    }
+  } else {
+    cache_.put_values("_scale", fingerprint);
+  }
+}
+
+namespace {
+
+/// In-process dataset memoization: generation is deterministic but not free,
+/// and several benches request the same sets.
+data::DatasetPtr memoized(const std::string& key, const std::function<data::DatasetPtr()>& make) {
+  static std::map<std::string, data::DatasetPtr> cache;
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  auto ds = make();
+  cache.emplace(key, ds);
+  return ds;
+}
+
+}  // namespace
+
+data::DatasetPtr Runner::train_set(const nn::TaskSpec& task) const {
+  const std::string key = task.name + "/train/" + std::to_string(scale_.train_n);
+  return memoized(key, [&]() -> data::DatasetPtr {
+    if (task.segmentation) {
+      return data::make_synth_segmentation(scale_.train_n, seed_from_string(key.c_str()),
+                                           data::nominal_params());
+    }
+    data::SynthConfig cfg;
+    cfg.n = scale_.train_n;
+    cfg.h = task.in_h;
+    cfg.w = task.in_w;
+    cfg.num_classes = task.num_classes;
+    cfg.seed = seed_from_string(key.c_str());
+    return data::make_synth_classification(cfg);
+  });
+}
+
+data::DatasetPtr Runner::test_set(const nn::TaskSpec& task) const {
+  const std::string key = task.name + "/test/" + std::to_string(scale_.test_n);
+  return memoized(key, [&]() -> data::DatasetPtr {
+    if (task.segmentation) {
+      return data::make_synth_segmentation(scale_.test_n, seed_from_string(key.c_str()),
+                                           data::nominal_params());
+    }
+    data::SynthConfig cfg;
+    cfg.n = scale_.test_n;
+    cfg.h = task.in_h;
+    cfg.w = task.in_w;
+    cfg.num_classes = task.num_classes;
+    cfg.seed = seed_from_string(key.c_str());
+    return data::make_synth_classification(cfg);
+  });
+}
+
+nn::TrainConfig Runner::train_config(const std::string& arch, int rep,
+                                     const data::ImageTransform& extra) const {
+  nn::TrainConfig cfg;
+  cfg.epochs = scale_.epochs;
+  cfg.batch_size = scale_.batch_size;
+  cfg.seed = seed_from_string(("train/" + arch + "/rep" + std::to_string(rep)).c_str());
+
+  // Per-family recipes mirroring the structure of the paper's Table 3/5/7.
+  cfg.schedule.warmup_epochs = 1;
+  cfg.schedule.milestones = {scale_.epochs / 2, (3 * scale_.epochs) / 4};
+  cfg.schedule.gamma = 0.1f;
+  cfg.sgd.momentum = 0.9f;
+  cfg.sgd.weight_decay = 1e-4f;
+
+  if (arch == "vgg11") {
+    cfg.schedule.base_lr = 0.05f;
+    cfg.schedule.gamma = 0.5f;
+    cfg.sgd.weight_decay = 5e-4f;
+  } else if (arch == "wrn") {
+    cfg.schedule.base_lr = 0.1f;
+    cfg.schedule.gamma = 0.2f;
+    cfg.schedule.milestones = {(3 * scale_.epochs) / 10, (6 * scale_.epochs) / 10,
+                               (8 * scale_.epochs) / 10};
+    cfg.sgd.nesterov = true;
+    cfg.sgd.weight_decay = 5e-4f;
+  } else if (arch == "densenet") {
+    cfg.schedule.base_lr = 0.1f;
+    cfg.sgd.nesterov = true;
+  } else if (arch == "segnet") {
+    cfg.schedule.kind = nn::LrSchedule::Kind::Poly;
+    cfg.schedule.base_lr = 0.05f;
+    cfg.schedule.total_epochs = scale_.epochs;
+    cfg.schedule.warmup_epochs = 0;
+  } else {
+    cfg.schedule.base_lr = 0.1f;  // resnet family
+  }
+
+  // Standard augmentation, with the robust-training corruption hook applied
+  // to the raw sample first (corrupt, then crop/flip — Section 6.1).
+  const auto standard = data::pad_crop_flip(2);
+  if (extra) {
+    cfg.augment = data::compose({extra, standard});
+  } else {
+    cfg.augment = standard;
+  }
+  return cfg;
+}
+
+nn::NetworkPtr Runner::trained(const std::string& arch, const nn::TaskSpec& task, int rep,
+                               const data::ImageTransform& extra_augment,
+                               const std::string& tag) {
+  const std::string key =
+      task.name + "/" + arch + (tag.empty() ? "" : "/" + tag) + "/rep" + std::to_string(rep) +
+      "/dense";
+  auto net = nn::build_network(
+      arch, task, seed_from_string((key + "/init").c_str()));
+  if (auto state = cache_.get_state(key)) {
+    net->load_state(*state);
+    return net;
+  }
+  nn::train(*net, *train_set(task), train_config(arch, rep, extra_augment));
+  cache_.put_state(key, net->state());
+  return net;
+}
+
+nn::NetworkPtr Runner::separate(const std::string& arch, const nn::TaskSpec& task, int rep,
+                                const std::string& tag) {
+  // A different rep stream: independent initialization and data order.
+  return trained(arch, task, rep + 100, {}, tag);
+}
+
+std::vector<Checkpoint> Runner::sweep(const std::string& arch, const nn::TaskSpec& task,
+                                      core::PruneMethod method, int rep,
+                                      const data::ImageTransform& extra_augment,
+                                      const std::string& tag) {
+  const std::string base = task.name + "/" + arch + (tag.empty() ? "" : "/" + tag) + "/" +
+                           core::to_string(method) + "/rep" + std::to_string(rep);
+
+  std::vector<Checkpoint> family;
+  family.reserve(static_cast<size_t>(scale_.cycles));
+
+  // Fast path: all cycles already cached.
+  bool all_cached = true;
+  for (int c = 1; c <= scale_.cycles; ++c) {
+    const std::string key = base + "/cycle" + std::to_string(c);
+    auto state = cache_.get_state(key);
+    auto ratio = cache_.get_values(key + "/ratio");
+    if (!state || !ratio) {
+      all_cached = false;
+      break;
+    }
+    family.push_back({(*ratio)[0], std::move(*state)});
+  }
+  if (all_cached) return family;
+  family.clear();
+
+  auto net = trained(arch, task, rep, extra_augment, tag);
+  core::PruneRetrainConfig cfg;
+  cfg.method = method;
+  cfg.keep_per_cycle = scale_.keep_per_cycle;
+  cfg.cycles = scale_.cycles;
+  cfg.retrain = train_config(arch, rep, extra_augment);
+  cfg.retrain.epochs = scale_.retrain_epochs;
+  // Retraining re-uses the schedule *shape* compressed to the retrain
+  // horizon (warm-up, then the same relative decay milestones).
+  for (int& m : cfg.retrain.schedule.milestones) {
+    m = m * scale_.retrain_epochs / std::max(1, scale_.epochs);
+  }
+  cfg.retrain.schedule.total_epochs = scale_.retrain_epochs;
+  cfg.retrain.seed = seed_from_string((base + "/retrain").c_str());
+  cfg.profile_samples = scale_.profile_samples;
+
+  core::prune_retrain(*net, *train_set(task), cfg, [&](int cycle, double ratio) {
+    const std::string key = base + "/cycle" + std::to_string(cycle);
+    cache_.put_state(key, net->state());
+    cache_.put_values(key + "/ratio", {ratio});
+    family.push_back({ratio, net->state()});
+  });
+  return family;
+}
+
+nn::NetworkPtr Runner::instantiate(const std::string& arch, const nn::TaskSpec& task,
+                                   const Checkpoint& c) const {
+  auto net = nn::build_network(arch, task, /*seed=*/1);
+  net->load_state(c.state);
+  return net;
+}
+
+namespace {
+std::string dataset_id(const data::Dataset& ds) {
+  return ds.distribution() + "/n" + std::to_string(ds.size());
+}
+}  // namespace
+
+double Runner::dense_error(const std::string& arch, const nn::TaskSpec& task, int rep,
+                           const data::Dataset& ds, const std::string& tag,
+                           const data::ImageTransform& extra_augment) {
+  const std::string key = task.name + "/" + arch + (tag.empty() ? "" : "/" + tag) + "/rep" +
+                          std::to_string(rep) + "/dense/eval/" + dataset_id(ds);
+  if (auto v = cache_.get_values(key)) return (*v)[0];
+  auto net = trained(arch, task, rep, extra_augment, tag);
+  const double err = nn::evaluate(*net, ds).error();
+  cache_.put_values(key, {err});
+  return err;
+}
+
+std::vector<core::CurvePoint> Runner::curve_cached(const std::string& arch,
+                                                   const nn::TaskSpec& task,
+                                                   core::PruneMethod method, int rep,
+                                                   const data::Dataset& ds,
+                                                   const std::string& tag,
+                                                   const data::ImageTransform& extra_augment) {
+  const std::string base = task.name + "/" + arch + (tag.empty() ? "" : "/" + tag) + "/" +
+                           core::to_string(method) + "/rep" + std::to_string(rep);
+  // Probe the cache before forcing the (expensive) sweep artifacts to load.
+  std::vector<core::CurvePoint> points;
+  bool all_cached = true;
+  for (int c = 1; c <= scale_.cycles; ++c) {
+    const std::string key =
+        base + "/cycle" + std::to_string(c) + "/eval/" + dataset_id(ds);
+    auto err = cache_.get_values(key);
+    auto ratio = cache_.get_values(base + "/cycle" + std::to_string(c) + "/ratio");
+    if (!err || !ratio) {
+      all_cached = false;
+      break;
+    }
+    points.push_back({(*ratio)[0], (*err)[0]});
+  }
+  if (all_cached) return points;
+  points.clear();
+
+  const auto family = sweep(arch, task, method, rep, extra_augment, tag);
+  for (size_t i = 0; i < family.size(); ++i) {
+    const std::string key =
+        base + "/cycle" + std::to_string(i + 1) + "/eval/" + dataset_id(ds);
+    double err;
+    if (auto v = cache_.get_values(key)) {
+      err = (*v)[0];
+    } else {
+      auto net = instantiate(arch, task, family[i]);
+      err = nn::evaluate(*net, ds).error();
+      cache_.put_values(key, {err});
+    }
+    points.push_back({family[i].ratio, err});
+  }
+  return points;
+}
+
+std::vector<core::CurvePoint> Runner::curve(const std::string& arch, const nn::TaskSpec& task,
+                                            const std::vector<Checkpoint>& family,
+                                            const data::Dataset& ds) {
+  std::vector<core::CurvePoint> points;
+  points.reserve(family.size());
+  for (const Checkpoint& c : family) {
+    auto net = instantiate(arch, task, c);
+    points.push_back({c.ratio, nn::evaluate(*net, ds).error()});
+  }
+  return points;
+}
+
+}  // namespace rp::exp

@@ -1,0 +1,125 @@
+#pragma once
+
+#include "core/prune_potential.hpp"
+#include "core/prune_retrain.hpp"
+#include "data/synth.hpp"
+#include "exp/cache.hpp"
+#include "nn/models.hpp"
+#include "nn/trainer.hpp"
+
+namespace rp::exp {
+
+/// Knobs that scale every experiment between a single-core-friendly fast
+/// profile and a paper-faithful profile. Both preserve the qualitative
+/// trends; --paper raises sample counts / epochs / repetitions toward the
+/// paper's protocol.
+struct ExperimentScale {
+  bool paper = false;
+  int reps = 2;                    ///< repetitions per experiment (paper: 3)
+
+  int64_t train_n = 1024;          ///< training-set size
+  int64_t test_n = 512;            ///< test-set size
+
+  int epochs = 8;                  ///< initial training epochs
+  int retrain_epochs = 3;          ///< retraining epochs per prune cycle
+  int batch_size = 64;
+
+  int cycles = 5;                  ///< prune-retrain cycles (checkpoints)
+  double keep_per_cycle = 0.55;    ///< α: keep fraction per cycle
+
+  int64_t noise_images = 128;      ///< noise-similarity sample (paper: 1000)
+  int noise_reps = 10;             ///< noise draws per image (paper: 100)
+  int64_t backselect_images = 6;   ///< informative-feature sample (paper: 2000)
+  int backselect_chunk = 32;       ///< pixels per greedy BackSelect step
+  int64_t profile_samples = 128;   ///< SiPP/PFP activation-profiling sample
+  int bootstrap_iters = 500;       ///< excess-error CI bootstrap resamples
+  int severity = 3;                ///< corruption severity (paper: 3 of 5)
+};
+
+ExperimentScale fast_scale();
+ExperimentScale paper_scale();
+/// Parses --paper / --fast / --reps N / --cache DIR; unknown args throw.
+ExperimentScale scale_from_args(int argc, char** argv);
+
+/// One pruned model snapshot from a PRUNERETRAIN sweep.
+struct Checkpoint {
+  double ratio = 0.0;  ///< achieved overall prune ratio
+  std::vector<std::pair<std::string, Tensor>> state;
+};
+
+/// Orchestrates (and caches) every expensive artifact the benches share:
+/// datasets, trained dense networks, and prune-retrain checkpoint families.
+/// All artifacts are deterministic functions of (scale, arch, task, method,
+/// rep, tag), so cached and fresh runs are bit-identical.
+class Runner {
+ public:
+  /// The --paper profile caches into a "paper/" subdirectory of `cache` so
+  /// the two scales never mix. A fingerprint of every artifact-affecting
+  /// scale knob is stored in the cache; construction throws if the directory
+  /// was populated under a different scale (stale-artifact protection).
+  explicit Runner(ExperimentScale scale, ArtifactCache& cache = ArtifactCache::global());
+
+  const ExperimentScale& scale() const { return scale_; }
+
+  /// Deterministic synthetic train/test sets for a task (memoized in-process).
+  data::DatasetPtr train_set(const nn::TaskSpec& task) const;
+  data::DatasetPtr test_set(const nn::TaskSpec& task) const;
+
+  /// The per-architecture training recipe (the Table 3/5/7 analog). `extra`
+  /// is applied to each sample *before* the standard pad-crop-flip
+  /// augmentation — the hook robust training uses for corruption draws.
+  nn::TrainConfig train_config(const std::string& arch, int rep,
+                               const data::ImageTransform& extra = {}) const;
+
+  /// Dense network trained to completion (Algorithm 1, lines 1-2). `tag`
+  /// distinguishes training variants (e.g. "robust") in the cache.
+  nn::NetworkPtr trained(const std::string& arch, const nn::TaskSpec& task, int rep,
+                         const data::ImageTransform& extra_augment = {},
+                         const std::string& tag = "");
+
+  /// An independently initialized and trained network of the same type — the
+  /// paper's "separately trained, unpruned network" baseline.
+  nn::NetworkPtr separate(const std::string& arch, const nn::TaskSpec& task, int rep,
+                          const std::string& tag = "");
+
+  /// Full PRUNERETRAIN sweep from the trained dense model: one checkpoint
+  /// per cycle, each individually cached.
+  std::vector<Checkpoint> sweep(const std::string& arch, const nn::TaskSpec& task,
+                                core::PruneMethod method, int rep,
+                                const data::ImageTransform& extra_augment = {},
+                                const std::string& tag = "");
+
+  /// Materializes a network from a checkpoint.
+  nn::NetworkPtr instantiate(const std::string& arch, const nn::TaskSpec& task,
+                             const Checkpoint& c) const;
+
+  /// Evaluates a checkpoint family on a dataset → prune-accuracy curve.
+  std::vector<core::CurvePoint> curve(const std::string& arch, const nn::TaskSpec& task,
+                                      const std::vector<Checkpoint>& family,
+                                      const data::Dataset& ds);
+
+  /// Error of the dense parent on `ds`, disk-cached. The dataset is
+  /// identified by its distribution name and size (all datasets in this
+  /// repository are deterministic functions of those).
+  double dense_error(const std::string& arch, const nn::TaskSpec& task, int rep,
+                     const data::Dataset& ds, const std::string& tag = "",
+                     const data::ImageTransform& extra_augment = {});
+
+  /// Prune-accuracy curve of the (arch, method, rep) checkpoint family on
+  /// `ds`, with every point's error disk-cached. The evaluation-heavy
+  /// benches (per-corruption potentials, overparameterization tables) share
+  /// results through this path.
+  std::vector<core::CurvePoint> curve_cached(const std::string& arch, const nn::TaskSpec& task,
+                                             core::PruneMethod method, int rep,
+                                             const data::Dataset& ds,
+                                             const std::string& tag = "",
+                                             const data::ImageTransform& extra_augment = {});
+
+  ArtifactCache& cache() { return cache_; }
+
+ private:
+  ExperimentScale scale_;
+  ArtifactCache cache_;
+};
+
+}  // namespace rp::exp

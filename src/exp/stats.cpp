@@ -1,0 +1,74 @@
+#include "exp/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace rp::exp {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.n = static_cast<int>(values.size());
+  if (s.n == 0) return s;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / s.n;
+  if (s.n > 1) {
+    double ss = 0.0;
+    for (double v : values) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / (s.n - 1));
+  }
+  return s;
+}
+
+double ols_slope_origin(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("ols_slope_origin: size mismatch");
+  double sxy = 0.0, sxx = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sxy += x[i] * y[i];
+    sxx += x[i] * x[i];
+  }
+  if (sxx == 0.0) return 0.0;
+  return sxy / sxx;
+}
+
+Interval bootstrap_slope_ci(std::span<const double> x, std::span<const double> y, int iters,
+                            double confidence, uint64_t seed) {
+  if (x.size() != y.size() || x.empty()) {
+    throw std::invalid_argument("bootstrap_slope_ci: bad input");
+  }
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    throw std::invalid_argument("bootstrap_slope_ci: confidence must be in (0, 1)");
+  }
+  Rng rng(seed);
+  const auto n = static_cast<int64_t>(x.size());
+  std::vector<double> slopes(static_cast<size_t>(iters));
+  std::vector<double> bx(static_cast<size_t>(n)), by(static_cast<size_t>(n));
+  for (int it = 0; it < iters; ++it) {
+    for (int64_t i = 0; i < n; ++i) {
+      const auto j = static_cast<size_t>(rng.randint(n));
+      bx[static_cast<size_t>(i)] = x[j];
+      by[static_cast<size_t>(i)] = y[j];
+    }
+    slopes[static_cast<size_t>(it)] = ols_slope_origin(bx, by);
+  }
+  std::sort(slopes.begin(), slopes.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  const auto lo_idx = static_cast<size_t>(alpha * (iters - 1));
+  const auto hi_idx = static_cast<size_t>((1.0 - alpha) * (iters - 1));
+  return {slopes[lo_idx], slopes[hi_idx]};
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) throw std::invalid_argument("pearson: bad input");
+  const Summary sx = summarize(x), sy = summarize(y);
+  if (sx.stddev == 0.0 || sy.stddev == 0.0) return 0.0;
+  double s = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) s += (x[i] - sx.mean) * (y[i] - sy.mean);
+  return s / ((static_cast<double>(x.size()) - 1) * sx.stddev * sy.stddev);
+}
+
+}  // namespace rp::exp

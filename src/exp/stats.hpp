@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace rp::exp {
+
+/// Mean and (sample) standard deviation, the paper's "mean and standard
+/// deviation over 3 repetitions" protocol.
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  int n = 0;
+};
+
+Summary summarize(std::span<const double> values);
+
+/// Slope of ordinary least squares through the origin, y ≈ b·x — the model
+/// the paper fits to (prune ratio, excess-error difference) points with the
+/// y-intercept pinned at 0 (Appendix D.5).
+double ols_slope_origin(std::span<const double> x, std::span<const double> y);
+
+/// Confidence interval.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Bootstrap confidence interval for the through-origin OLS slope
+/// (Appendix D.5 uses bootstrapped 95% bands). Resamples (x, y) pairs with
+/// replacement `iters` times; deterministic given `seed`.
+Interval bootstrap_slope_ci(std::span<const double> x, std::span<const double> y, int iters,
+                            double confidence, uint64_t seed);
+
+/// Pearson correlation coefficient.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+}  // namespace rp::exp

@@ -1,0 +1,123 @@
+#include "exp/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <stdexcept>
+
+namespace rp::exp {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: need at least one column");
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table: row has " + std::to_string(cells.size()) +
+                                " cells, expected " + std::to_string(headers_.size()));
+  }
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << " " << row[c] << std::string(widths[c] - row[c].size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  auto print_rule = [&] {
+    os << "+";
+    for (size_t c = 0; c < widths.size(); ++c) os << std::string(widths[c] + 2, '-') << "+";
+    os << "\n";
+  };
+  print_rule();
+  print_row(headers_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+void Table::print() const { print(std::cout); }
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_pm(double mean, double stddev, int precision) {
+  return fmt(mean, precision) + " +- " + fmt(stddev, precision);
+}
+
+std::string fmt_pm(const Summary& s, int precision) { return fmt_pm(s.mean, s.stddev, precision); }
+
+std::string fmt_pct(double fraction, int precision) { return fmt(100.0 * fraction, precision); }
+
+void print_chart(const std::string& title, const std::string& xlabel,
+                 const std::vector<double>& xs, const std::vector<Series>& series, int height) {
+  static constexpr char kGlyphs[] = "*o+x#@%&";
+  for (const auto& s : series) {
+    if (s.y.size() != xs.size()) {
+      throw std::invalid_argument("print_chart: series '" + s.label + "' length mismatch");
+    }
+  }
+  std::cout << "\n" << title << "\n";
+
+  double lo = 0.0, hi = 0.0;
+  bool first = true;
+  for (const auto& s : series) {
+    for (double v : s.y) {
+      if (first || v < lo) lo = first ? v : std::min(lo, v);
+      hi = first ? v : std::max(hi, v);
+      first = false;
+    }
+  }
+  if (first) return;
+  if (hi - lo < 1e-12) hi = lo + 1.0;
+
+  const size_t cols = xs.size();
+  const int col_width = 3;
+  std::vector<std::string> canvas(static_cast<size_t>(height),
+                                  std::string(cols * col_width, ' '));
+  for (size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % (sizeof(kGlyphs) - 1)];
+    for (size_t i = 0; i < cols; ++i) {
+      const double t = (series[si].y[i] - lo) / (hi - lo);
+      const int row = height - 1 - static_cast<int>(std::lround(t * (height - 1)));
+      canvas[static_cast<size_t>(row)][i * col_width + 1] = glyph;
+    }
+  }
+  for (int r = 0; r < height; ++r) {
+    const double v = hi - (hi - lo) * r / (height - 1);
+    std::printf("%8.3f |%s\n", v, canvas[static_cast<size_t>(r)].c_str());
+  }
+  std::printf("%8s +%s\n", "", std::string(cols * col_width, '-').c_str());
+  std::printf("%8s  ", xlabel.c_str());
+  for (double x : xs) std::printf("%-*.2g", col_width, x);
+  std::printf("\n  legend: ");
+  for (size_t si = 0; si < series.size(); ++si) {
+    std::printf("%c=%s  ", kGlyphs[si % (sizeof(kGlyphs) - 1)], series[si].label.c_str());
+  }
+  std::printf("\n  data:\n");
+  for (const auto& s : series) {
+    std::printf("    %-24s", s.label.c_str());
+    for (double v : s.y) std::printf(" %7.3f", v);
+    std::printf("\n");
+  }
+}
+
+void print_header(const std::string& title) {
+  std::cout << "\n" << std::string(72, '=') << "\n" << title << "\n"
+            << std::string(72, '=') << "\n";
+}
+
+}  // namespace rp::exp

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/stats.hpp"
+
+namespace rp::exp {
+
+/// Fixed-width ASCII table, the output format of every "Table N" bench.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  Table& add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+  void print() const;  ///< to stdout
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12.34" with the given precision.
+std::string fmt(double v, int precision = 2);
+/// "84.9 ± 3.3" — the paper's mean ± std cell format.
+std::string fmt_pm(const Summary& s, int precision = 1);
+std::string fmt_pm(double mean, double stddev, int precision = 1);
+/// Percent formatting: fmt_pct(0.849) == "84.9".
+std::string fmt_pct(double fraction, int precision = 1);
+
+/// One named line of an ASCII chart.
+struct Series {
+  std::string label;
+  std::vector<double> y;
+};
+
+/// Prints an ASCII line chart — the output format of every "Figure N"
+/// bench: one column per x value, one glyph per series, plus a data listing
+/// underneath so exact values are machine-readable.
+void print_chart(const std::string& title, const std::string& xlabel,
+                 const std::vector<double>& xs, const std::vector<Series>& series,
+                 int height = 12);
+
+/// Section header used to delimit experiments in bench output.
+void print_header(const std::string& title);
+
+}  // namespace rp::exp

@@ -1,0 +1,67 @@
+#pragma once
+
+#include "nn/layers.hpp"
+
+namespace rp::nn {
+
+/// Pre-activation-free basic residual block, the building unit of the
+/// MiniResNet / MiniWRN families:
+///
+///   y = relu( BN(conv3x3(relu(BN(conv3x3(x))))) + shortcut(x) )
+///
+/// The shortcut is identity when shape is preserved and a 1x1 conv + BN
+/// projection otherwise (stride-2 downsampling or channel growth).
+class ResidualBlock final : public Module {
+ public:
+  ResidualBlock(std::string name, int64_t in_c, int64_t out_c, int64_t stride, int64_t in_h,
+                int64_t in_w, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& dy) override;
+  void collect_params(std::vector<Parameter*>& out) override;
+  void collect_prunable(std::vector<PrunableSpec>& out) override;
+  void collect_buffers(std::vector<std::pair<std::string, Tensor*>>& out) override;
+  void set_profiling(bool on) override;
+  int64_t flops() const override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Sequential main_;
+  ModulePtr shortcut_;  // null = identity
+  Tensor cached_sum_;   // pre-final-relu activations, for the relu backward
+};
+
+/// One DenseNet layer: y = concat(x, conv3x3(relu(BN(x)))), growing the
+/// channel count by the growth rate.
+class DenseLayer final : public Module {
+ public:
+  DenseLayer(std::string name, int64_t in_c, int64_t growth, int64_t in_h, int64_t in_w, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& dy) override;
+  void collect_params(std::vector<Parameter*>& out) override;
+  void collect_prunable(std::vector<PrunableSpec>& out) override;
+  void collect_buffers(std::vector<std::pair<std::string, Tensor*>>& out) override;
+  void set_profiling(bool on) override;
+  int64_t flops() const override { return branch_.flops(); }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  int64_t in_c_;
+  Sequential branch_;
+};
+
+/// DenseNet transition: BN + ReLU + 1x1 conv (channel compression) + 2x2
+/// average-style downsampling (realized here as stride-2 1x1 conv).
+ModulePtr make_dense_transition(const std::string& name, int64_t in_c, int64_t out_c, int64_t in_h,
+                                int64_t in_w, Rng& rng);
+
+/// conv3x3 + BN + ReLU unit used by the VGG-style and segmentation nets.
+/// The conv's output filters are coupled to the BN affine parameters so
+/// structured pruning zeroes them together.
+ModulePtr make_conv_bn_relu(const std::string& name, int64_t in_c, int64_t out_c, int64_t stride,
+                            int64_t in_h, int64_t in_w, Rng& rng);
+
+}  // namespace rp::nn

@@ -1,0 +1,83 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace rp::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits, std::span<const int64_t> labels) {
+  if (logits.ndim() != 2) {
+    throw std::invalid_argument("softmax_cross_entropy: expected [N, C] logits");
+  }
+  const int64_t n = logits.size(0), c = logits.size(1);
+  if (static_cast<int64_t>(labels.size()) != n) {
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+  }
+  LossResult r;
+  r.dlogits = softmax_rows(logits);
+  double loss = 0.0;
+  const float invn = 1.0f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t y = labels[static_cast<size_t>(i)];
+    if (y < 0 || y >= c) throw std::out_of_range("softmax_cross_entropy: bad label");
+    loss -= std::log(std::max(r.dlogits.at(i, y), 1e-12f));
+    r.dlogits.at(i, y) -= 1.0f;
+  }
+  r.dlogits *= invn;
+  r.loss = static_cast<float>(loss / n);
+  return r;
+}
+
+LossResult pixel_cross_entropy(const Tensor& logits, std::span<const int64_t> labels,
+                               int64_t ignore_label) {
+  if (logits.ndim() != 4) {
+    throw std::invalid_argument("pixel_cross_entropy: expected [N, C, H, W] logits");
+  }
+  const int64_t n = logits.size(0), c = logits.size(1), h = logits.size(2), w = logits.size(3);
+  const int64_t plane = h * w;
+  if (static_cast<int64_t>(labels.size()) != n * plane) {
+    throw std::invalid_argument("pixel_cross_entropy: label count mismatch");
+  }
+
+  LossResult r;
+  r.dlogits = Tensor(logits.shape());
+  const float* ld = logits.data().data();
+  float* gd = r.dlogits.data().data();
+  double loss = 0.0;
+  int64_t counted = 0;
+
+  std::vector<float> probs(static_cast<size_t>(c));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t p = 0; p < plane; ++p) {
+      const int64_t y = labels[static_cast<size_t>(i * plane + p)];
+      if (y == ignore_label) continue;
+      if (y < 0 || y >= c) throw std::out_of_range("pixel_cross_entropy: bad label");
+      // Channel-strided softmax at pixel p.
+      float m = ld[(i * c) * plane + p];
+      for (int64_t ch = 1; ch < c; ++ch) m = std::max(m, ld[(i * c + ch) * plane + p]);
+      float denom = 0.0f;
+      for (int64_t ch = 0; ch < c; ++ch) {
+        probs[static_cast<size_t>(ch)] = std::exp(ld[(i * c + ch) * plane + p] - m);
+        denom += probs[static_cast<size_t>(ch)];
+      }
+      for (int64_t ch = 0; ch < c; ++ch) {
+        const float q = probs[static_cast<size_t>(ch)] / denom;
+        gd[(i * c + ch) * plane + p] = q - (ch == y ? 1.0f : 0.0f);
+      }
+      loss -= std::log(std::max(probs[static_cast<size_t>(y)] / denom, 1e-12f));
+      ++counted;
+    }
+  }
+  if (counted == 0) {
+    r.loss = 0.0f;
+    return r;
+  }
+  const float inv = 1.0f / static_cast<float>(counted);
+  r.dlogits *= inv;
+  r.loss = static_cast<float>(loss / counted);
+  return r;
+}
+
+}  // namespace rp::nn

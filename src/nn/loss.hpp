@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace rp::nn {
+
+/// Loss value plus the gradient w.r.t. the logits, averaged over the batch.
+struct LossResult {
+  float loss = 0.0f;
+  Tensor dlogits;
+};
+
+/// Softmax cross-entropy over [N, C] logits with integer class labels.
+/// The returned gradient is (softmax - onehot) / N.
+LossResult softmax_cross_entropy(const Tensor& logits, std::span<const int64_t> labels);
+
+/// Per-pixel softmax cross-entropy for segmentation: logits [N, C, H, W],
+/// labels [N, H, W] flattened row-major into the span. Pixels labeled
+/// `ignore_label` (default: none) contribute neither loss nor gradient.
+LossResult pixel_cross_entropy(const Tensor& logits, std::span<const int64_t> labels,
+                               int64_t ignore_label = -1);
+
+}  // namespace rp::nn

@@ -1,0 +1,67 @@
+#include "nn/metrics.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace rp::nn {
+
+double accuracy(const Tensor& logits, std::span<const int64_t> labels) {
+  const auto pred = argmax_rows(logits);
+  if (pred.size() != labels.size()) throw std::invalid_argument("accuracy: size mismatch");
+  if (pred.empty()) return 0.0;
+  int64_t hits = 0;
+  for (size_t i = 0; i < pred.size(); ++i) hits += (pred[i] == labels[i]);
+  return static_cast<double>(hits) / static_cast<double>(pred.size());
+}
+
+double mean_iou(std::span<const int64_t> pred, std::span<const int64_t> truth, int num_classes) {
+  if (pred.size() != truth.size()) throw std::invalid_argument("mean_iou: size mismatch");
+  std::vector<int64_t> inter(static_cast<size_t>(num_classes), 0);
+  std::vector<int64_t> uni(static_cast<size_t>(num_classes), 0);
+  for (size_t i = 0; i < pred.size(); ++i) {
+    const int64_t p = pred[i], t = truth[i];
+    if (p < 0 || p >= num_classes || t < 0 || t >= num_classes) {
+      throw std::out_of_range("mean_iou: label out of range");
+    }
+    if (p == t) {
+      inter[static_cast<size_t>(p)]++;
+      uni[static_cast<size_t>(p)]++;
+    } else {
+      uni[static_cast<size_t>(p)]++;
+      uni[static_cast<size_t>(t)]++;
+    }
+  }
+  double sum = 0.0;
+  int present = 0;
+  for (int c = 0; c < num_classes; ++c) {
+    if (uni[static_cast<size_t>(c)] == 0) continue;
+    sum += static_cast<double>(inter[static_cast<size_t>(c)]) / uni[static_cast<size_t>(c)];
+    ++present;
+  }
+  return present == 0 ? 0.0 : sum / present;
+}
+
+std::vector<int64_t> pixel_argmax(const Tensor& logits) {
+  if (logits.ndim() != 4) throw std::invalid_argument("pixel_argmax: expected [N, C, H, W]");
+  const int64_t n = logits.size(0), c = logits.size(1), plane = logits.size(2) * logits.size(3);
+  std::vector<int64_t> out(static_cast<size_t>(n * plane));
+  const float* ld = logits.data().data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t p = 0; p < plane; ++p) {
+      int64_t best = 0;
+      float bv = ld[(i * c) * plane + p];
+      for (int64_t ch = 1; ch < c; ++ch) {
+        const float v = ld[(i * c + ch) * plane + p];
+        if (v > bv) {
+          bv = v;
+          best = ch;
+        }
+      }
+      out[static_cast<size_t>(i * plane + p)] = best;
+    }
+  }
+  return out;
+}
+
+}  // namespace rp::nn

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace rp::nn {
+
+/// Fraction of rows whose argmax matches the label.
+double accuracy(const Tensor& logits, std::span<const int64_t> labels);
+
+/// Mean intersection-over-union across classes that appear in either the
+/// prediction or the ground truth (the VOC convention).
+double mean_iou(std::span<const int64_t> pred, std::span<const int64_t> truth, int num_classes);
+
+/// Per-pixel argmax of [N, C, H, W] logits, row-major [N * H * W].
+std::vector<int64_t> pixel_argmax(const Tensor& logits);
+
+}  // namespace rp::nn

@@ -1,0 +1,152 @@
+#include "nn/models.hpp"
+
+#include <stdexcept>
+
+#include "nn/blocks.hpp"
+
+namespace rp::nn {
+
+namespace {
+
+void require_spatial(const TaskSpec& task, int64_t h, int64_t w, const char* arch) {
+  if (task.in_h != h || task.in_w != w) {
+    throw std::invalid_argument(std::string(arch) + " expects " + std::to_string(h) + "x" +
+                                std::to_string(w) + " inputs, task has " +
+                                std::to_string(task.in_h) + "x" + std::to_string(task.in_w));
+  }
+}
+
+}  // namespace
+
+NetworkPtr make_mini_resnet(const TaskSpec& task, int blocks_per_stage, int64_t base_width,
+                            uint64_t seed, const std::string& arch_name) {
+  Rng rng(seed);
+  auto root = std::make_unique<Sequential>(arch_name);
+  int64_t h = task.in_h, w = task.in_w;
+
+  root->add(make_conv_bn_relu("stem", task.in_c, base_width, 1, h, w, rng));
+
+  int64_t in_c = base_width;
+  for (int stage = 0; stage < 3; ++stage) {
+    const int64_t out_c = base_width << stage;
+    for (int b = 0; b < blocks_per_stage; ++b) {
+      const int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      const std::string nm =
+          "s" + std::to_string(stage + 1) + ".b" + std::to_string(b + 1);
+      root->add(std::make_unique<ResidualBlock>(nm, in_c, out_c, stride, h, w, rng));
+      h /= stride;
+      w /= stride;
+      in_c = out_c;
+    }
+  }
+  root->add(std::make_unique<GlobalAvgPool>());
+  root->add(std::make_unique<Linear>("fc", in_c, task.num_classes, /*use_bias=*/true, rng));
+  return std::make_unique<Network>(arch_name, task, std::move(root));
+}
+
+NetworkPtr make_mini_vgg(const TaskSpec& task, uint64_t seed) {
+  require_spatial(task, 16, 16, "vgg11");
+  Rng rng(seed);
+  auto root = std::make_unique<Sequential>("vgg11");
+  int64_t h = 16, w = 16;
+
+  const int64_t widths[3][2] = {{16, 16}, {32, 32}, {64, 64}};
+  int64_t in_c = task.in_c;
+  for (int stage = 0; stage < 3; ++stage) {
+    for (int i = 0; i < 2; ++i) {
+      const std::string nm = "conv" + std::to_string(stage * 2 + i + 1);
+      root->add(make_conv_bn_relu(nm, in_c, widths[stage][i], 1, h, w, rng));
+      in_c = widths[stage][i];
+    }
+    root->add(std::make_unique<MaxPool2d>());
+    h /= 2;
+    w /= 2;
+  }
+  // VGG's signature: a fully connected head that dominates the parameter
+  // count, which is where its extreme nominal weight prune potential lives.
+  root->add(std::make_unique<Flatten>());
+  root->add(std::make_unique<Linear>("fc1", in_c * h * w, 128, /*use_bias=*/true, rng));
+  root->add(std::make_unique<ReLU>());
+  root->add(std::make_unique<Linear>("fc2", 128, task.num_classes, /*use_bias=*/true, rng));
+  return std::make_unique<Network>("vgg11", task, std::move(root));
+}
+
+NetworkPtr make_mini_densenet(const TaskSpec& task, uint64_t seed) {
+  require_spatial(task, 16, 16, "densenet");
+  Rng rng(seed);
+  auto root = std::make_unique<Sequential>("densenet");
+  // Growth/stem widths leave structured pruning room to remove filters
+  // without instantly bottlenecking the dense connectivity.
+  const int64_t growth = 10;
+  const int layers_per_block = 3;
+  int64_t h = 16, w = 16;
+
+  int64_t c = 16;
+  root->add(std::make_unique<Conv2d>("stem", task.in_c, c, 3, 1, 1, h, w, /*use_bias=*/false,
+                                     rng));
+  for (int block = 0; block < 3; ++block) {
+    for (int l = 0; l < layers_per_block; ++l) {
+      const std::string nm = "d" + std::to_string(block + 1) + ".l" + std::to_string(l + 1);
+      root->add(std::make_unique<DenseLayer>(nm, c, growth, h, w, rng));
+      c += growth;
+    }
+    if (block < 2) {
+      const std::string nm = "t" + std::to_string(block + 1);
+      const int64_t out_c = c / 2;
+      root->add(make_dense_transition(nm, c, out_c, h, w, rng));
+      c = out_c;
+      h /= 2;
+      w /= 2;
+    }
+  }
+  root->add(std::make_unique<BatchNorm2d>("head.bn", c));
+  root->add(std::make_unique<ReLU>());
+  root->add(std::make_unique<GlobalAvgPool>());
+  root->add(std::make_unique<Linear>("fc", c, task.num_classes, /*use_bias=*/true, rng));
+  return std::make_unique<Network>("densenet", task, std::move(root));
+}
+
+NetworkPtr make_segnet(const TaskSpec& task, uint64_t seed) {
+  require_spatial(task, 16, 16, "segnet");
+  Rng rng(seed);
+  auto root = std::make_unique<Sequential>("segnet");
+  const int64_t w0 = 12;
+  // Encoder: 16x16 -> 8x8 -> 4x4, doubling channels.
+  root->add(make_conv_bn_relu("enc1", task.in_c, w0, 1, 16, 16, rng));
+  root->add(make_conv_bn_relu("enc2", w0, 2 * w0, 2, 16, 16, rng));
+  root->add(make_conv_bn_relu("enc3", 2 * w0, 4 * w0, 2, 8, 8, rng));
+  // Bottleneck.
+  root->add(make_conv_bn_relu("mid", 4 * w0, 4 * w0, 1, 4, 4, rng));
+  // Decoder: 4x4 -> 8x8 -> 16x16.
+  root->add(std::make_unique<Upsample2x>());
+  root->add(make_conv_bn_relu("dec1", 4 * w0, 2 * w0, 1, 8, 8, rng));
+  root->add(std::make_unique<Upsample2x>());
+  root->add(make_conv_bn_relu("dec2", 2 * w0, w0, 1, 16, 16, rng));
+  // Per-pixel classifier.
+  root->add(std::make_unique<Conv2d>("head", w0, task.num_classes, 1, 1, 0, 16, 16,
+                                     /*use_bias=*/true, rng));
+  return std::make_unique<Network>("segnet", task, std::move(root));
+}
+
+TaskSpec synth_cifar_task() { return TaskSpec{"synth_cifar", 3, 16, 16, 10, false}; }
+TaskSpec synth_imagenet_task() { return TaskSpec{"synth_imagenet", 3, 24, 24, 20, false}; }
+TaskSpec synth_seg_task() { return TaskSpec{"synth_seg", 3, 16, 16, 6, true}; }
+
+NetworkPtr build_network(const std::string& arch, const TaskSpec& task, uint64_t seed) {
+  if (arch == "resnet8") return make_mini_resnet(task, 1, 8, seed, arch);
+  if (arch == "resnet14") return make_mini_resnet(task, 2, 8, seed, arch);
+  if (arch == "resnet20") return make_mini_resnet(task, 3, 8, seed, arch);
+  if (arch == "wrn") return make_mini_resnet(task, 1, 24, seed, arch);
+  if (arch == "vgg11") return make_mini_vgg(task, seed);
+  if (arch == "densenet") return make_mini_densenet(task, seed);
+  if (arch == "resnet_im") return make_mini_resnet(task, 1, 12, seed, arch);
+  if (arch == "resnet_im_l") return make_mini_resnet(task, 2, 16, seed, arch);
+  if (arch == "segnet") return make_segnet(task, seed);
+  throw std::invalid_argument("build_network: unknown arch '" + arch + "'");
+}
+
+std::vector<std::string> classification_archs() {
+  return {"resnet8", "resnet14", "resnet20", "vgg11", "densenet", "wrn"};
+}
+
+}  // namespace rp::nn

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "nn/network.hpp"
+
+namespace rp::nn {
+
+/// Scaled-down counterparts of the paper's architecture families (§3.1,
+/// Appendix B). Each builder preserves the structural trait that drives the
+/// corresponding network's behaviour in the paper:
+///
+///  - MiniResNet-{8,14,20}: depth-varied 3-stage residual nets (ResNet20/56/110)
+///  - MiniVGG: plain conv stacks with a fully connected head whose weights
+///    dominate the parameter count (VGG16's extreme weight prune potential)
+///  - MiniDenseNet: dense connectivity with transitions (DenseNet22)
+///  - MiniWRN: wide & shallow residual net (WRN16-8's noise-robust potential)
+///  - resnet_im / resnet_im_l: small/large nets for the ImageNet-analog task
+///  - SegNet: encoder-decoder dense-prediction net (DeeplabV3-VOC's role)
+
+NetworkPtr make_mini_resnet(const TaskSpec& task, int blocks_per_stage, int64_t base_width,
+                            uint64_t seed, const std::string& arch_name);
+NetworkPtr make_mini_vgg(const TaskSpec& task, uint64_t seed);
+NetworkPtr make_mini_densenet(const TaskSpec& task, uint64_t seed);
+NetworkPtr make_segnet(const TaskSpec& task, uint64_t seed);
+
+/// Default task specs used across experiments.
+TaskSpec synth_cifar_task();     ///< 16x16x3, 10 classes
+TaskSpec synth_imagenet_task();  ///< 24x24x3, 20 classes
+TaskSpec synth_seg_task();       ///< 16x16x3, 6 classes, dense labels
+
+}  // namespace rp::nn

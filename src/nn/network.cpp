@@ -1,0 +1,103 @@
+#include "nn/network.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "nn/models.hpp"
+
+namespace rp::nn {
+
+Network::Network(std::string arch, TaskSpec task, ModulePtr root)
+    : arch_(std::move(arch)), task_(std::move(task)), root_(std::move(root)) {
+  root_->collect_params(params_);
+  root_->collect_prunable(prunable_);
+  root_->collect_buffers(buffers_);
+}
+
+void Network::zero_grad() {
+  for (Parameter* p : params_) p->grad.zero();
+}
+
+void Network::enforce_masks() {
+  for (Parameter* p : params_) p->enforce_mask();
+}
+
+int64_t Network::prunable_total() const {
+  int64_t n = 0;
+  for (const Parameter* p : params_) {
+    if (p->prunable) n += p->numel();
+  }
+  return n;
+}
+
+int64_t Network::prunable_active() const {
+  int64_t n = 0;
+  for (const Parameter* p : params_) {
+    if (p->prunable) n += p->active();
+  }
+  return n;
+}
+
+double Network::prune_ratio() const {
+  const int64_t total = prunable_total();
+  return total == 0 ? 0.0 : 1.0 - static_cast<double>(prunable_active()) / total;
+}
+
+int64_t Network::param_count() const {
+  int64_t n = 0;
+  for (const Parameter* p : params_) n += p->numel();
+  return n;
+}
+
+std::vector<std::pair<std::string, Tensor>> Network::state() const {
+  std::vector<std::pair<std::string, Tensor>> out;
+  for (const Parameter* p : params_) {
+    out.emplace_back(p->name, p->value);
+    // Includes masks that structured pruning created lazily on otherwise
+    // non-prunable parameters (biases, batch-norm affine terms).
+    if (!p->mask.empty()) out.emplace_back(p->name + ".mask", p->mask);
+  }
+  for (const auto& [name, buf] : buffers_) out.emplace_back(name, *buf);
+  return out;
+}
+
+void Network::load_state(const std::vector<std::pair<std::string, Tensor>>& state) {
+  // Masks may need to be created on parameters that do not have one yet, so
+  // mask slots are tracked by parameter rather than by raw tensor pointer.
+  std::unordered_map<std::string, Tensor*> slots;
+  std::unordered_map<std::string, Parameter*> mask_slots;
+  for (Parameter* p : params_) {
+    slots[p->name] = &p->value;
+    mask_slots[p->name + ".mask"] = p;
+  }
+  for (auto& [name, buf] : buffers_) slots[name] = buf;
+
+  for (const auto& [name, tensor] : state) {
+    if (auto mit = mask_slots.find(name); mit != mask_slots.end()) {
+      Parameter& p = *mit->second;
+      if (tensor.shape() != p.value.shape()) {
+        throw std::runtime_error("load_state: mask shape mismatch for '" + name + "'");
+      }
+      p.mask = tensor;
+      continue;
+    }
+    auto it = slots.find(name);
+    if (it == slots.end()) {
+      throw std::runtime_error("load_state: unknown entry '" + name + "' for arch " + arch_);
+    }
+    if (it->second->shape() != tensor.shape()) {
+      throw std::runtime_error("load_state: shape mismatch for '" + name + "': have " +
+                               it->second->shape().to_string() + ", got " +
+                               tensor.shape().to_string());
+    }
+    *it->second = tensor;
+  }
+}
+
+std::unique_ptr<Network> Network::clone() const {
+  auto copy = build_network(arch_, task_, /*seed=*/1);
+  copy->load_state(state());
+  return copy;
+}
+
+}  // namespace rp::nn

@@ -1,0 +1,50 @@
+#include "nn/optim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rp::nn {
+
+float LrSchedule::lr_at(int epoch) const {
+  if (warmup_epochs > 0 && epoch < warmup_epochs) {
+    // Linear ramp from base_lr / (warmup+1) up to base_lr (Goyal et al.).
+    return base_lr * static_cast<float>(epoch + 1) / static_cast<float>(warmup_epochs + 1);
+  }
+  if (kind == Kind::Poly) {
+    const float t = std::min(1.0f, static_cast<float>(epoch) / std::max(1, total_epochs));
+    return base_lr * std::pow(1.0f - t, poly_power);
+  }
+  float lr = base_lr;
+  for (int m : milestones) {
+    if (epoch >= m) lr *= gamma;
+  }
+  return lr;
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, Config cfg) : params_(std::move(params)), cfg_(cfg) {
+  velocity_.reserve(params_.size());
+  for (const Parameter* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::step(float lr) {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    Tensor& v = velocity_[i];
+    auto pv = p.value.data();
+    auto pg = p.grad.data();
+    auto vd = v.data();
+    const float mu = cfg_.momentum, wd = cfg_.weight_decay;
+    for (size_t j = 0; j < pv.size(); ++j) {
+      const float g = pg[j] + wd * pv[j];
+      vd[j] = mu * vd[j] + g;
+      pv[j] -= lr * (cfg_.nesterov ? g + mu * vd[j] : vd[j]);
+    }
+    p.enforce_mask();
+  }
+}
+
+void Sgd::zero_grad() {
+  for (Parameter* p : params_) p->grad.zero();
+}
+
+}  // namespace rp::nn

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace rp::nn {
+
+/// Learning-rate schedule with linear warm-up followed by either multiplicative
+/// step decay at milestones (ResNet/VGG-style, Tab. 3/5) or polynomial decay
+/// (DeeplabV3-style, Tab. 7).
+struct LrSchedule {
+  enum class Kind { Step, Poly };
+
+  Kind kind = Kind::Step;
+  float base_lr = 0.1f;
+  int warmup_epochs = 1;
+  std::vector<int> milestones;  ///< Step: epochs at which lr is multiplied by gamma
+  float gamma = 0.1f;
+  int total_epochs = 10;        ///< Poly: horizon of the decay
+  float poly_power = 0.9f;
+
+  /// Learning rate for a 0-based epoch index.
+  float lr_at(int epoch) const;
+};
+
+/// SGD with momentum (optionally Nesterov) and decoupled-from-nothing classic
+/// L2 weight decay, exactly the optimizer family of the paper's Appendix B.
+///
+/// Pruning contract: after each step every masked parameter is re-multiplied
+/// by its mask, so pruned weights stay at exactly zero through any sequence
+/// of updates (Algorithm 1's `c ⊙ θ`).
+class Sgd {
+ public:
+  struct Config {
+    float momentum = 0.9f;
+    bool nesterov = false;
+    float weight_decay = 1e-4f;
+  };
+
+  Sgd(std::vector<Parameter*> params, Config cfg);
+
+  /// One update with the given learning rate; gradients must already be
+  /// accumulated. Does not zero the gradients.
+  void step(float lr);
+
+  void zero_grad();
+
+ private:
+  std::vector<Parameter*> params_;
+  Config cfg_;
+  std::vector<Tensor> velocity_;
+};
+
+}  // namespace rp::nn

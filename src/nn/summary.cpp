@@ -1,0 +1,61 @@
+#include "nn/summary.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+namespace rp::nn {
+
+NetworkSummary summarize(Network& net) {
+  NetworkSummary s;
+  s.arch = net.arch();
+  s.total_params = net.param_count();
+  s.prunable_total = net.prunable_total();
+  s.prunable_active = net.prunable_active();
+  s.other_params = s.total_params - s.prunable_total;
+  s.flops = net.flops();
+  s.prune_ratio = net.prune_ratio();
+
+  for (const auto& spec : net.prunable()) {
+    LayerSummary l;
+    l.name = spec.layer_name;
+    l.out_units = spec.out_units;
+    l.fan_in = spec.weight->value.size(1);
+    l.weights = spec.weight->numel();
+    l.active = spec.weight->active();
+    for (int64_t r = 0; r < spec.out_units; ++r) {
+      bool alive = false;
+      for (int64_t j = 0; j < l.fan_in; ++j) alive |= (spec.weight->mask.at(r, j) != 0.0f);
+      l.active_filters += alive;
+    }
+    // FLOPs per layer: active weights times output positions (matches the
+    // layer's own accounting in Conv2d/Linear::flops()).
+    l.flops = l.active * spec.out_positions;
+    s.layers.push_back(std::move(l));
+  }
+  return s;
+}
+
+void print_summary(const NetworkSummary& s, std::ostream& os) {
+  char buf[160];
+  os << s.arch << " — " << s.total_params << " params (" << s.prunable_total << " prunable, "
+     << s.other_params << " other), " << s.flops << " MACs/sample, prune ratio "
+     << static_cast<int>(100.0 * s.prune_ratio + 0.5) << "%\n";
+  std::snprintf(buf, sizeof(buf), "  %-16s %8s %8s %10s %10s %10s %12s\n", "layer", "units",
+                "fan-in", "weights", "active", "filters", "MACs");
+  os << buf;
+  for (const auto& l : s.layers) {
+    std::snprintf(buf, sizeof(buf), "  %-16s %8lld %8lld %10lld %10lld %5lld/%-5lld %12lld\n",
+                  l.name.c_str(), static_cast<long long>(l.out_units),
+                  static_cast<long long>(l.fan_in), static_cast<long long>(l.weights),
+                  static_cast<long long>(l.active), static_cast<long long>(l.active_filters),
+                  static_cast<long long>(l.out_units), static_cast<long long>(l.flops));
+    os << buf;
+  }
+}
+
+void print_summary(Network& net) {
+  const auto s = summarize(net);
+  print_summary(s, std::cout);
+}
+
+}  // namespace rp::nn

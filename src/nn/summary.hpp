@@ -1,0 +1,42 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace rp::nn {
+
+/// One prunable layer's line in a model summary.
+struct LayerSummary {
+  std::string name;
+  int64_t out_units = 0;
+  int64_t fan_in = 0;
+  int64_t weights = 0;        ///< total prunable weights
+  int64_t active = 0;         ///< unpruned weights
+  int64_t active_filters = 0; ///< rows with at least one live weight
+  int64_t flops = 0;          ///< mask-aware MACs per sample
+};
+
+/// Whole-network summary (prunable layers only; biases/BN params are counted
+/// in `other_params`).
+struct NetworkSummary {
+  std::string arch;
+  std::vector<LayerSummary> layers;
+  int64_t total_params = 0;
+  int64_t prunable_total = 0;
+  int64_t prunable_active = 0;
+  int64_t other_params = 0;
+  int64_t flops = 0;
+  double prune_ratio = 0.0;
+};
+
+NetworkSummary summarize(Network& net);
+
+/// Pretty-prints the summary as a fixed-width table — the `model.summary()`
+/// every practitioner expects, with per-layer sparsity after pruning.
+void print_summary(const NetworkSummary& s, std::ostream& os);
+void print_summary(Network& net);  ///< to stdout
+
+}  // namespace rp::nn

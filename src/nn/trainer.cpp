@@ -1,0 +1,123 @@
+#include "nn/trainer.hpp"
+
+#include <cstdio>
+
+#include "nn/loss.hpp"
+#include "nn/metrics.hpp"
+#include "tensor/ops.hpp"
+
+namespace rp::nn {
+
+void train(Network& net, const data::Dataset& ds, const TrainConfig& cfg) {
+  Rng rng(cfg.seed);
+  Sgd opt(net.params(), cfg.sgd);
+  const int64_t n = ds.size();
+  const bool seg = ds.segmentation();
+
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    const float lr = cfg.schedule.lr_at(epoch);
+    auto order = rng.permutation(n);
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+
+    for (int64_t start = 0; start < n; start += cfg.batch_size) {
+      const int64_t end = std::min<int64_t>(start + cfg.batch_size, n);
+      std::span<const int64_t> idx(order.data() + start, static_cast<size_t>(end - start));
+      data::Batch batch =
+          data::make_batch(ds, idx, cfg.augment ? &cfg.augment : nullptr, &rng);
+
+      Tensor logits = net.forward(batch.images, /*train=*/true);
+      const LossResult lr_res = seg ? pixel_cross_entropy(logits, batch.labels)
+                                    : softmax_cross_entropy(logits, batch.labels);
+      opt.zero_grad();
+      net.backward(lr_res.dlogits);
+      opt.step(lr);
+
+      epoch_loss += lr_res.loss;
+      ++batches;
+    }
+    if (cfg.verbose) {
+      std::printf("  epoch %2d  lr %.4f  train loss %.4f\n", epoch + 1, lr,
+                  epoch_loss / std::max<int64_t>(1, batches));
+    }
+  }
+}
+
+EvalResult evaluate(Network& net, const data::Dataset& ds, int batch_size) {
+  const int64_t n = ds.size();
+  const bool seg = ds.segmentation();
+  double loss_sum = 0.0;
+  int64_t loss_batches = 0;
+  int64_t hits = 0, total = 0;
+  std::vector<int64_t> all_pred, all_truth;
+
+  std::vector<int64_t> idx_buf(static_cast<size_t>(batch_size));
+  for (int64_t start = 0; start < n; start += batch_size) {
+    const int64_t end = std::min<int64_t>(start + batch_size, n);
+    idx_buf.resize(static_cast<size_t>(end - start));
+    for (int64_t i = start; i < end; ++i) idx_buf[static_cast<size_t>(i - start)] = i;
+    data::Batch batch = data::make_batch(ds, idx_buf);
+
+    Tensor logits = net.forward(batch.images, /*train=*/false);
+    if (seg) {
+      const LossResult lr = pixel_cross_entropy(logits, batch.labels);
+      loss_sum += lr.loss;
+      auto pred = pixel_argmax(logits);
+      for (size_t i = 0; i < pred.size(); ++i) hits += (pred[i] == batch.labels[i]);
+      total += static_cast<int64_t>(pred.size());
+      all_pred.insert(all_pred.end(), pred.begin(), pred.end());
+      all_truth.insert(all_truth.end(), batch.labels.begin(), batch.labels.end());
+    } else {
+      const LossResult lr = softmax_cross_entropy(logits, batch.labels);
+      loss_sum += lr.loss;
+      const auto pred = argmax_rows(logits);
+      for (size_t i = 0; i < pred.size(); ++i) hits += (pred[i] == batch.labels[i]);
+      total += static_cast<int64_t>(pred.size());
+    }
+    ++loss_batches;
+  }
+
+  EvalResult r;
+  r.loss = loss_sum / std::max<int64_t>(1, loss_batches);
+  r.accuracy = total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  if (seg) {
+    r.iou = mean_iou(all_pred, all_truth, net.task().num_classes);
+    r.iou_valid = true;
+  }
+  return r;
+}
+
+Tensor predict(Network& net, const Tensor& images, int batch_size) {
+  const int64_t n = images.size(0);
+  Tensor out;
+  for (int64_t start = 0; start < n; start += batch_size) {
+    const int64_t end = std::min<int64_t>(start + batch_size, n);
+    Tensor chunk(Shape{end - start, images.size(1), images.size(2), images.size(3)});
+    for (int64_t i = start; i < end; ++i) chunk.set_slice0(i - start, images.slice0(i));
+    Tensor logits = net.forward(chunk, /*train=*/false);
+    if (out.empty()) {
+      std::vector<int64_t> dims = logits.shape().dims();
+      dims[0] = n;
+      out = Tensor(Shape(std::move(dims)));
+    }
+    for (int64_t i = start; i < end; ++i) out.set_slice0(i, logits.slice0(i - start));
+  }
+  return out;
+}
+
+void profile_activations(Network& net, const data::Dataset& ds, int64_t max_samples) {
+  const int64_t n = std::min<int64_t>(ds.size(), max_samples);
+  net.set_profiling(true);
+  std::vector<int64_t> idx(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) idx[static_cast<size_t>(i)] = i;
+  constexpr int64_t kChunk = 64;
+  for (int64_t start = 0; start < n; start += kChunk) {
+    const int64_t end = std::min(start + kChunk, n);
+    std::span<const int64_t> span(idx.data() + start, static_cast<size_t>(end - start));
+    data::Batch batch = data::make_batch(ds, span);
+    net.forward(batch.images, /*train=*/false);
+  }
+  net.set_profiling(false);
+}
+
+}  // namespace rp::nn

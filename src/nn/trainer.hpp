@@ -1,0 +1,52 @@
+#pragma once
+
+#include "data/dataset.hpp"
+#include "nn/network.hpp"
+#include "nn/optim.hpp"
+
+namespace rp::nn {
+
+/// One training run's hyperparameters — the analog of the paper's Tables
+/// 3/5/7 rows. The same config is reused verbatim for retraining after each
+/// prune step, exactly as the paper's pipeline does ("we re-use the same
+/// learning rate schedule and retrain for the same amount of epochs").
+struct TrainConfig {
+  int epochs = 12;
+  int batch_size = 64;
+  LrSchedule schedule;
+  Sgd::Config sgd;
+  uint64_t seed = 42;              ///< drives shuffling + augmentation draws
+  data::ImageTransform augment;    ///< empty = no augmentation
+  bool verbose = false;
+};
+
+/// Loss/quality of a network on a dataset. `accuracy` is top-1 for
+/// classification and pixel accuracy for segmentation; `iou` is mean IoU
+/// (segmentation only, 0 otherwise). `error` = 1 - the task's headline
+/// metric (top-1 / IoU), which is the quantity the paper's prune potential
+/// and excess error are defined on.
+struct EvalResult {
+  double loss = 0.0;
+  double accuracy = 0.0;
+  double iou = 0.0;
+  double error() const { return 1.0 - headline(); }
+  double headline() const { return iou_valid ? iou : accuracy; }
+  bool iou_valid = false;
+};
+
+/// SGD training per the config; mutates the network in place.
+void train(Network& net, const data::Dataset& ds, const TrainConfig& cfg);
+
+/// Full-dataset evaluation in eval mode (running batch-norm statistics).
+EvalResult evaluate(Network& net, const data::Dataset& ds, int batch_size = 128);
+
+/// Forward pass over an [N, C, H, W] image stack in minibatches; returns the
+/// stacked logits ([N, classes] or [N, classes, H, W]).
+Tensor predict(Network& net, const Tensor& images, int batch_size = 128);
+
+/// Runs a profiling pass over (a subset of) the dataset so that layers
+/// record the activation statistics consumed by the data-informed pruners
+/// (SiPP / PFP). Uses at most `max_samples` images.
+void profile_activations(Network& net, const data::Dataset& ds, int64_t max_samples = 128);
+
+}  // namespace rp::nn

@@ -1,0 +1,147 @@
+#include "tensor/gemm.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace rp {
+
+namespace {
+
+// Plain row-major kernel: C[MxN] (+)= A[MxK] @ B[KxN]. The k-outer ordering
+// with a contiguous B row in the inner loop is what GCC vectorizes best.
+void kernel_nn(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
+               float alpha) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* ci = c + i * n;
+    const float* ai = a + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = alpha * ai[p];
+      if (av == 0.0f) continue;  // masked / sparse rows are common after pruning
+      const float* bp = b + p * n;
+      for (int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool trans_a, bool trans_b, float alpha,
+          float beta) {
+  if (a.ndim() != 2 || b.ndim() != 2 || c.ndim() != 2) {
+    throw std::invalid_argument("gemm expects 2-D tensors");
+  }
+  const int64_t m = trans_a ? a.size(1) : a.size(0);
+  const int64_t k = trans_a ? a.size(0) : a.size(1);
+  const int64_t kb = trans_b ? b.size(1) : b.size(0);
+  const int64_t n = trans_b ? b.size(0) : b.size(1);
+  if (k != kb || c.size(0) != m || c.size(1) != n) {
+    throw std::invalid_argument("gemm: incompatible shapes " + a.shape().to_string() + " x " +
+                                b.shape().to_string() + " -> " + c.shape().to_string());
+  }
+
+  float* cd = c.data().data();
+  if (beta == 0.0f) {
+    std::memset(cd, 0, static_cast<size_t>(m * n) * sizeof(float));
+  } else if (beta != 1.0f) {
+    for (int64_t i = 0; i < m * n; ++i) cd[i] *= beta;
+  }
+  if (m == 0 || n == 0 || k == 0) return;
+
+  // Materialize transposed operands once; at this repository's matrix sizes
+  // (K, N <= a few thousand) the copy is cheaper than strided inner loops.
+  const float* ad = a.data().data();
+  const float* bd = b.data().data();
+  std::vector<float> at_buf, bt_buf;
+  if (trans_a) {
+    at_buf.resize(static_cast<size_t>(m * k));
+    for (int64_t p = 0; p < k; ++p)
+      for (int64_t i = 0; i < m; ++i) at_buf[static_cast<size_t>(i * k + p)] = ad[p * m + i];
+    ad = at_buf.data();
+  }
+  if (trans_b) {
+    bt_buf.resize(static_cast<size_t>(k * n));
+    for (int64_t j = 0; j < n; ++j)
+      for (int64_t p = 0; p < k; ++p) bt_buf[static_cast<size_t>(p * n + j)] = bd[j * k + p];
+    bd = bt_buf.data();
+  }
+
+  kernel_nn(ad, bd, cd, m, n, k, alpha);
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  const int64_t m = trans_a ? a.size(1) : a.size(0);
+  const int64_t n = trans_b ? b.size(0) : b.size(1);
+  Tensor c(Shape{m, n});
+  gemm(a, b, c, trans_a, trans_b);
+  return c;
+}
+
+void im2col(const Tensor& image, const ConvGeom& g, Tensor& cols) {
+  if (image.ndim() != 3 || image.size(0) != g.in_c || image.size(1) != g.in_h ||
+      image.size(2) != g.in_w) {
+    throw std::invalid_argument("im2col: image shape " + image.shape().to_string() +
+                                " does not match geometry");
+  }
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  if (cols.shape() != Shape{g.patch(), oh * ow}) {
+    cols = Tensor(Shape{g.patch(), oh * ow});
+  }
+  const float* src = image.data().data();
+  float* dst = cols.data().data();
+  int64_t row = 0;
+  for (int64_t c = 0; c < g.in_c; ++c) {
+    const float* plane = src + c * g.in_h * g.in_w;
+    for (int64_t ki = 0; ki < g.k; ++ki) {
+      for (int64_t kj = 0; kj < g.k; ++kj, ++row) {
+        float* out_row = dst + row * oh * ow;
+        for (int64_t y = 0; y < oh; ++y) {
+          const int64_t sy = y * g.stride + ki - g.pad;
+          if (sy < 0 || sy >= g.in_h) {
+            std::memset(out_row + y * ow, 0, static_cast<size_t>(ow) * sizeof(float));
+            continue;
+          }
+          const float* src_row = plane + sy * g.in_w;
+          for (int64_t x = 0; x < ow; ++x) {
+            const int64_t sx = x * g.stride + kj - g.pad;
+            out_row[y * ow + x] = (sx >= 0 && sx < g.in_w) ? src_row[sx] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const Tensor& cols, const ConvGeom& g, Tensor& image) {
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  if (cols.shape() != Shape{g.patch(), oh * ow}) {
+    throw std::invalid_argument("col2im: cols shape " + cols.shape().to_string() +
+                                " does not match geometry");
+  }
+  if (image.shape() != Shape{g.in_c, g.in_h, g.in_w}) {
+    image = Tensor(Shape{g.in_c, g.in_h, g.in_w});
+  } else {
+    image.zero();
+  }
+  const float* src = cols.data().data();
+  float* dst = image.data().data();
+  int64_t row = 0;
+  for (int64_t c = 0; c < g.in_c; ++c) {
+    float* plane = dst + c * g.in_h * g.in_w;
+    for (int64_t ki = 0; ki < g.k; ++ki) {
+      for (int64_t kj = 0; kj < g.k; ++kj, ++row) {
+        const float* in_row = src + row * oh * ow;
+        for (int64_t y = 0; y < oh; ++y) {
+          const int64_t sy = y * g.stride + ki - g.pad;
+          if (sy < 0 || sy >= g.in_h) continue;
+          float* dst_row = plane + sy * g.in_w;
+          for (int64_t x = 0; x < ow; ++x) {
+            const int64_t sx = x * g.stride + kj - g.pad;
+            if (sx >= 0 && sx < g.in_w) dst_row[sx] += in_row[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace rp

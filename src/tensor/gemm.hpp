@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace rp {
+
+/// C = alpha * op(A) @ op(B) + beta * C for row-major float matrices.
+///
+/// `a` is [M, K] (or [K, M] when `trans_a`), `b` is [K, N] (or [N, K] when
+/// `trans_b`), `c` is [M, N]. The kernel is a register-blocked scalar loop
+/// that GCC auto-vectorizes; on the 1-core targets this repository runs on it
+/// is the throughput backbone of convolution and linear layers.
+void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool trans_a = false, bool trans_b = false,
+          float alpha = 1.0f, float beta = 0.0f);
+
+/// Convenience allocation form: returns op(A) @ op(B).
+Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a = false, bool trans_b = false);
+
+/// Geometry of a 2-D convolution; shared by im2col, conv layers, and the
+/// FLOP model so the three can never disagree.
+struct ConvGeom {
+  int64_t in_c = 0, in_h = 0, in_w = 0;
+  int64_t k = 3;       ///< square kernel size
+  int64_t stride = 1;
+  int64_t pad = 1;
+
+  int64_t out_h() const { return (in_h + 2 * pad - k) / stride + 1; }
+  int64_t out_w() const { return (in_w + 2 * pad - k) / stride + 1; }
+  /// Rows of the im2col patch matrix = in_c * k * k.
+  int64_t patch() const { return in_c * k * k; }
+};
+
+/// Unfolds one image [C, H, W] into a patch matrix [C*k*k, out_h*out_w]
+/// (zero padding), so convolution becomes a single GEMM.
+void im2col(const Tensor& image, const ConvGeom& g, Tensor& cols);
+
+/// Transpose of im2col: folds gradient columns [C*k*k, out_h*out_w] back into
+/// an image gradient [C, H, W], accumulating overlapping patches.
+void col2im(const Tensor& cols, const ConvGeom& g, Tensor& image);
+
+}  // namespace rp

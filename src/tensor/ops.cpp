@@ -1,0 +1,130 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rp {
+
+float sum(const Tensor& t) {
+  // Kahan summation keeps reductions stable for long activation vectors.
+  float s = 0.0f, c = 0.0f;
+  for (float v : t.data()) {
+    const float y = v - c;
+    const float u = s + y;
+    c = (u - s) - y;
+    s = u;
+  }
+  return s;
+}
+
+float mean(const Tensor& t) { return t.numel() == 0 ? 0.0f : sum(t) / static_cast<float>(t.numel()); }
+
+float max(const Tensor& t) {
+  if (t.empty()) throw std::invalid_argument("max of empty tensor");
+  return *std::max_element(t.data().begin(), t.data().end());
+}
+
+float min(const Tensor& t) {
+  if (t.empty()) throw std::invalid_argument("min of empty tensor");
+  return *std::min_element(t.data().begin(), t.data().end());
+}
+
+int64_t argmax(const Tensor& t) {
+  if (t.empty()) throw std::invalid_argument("argmax of empty tensor");
+  return std::distance(t.data().begin(), std::max_element(t.data().begin(), t.data().end()));
+}
+
+int64_t count_nonzero(const Tensor& t) {
+  int64_t n = 0;
+  for (float v : t.data()) n += (v != 0.0f);
+  return n;
+}
+
+float l1_norm(const Tensor& t) {
+  float s = 0.0f;
+  for (float v : t.data()) s += std::fabs(v);
+  return s;
+}
+
+float l2_norm(const Tensor& t) {
+  double s = 0.0;
+  for (float v : t.data()) s += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(s));
+}
+
+float linf_norm(const Tensor& t) {
+  float m = 0.0f;
+  for (float v : t.data()) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+float l2_distance(const Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b)) throw std::invalid_argument("l2_distance: shape mismatch");
+  double s = 0.0;
+  const auto ad = a.data();
+  const auto bd = b.data();
+  for (size_t i = 0; i < ad.size(); ++i) {
+    const double d = static_cast<double>(ad[i]) - bd[i];
+    s += d * d;
+  }
+  return static_cast<float>(std::sqrt(s));
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  if (logits.ndim() != 2) throw std::invalid_argument("softmax_rows expects a [N, C] matrix");
+  const int64_t n = logits.size(0), c = logits.size(1);
+  Tensor out(logits.shape());
+  for (int64_t i = 0; i < n; ++i) {
+    float m = logits.at(i, 0);
+    for (int64_t j = 1; j < c; ++j) m = std::max(m, logits.at(i, j));
+    float denom = 0.0f;
+    for (int64_t j = 0; j < c; ++j) {
+      const float e = std::exp(logits.at(i, j) - m);
+      out.at(i, j) = e;
+      denom += e;
+    }
+    for (int64_t j = 0; j < c; ++j) out.at(i, j) /= denom;
+  }
+  return out;
+}
+
+std::vector<int64_t> argmax_rows(const Tensor& m) {
+  if (m.ndim() != 2) throw std::invalid_argument("argmax_rows expects a [N, C] matrix");
+  const int64_t n = m.size(0), c = m.size(1);
+  std::vector<int64_t> out(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t best = 0;
+    for (int64_t j = 1; j < c; ++j) {
+      if (m.at(i, j) > m.at(i, best)) best = j;
+    }
+    out[static_cast<size_t>(i)] = best;
+  }
+  return out;
+}
+
+std::vector<float> logsumexp_rows(const Tensor& m) {
+  if (m.ndim() != 2) throw std::invalid_argument("logsumexp_rows expects a [N, C] matrix");
+  const int64_t n = m.size(0), c = m.size(1);
+  std::vector<float> out(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    float mx = m.at(i, 0);
+    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, m.at(i, j));
+    float s = 0.0f;
+    for (int64_t j = 0; j < c; ++j) s += std::exp(m.at(i, j) - mx);
+    out[static_cast<size_t>(i)] = mx + std::log(s);
+  }
+  return out;
+}
+
+Tensor clamp(Tensor t, float lo, float hi) {
+  for (float& v : t.data()) v = std::clamp(v, lo, hi);
+  return t;
+}
+
+Tensor relu(Tensor t) {
+  for (float& v : t.data()) v = std::max(v, 0.0f);
+  return t;
+}
+
+}  // namespace rp

@@ -1,0 +1,100 @@
+#include "tensor/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace rp {
+
+namespace {
+
+uint64_t splitmix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // Expand the seed through splitmix64 as recommended by the xoshiro authors;
+  // guarantees a nonzero state even for seed 0.
+  uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+float Rng::uniform() {
+  // Top 24 bits give a uniform float with full mantissa coverage in [0, 1).
+  return static_cast<float>(next_u64() >> 40) * (1.0f / 16777216.0f);
+}
+
+float Rng::uniform(float lo, float hi) { return lo + (hi - lo) * uniform(); }
+
+float Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  float u1 = uniform();
+  while (u1 <= 1e-12f) u1 = uniform();
+  const float u2 = uniform();
+  const float r = std::sqrt(-2.0f * std::log(u1));
+  const float theta = 2.0f * std::numbers::pi_v<float> * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+float Rng::normal(float mean, float stddev) { return mean + stddev * normal(); }
+
+int64_t Rng::randint(int64_t n) {
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t un = static_cast<uint64_t>(n);
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % un;
+  uint64_t x = next_u64();
+  while (x >= limit) x = next_u64();
+  return static_cast<int64_t>(x % un);
+}
+
+bool Rng::bernoulli(float p) { return uniform() < p; }
+
+std::vector<int64_t> Rng::permutation(int64_t n) {
+  std::vector<int64_t> p(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) p[static_cast<size_t>(i)] = i;
+  shuffle(p);
+  return p;
+}
+
+Rng Rng::fork(uint64_t salt) const {
+  // Mix the current state with the salt through splitmix64 for a stream that
+  // is decorrelated from both the parent and sibling forks.
+  uint64_t x = s_[0] ^ rotl(s_[3], 13) ^ (salt * 0xd1342543de82ef95ull);
+  return Rng(splitmix64(x));
+}
+
+uint64_t seed_from_string(const char* name) {
+  // FNV-1a, then one splitmix64 round for avalanche.
+  uint64_t h = 14695981039346656037ull;
+  for (const char* p = name; *p; ++p) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(*p));
+    h *= 1099511628211ull;
+  }
+  return splitmix64(h);
+}
+
+}  // namespace rp

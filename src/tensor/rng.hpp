@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rp {
+
+/// Deterministic pseudo-random generator (xoshiro256**) used everywhere a
+/// random draw is needed — weight init, data synthesis, corruption noise —
+/// so that every experiment in the repository is exactly reproducible from
+/// a named seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit integer.
+  uint64_t next_u64();
+
+  /// Uniform float in [0, 1).
+  float uniform();
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi);
+
+  /// Standard normal via Box-Muller (cached second draw).
+  float normal();
+
+  /// Normal with the given mean and standard deviation.
+  float normal(float mean, float stddev);
+
+  /// Uniform integer in [0, n) for n > 0.
+  int64_t randint(int64_t n);
+
+  /// True with probability p.
+  bool bernoulli(float p);
+
+  /// Fisher-Yates in-place shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (int64_t i = static_cast<int64_t>(v.size()) - 1; i > 0; --i) {
+      std::swap(v[i], v[randint(i + 1)]);
+    }
+  }
+
+  /// Random permutation of [0, n).
+  std::vector<int64_t> permutation(int64_t n);
+
+  /// Derives an independent stream; `salt` distinguishes sibling streams.
+  Rng fork(uint64_t salt) const;
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  float cached_normal_ = 0.0f;
+};
+
+/// Hashes a human-readable experiment name into a seed so experiments can be
+/// keyed by strings ("resnet8/wt/rep0") rather than magic numbers.
+uint64_t seed_from_string(const char* name);
+
+}  // namespace rp

@@ -1,0 +1,102 @@
+#include "tensor/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace rp {
+
+namespace {
+
+constexpr uint32_t kTensorMagic = 0x52505431;  // "RPT1"
+constexpr uint32_t kBundleMagic = 0x52504231;  // "RPB1"
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("serialize: truncated stream");
+  return v;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_pod<uint32_t>(os, static_cast<uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const auto n = read_pod<uint32_t>(is);
+  std::string s(n, '\0');
+  is.read(s.data(), n);
+  if (!is) throw std::runtime_error("serialize: truncated string");
+  return s;
+}
+
+}  // namespace
+
+void save_tensor(std::ostream& os, const Tensor& t) {
+  write_pod(os, kTensorMagic);
+  write_pod<uint32_t>(os, static_cast<uint32_t>(t.ndim()));
+  for (int64_t d : t.shape().dims()) write_pod<int64_t>(os, d);
+  os.write(reinterpret_cast<const char*>(t.data().data()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+Tensor load_tensor(std::istream& is) {
+  if (read_pod<uint32_t>(is) != kTensorMagic) {
+    throw std::runtime_error("serialize: bad tensor magic");
+  }
+  const auto ndim = read_pod<uint32_t>(is);
+  if (ndim > 8) throw std::runtime_error("serialize: implausible rank");
+  std::vector<int64_t> dims(ndim);
+  for (auto& d : dims) d = read_pod<int64_t>(is);
+  Tensor t{Shape(std::move(dims))};
+  is.read(reinterpret_cast<char*>(t.data().data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!is) throw std::runtime_error("serialize: truncated payload");
+  return t;
+}
+
+void save_tensors(std::ostream& os, const std::vector<std::pair<std::string, Tensor>>& items) {
+  write_pod(os, kBundleMagic);
+  write_pod<uint32_t>(os, static_cast<uint32_t>(items.size()));
+  for (const auto& [name, tensor] : items) {
+    write_string(os, name);
+    save_tensor(os, tensor);
+  }
+}
+
+std::vector<std::pair<std::string, Tensor>> load_tensors(std::istream& is) {
+  if (read_pod<uint32_t>(is) != kBundleMagic) {
+    throw std::runtime_error("serialize: bad bundle magic");
+  }
+  const auto n = read_pod<uint32_t>(is);
+  std::vector<std::pair<std::string, Tensor>> items;
+  items.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name = read_string(is);
+    items.emplace_back(std::move(name), load_tensor(is));
+  }
+  return items;
+}
+
+void save_tensors_file(const std::string& path,
+                       const std::vector<std::pair<std::string, Tensor>>& items) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("serialize: cannot open " + path + " for writing");
+  save_tensors(os, items);
+  if (!os) throw std::runtime_error("serialize: write failed for " + path);
+}
+
+std::vector<std::pair<std::string, Tensor>> load_tensors_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("serialize: cannot open " + path);
+  return load_tensors(is);
+}
+
+}  // namespace rp

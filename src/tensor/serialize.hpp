@@ -1,0 +1,28 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace rp {
+
+/// Binary tensor (de)serialization — the storage layer of the experiment
+/// artifact cache. Format: magic, ndim, dims, raw float32 payload. Streams
+/// are portable across runs on the same endianness, which is all the cache
+/// needs.
+
+void save_tensor(std::ostream& os, const Tensor& t);
+Tensor load_tensor(std::istream& is);
+
+/// Saves a named list of tensors (e.g. all parameters + masks of a model).
+void save_tensors(std::ostream& os, const std::vector<std::pair<std::string, Tensor>>& items);
+std::vector<std::pair<std::string, Tensor>> load_tensors(std::istream& is);
+
+/// File convenience wrappers; throw std::runtime_error on I/O failure.
+void save_tensors_file(const std::string& path,
+                       const std::vector<std::pair<std::string, Tensor>>& items);
+std::vector<std::pair<std::string, Tensor>> load_tensors_file(const std::string& path);
+
+}  // namespace rp

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rp {
+
+/// Dense, row-major tensor shape. A thin value type around a dimension list
+/// with the arithmetic helpers (element count, strides, flat indexing) that
+/// every tensor consumer needs.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) { validate(); }
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) { validate(); }
+
+  /// Number of axes.
+  int ndim() const { return static_cast<int>(dims_.size()); }
+
+  /// Extent of axis `i`; negative indices count from the back.
+  int64_t operator[](int i) const { return dims_[normalize_axis(i)]; }
+
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  /// Total number of elements (1 for a scalar-shaped tensor).
+  int64_t numel() const {
+    int64_t n = 1;
+    for (int64_t d : dims_) n *= d;
+    return n;
+  }
+
+  /// Row-major strides in elements.
+  std::vector<int64_t> strides() const {
+    std::vector<int64_t> s(dims_.size(), 1);
+    for (int i = static_cast<int>(dims_.size()) - 2; i >= 0; --i) {
+      s[i] = s[i + 1] * dims_[i + 1];
+    }
+    return s;
+  }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// "[2, 3, 4]" — for error messages and logging.
+  std::string to_string() const {
+    std::string s = "[";
+    for (size_t i = 0; i < dims_.size(); ++i) {
+      if (i) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    return s + "]";
+  }
+
+  /// Maps a negative axis index onto [0, ndim) and bounds-checks.
+  int normalize_axis(int axis) const {
+    const int n = ndim();
+    if (axis < -n || axis >= n) {
+      throw std::out_of_range("axis " + std::to_string(axis) + " out of range for shape " +
+                              to_string());
+    }
+    return axis < 0 ? axis + n : axis;
+  }
+
+ private:
+  void validate() const {
+    for (int64_t d : dims_) {
+      if (d < 0) throw std::invalid_argument("negative dimension in shape " + to_string());
+    }
+  }
+
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace rp

@@ -1,0 +1,121 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rp {
+
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " + a.shape().to_string() +
+                                " vs " + b.shape().to_string());
+  }
+}
+}  // namespace
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::arange(int64_t n) {
+  Tensor t(Shape{n});
+  for (int64_t i = 0; i < n; ++i) t[i] = static_cast<float>(i);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data()) v = rng.normal(0.0f, stddev);
+  return t;
+}
+
+Tensor Tensor::rand(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data()) v = rng.uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  if (new_shape.numel() != numel()) {
+    throw std::invalid_argument("reshape: cannot view " + shape_.to_string() + " as " +
+                                new_shape.to_string());
+  }
+  Tensor t = *this;
+  t.shape_ = std::move(new_shape);
+  return t;
+}
+
+Tensor Tensor::slice0(int64_t i) const {
+  if (ndim() < 1 || i < 0 || i >= shape_[0]) {
+    throw std::out_of_range("slice0: index " + std::to_string(i) + " for shape " +
+                            shape_.to_string());
+  }
+  std::vector<int64_t> row_dims(shape_.dims().begin() + 1, shape_.dims().end());
+  Shape row_shape(std::move(row_dims));
+  const int64_t stride = row_shape.numel();
+  Tensor out(row_shape);
+  std::memcpy(out.data().data(), data().data() + i * stride,
+              static_cast<size_t>(stride) * sizeof(float));
+  return out;
+}
+
+void Tensor::set_slice0(int64_t i, const Tensor& row) {
+  if (ndim() < 1 || i < 0 || i >= shape_[0]) {
+    throw std::out_of_range("set_slice0: index out of range");
+  }
+  const int64_t stride = numel() / shape_[0];
+  if (row.numel() != stride) {
+    throw std::invalid_argument("set_slice0: row has " + std::to_string(row.numel()) +
+                                " elements, expected " + std::to_string(stride));
+  }
+  std::memcpy(data().data() + i * stride, row.data().data(),
+              static_cast<size_t>(stride) * sizeof(float));
+}
+
+Tensor& Tensor::operator+=(const Tensor& o) {
+  check_same_shape(*this, o, "operator+=");
+  const float* ob = o.data().data();
+  float* tb = data_.data();
+  for (size_t i = 0; i < data_.size(); ++i) tb[i] += ob[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& o) {
+  check_same_shape(*this, o, "operator-=");
+  const float* ob = o.data().data();
+  float* tb = data_.data();
+  for (size_t i = 0; i < data_.size(); ++i) tb[i] -= ob[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(const Tensor& o) {
+  check_same_shape(*this, o, "operator*=");
+  const float* ob = o.data().data();
+  float* tb = data_.data();
+  for (size_t i = 0; i < data_.size(); ++i) tb[i] *= ob[i];
+  return *this;
+}
+
+Tensor& Tensor::operator+=(float v) {
+  for (float& x : data_) x += v;
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float v) {
+  for (float& x : data_) x *= v;
+  return *this;
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+Tensor operator+(Tensor a, const Tensor& b) { return a += b; }
+Tensor operator-(Tensor a, const Tensor& b) { return a -= b; }
+Tensor operator*(Tensor a, const Tensor& b) { return a *= b; }
+Tensor operator+(Tensor a, float v) { return a += v; }
+Tensor operator*(Tensor a, float v) { return a *= v; }
+Tensor operator*(float v, Tensor a) { return a *= v; }
+
+}  // namespace rp

@@ -1,0 +1,78 @@
+#pragma once
+
+// Finite-difference gradient checking for Module implementations. Every
+// layer's backward pass is validated against central differences of a random
+// linear functional of the output: L(x) = sum_i c_i * f(x)_i, whose exact
+// output gradient is the coefficient tensor c.
+
+#include <cmath>
+
+#include "nn/module.hpp"
+#include "tensor/rng.hpp"
+
+namespace rp::testing {
+
+inline float linear_loss(const Tensor& y, const Tensor& coeffs) {
+  double s = 0.0;
+  const auto yd = y.data();
+  const auto cd = coeffs.data();
+  for (size_t i = 0; i < yd.size(); ++i) s += static_cast<double>(yd[i]) * cd[i];
+  return static_cast<float>(s);
+}
+
+/// Max absolute difference between the analytic input gradient and central
+/// finite differences, normalized by the gradient scale.
+inline double check_input_gradient(nn::Module& m, const Tensor& x, Rng& rng, bool train = true,
+                                   float eps = 1e-2f) {
+  Tensor y = m.forward(x, train);
+  Tensor coeffs = Tensor::randn(y.shape(), rng);
+  // Zero param grads so backward accumulation starts clean.
+  std::vector<nn::Parameter*> params;
+  m.collect_params(params);
+  for (auto* p : params) p->grad.zero();
+  Tensor analytic = m.backward(coeffs);
+
+  double max_err = 0.0, scale = 1e-6;
+  Tensor xp = x;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float orig = xp[i];
+    xp[i] = orig + eps;
+    const float lp = linear_loss(m.forward(xp, train), coeffs);
+    xp[i] = orig - eps;
+    const float lm = linear_loss(m.forward(xp, train), coeffs);
+    xp[i] = orig;
+    const double numeric = (static_cast<double>(lp) - lm) / (2.0 * eps);
+    max_err = std::max(max_err, std::fabs(numeric - analytic[i]));
+    scale = std::max(scale, std::fabs(numeric));
+  }
+  return max_err / scale;
+}
+
+/// Same for every parameter of the module.
+inline double check_param_gradients(nn::Module& m, const Tensor& x, Rng& rng, bool train = true,
+                                    float eps = 1e-2f) {
+  Tensor y = m.forward(x, train);
+  Tensor coeffs = Tensor::randn(y.shape(), rng);
+  std::vector<nn::Parameter*> params;
+  m.collect_params(params);
+  for (auto* p : params) p->grad.zero();
+  m.backward(coeffs);
+
+  double max_err = 0.0, scale = 1e-6;
+  for (auto* p : params) {
+    for (int64_t i = 0; i < p->value.numel(); ++i) {
+      const float orig = p->value[i];
+      p->value[i] = orig + eps;
+      const float lp = linear_loss(m.forward(x, train), coeffs);
+      p->value[i] = orig - eps;
+      const float lm = linear_loss(m.forward(x, train), coeffs);
+      p->value[i] = orig;
+      const double numeric = (static_cast<double>(lp) - lm) / (2.0 * eps);
+      max_err = std::max(max_err, std::fabs(numeric - p->grad[i]));
+      scale = std::max(scale, std::fabs(numeric));
+    }
+  }
+  return max_err / scale;
+}
+
+}  // namespace rp::testing

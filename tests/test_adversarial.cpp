@@ -1,0 +1,115 @@
+#include "core/adversarial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synth.hpp"
+#include "nn/models.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/ops.hpp"
+
+namespace rp::core {
+namespace {
+
+data::DatasetPtr small_ds() {
+  data::SynthConfig cfg;
+  cfg.n = 160;
+  cfg.seed = 51;
+  cfg.params.noise_sigma = 0.02f;
+  cfg.params.rot_jitter = 0.2f;
+  cfg.params.color_jitter = 0.06f;
+  cfg.params.clutter_prob = 0.0f;
+  return data::make_synth_classification(cfg);
+}
+
+nn::NetworkPtr trained_net() {
+  static std::vector<std::pair<std::string, Tensor>> state;
+  auto net = nn::build_network("resnet8", nn::synth_cifar_task(), 2);
+  if (state.empty()) {
+    auto ds = small_ds();
+    nn::TrainConfig tc;
+    tc.epochs = 5;
+    tc.batch_size = 32;
+    tc.schedule.base_lr = 0.1f;
+    tc.schedule.warmup_epochs = 0;
+    tc.schedule.milestones = {4};
+    nn::train(*net, *ds, tc);
+    state = net->state();
+  } else {
+    net->load_state(state);
+  }
+  return net;
+}
+
+TEST(Adversarial, InputGradientHasImageShapeAndIsNonzero) {
+  auto net = trained_net();
+  auto ds = small_ds();
+  const Tensor g = input_gradient(*net, ds->image(0), ds->label(0));
+  EXPECT_EQ(g.shape(), (Shape{3, 16, 16}));
+  EXPECT_GT(l2_norm(g), 0.0f);
+}
+
+TEST(Adversarial, InputGradientRejectsBatchedInput) {
+  auto net = trained_net();
+  EXPECT_THROW(input_gradient(*net, Tensor(Shape{1, 3, 16, 16}), 0), std::invalid_argument);
+}
+
+TEST(Adversarial, FgsmStaysInEpsBallAndRange) {
+  auto net = trained_net();
+  auto ds = small_ds();
+  const Tensor clean = ds->image(1);
+  const float eps = 0.03f;
+  const Tensor adv = fgsm(*net, clean, ds->label(1), eps);
+  for (int64_t i = 0; i < clean.numel(); ++i) {
+    EXPECT_LE(std::fabs(adv[i] - clean[i]), eps + 1e-6f);
+    EXPECT_GE(adv[i], 0.0f);
+    EXPECT_LE(adv[i], 1.0f);
+  }
+}
+
+TEST(Adversarial, PgdStaysInEpsBall) {
+  auto net = trained_net();
+  auto ds = small_ds();
+  const Tensor clean = ds->image(2);
+  const float eps = 0.05f;
+  const Tensor adv = pgd(*net, clean, ds->label(2), eps, eps / 4, 6);
+  for (int64_t i = 0; i < clean.numel(); ++i) {
+    EXPECT_LE(std::fabs(adv[i] - clean[i]), eps + 1e-6f);
+    EXPECT_GE(adv[i], 0.0f);
+    EXPECT_LE(adv[i], 1.0f);
+  }
+}
+
+TEST(Adversarial, PgdRejectsZeroSteps) {
+  auto net = trained_net();
+  auto ds = small_ds();
+  EXPECT_THROW(pgd(*net, ds->image(0), 0, 0.05f, 0.01f, 0), std::invalid_argument);
+}
+
+TEST(Adversarial, AttacksReduceAccuracy) {
+  auto net = trained_net();
+  auto ds = small_ds();
+  const double clean = adversarial_accuracy(*net, *ds, Attack::Fgsm, 0.0f, 64);
+  const double fgsm_acc = adversarial_accuracy(*net, *ds, Attack::Fgsm, 0.1f, 64);
+  const double pgd_acc = adversarial_accuracy(*net, *ds, Attack::Pgd, 0.1f, 64);
+  EXPECT_GT(clean, 0.5);            // the net actually learned the task
+  EXPECT_LT(fgsm_acc, clean);       // FGSM hurts
+  EXPECT_LE(pgd_acc, fgsm_acc + 0.1);  // PGD at least comparable to FGSM
+}
+
+TEST(Adversarial, ZeroEpsIsCleanAccuracy) {
+  auto net = trained_net();
+  auto ds = small_ds();
+  const double a = adversarial_accuracy(*net, *ds, Attack::Fgsm, 0.0f, 32);
+  const double b = adversarial_accuracy(*net, *ds, Attack::Pgd, 0.0f, 32);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Adversarial, AttackNames) {
+  EXPECT_EQ(to_string(Attack::Fgsm), "FGSM");
+  EXPECT_EQ(to_string(Attack::Pgd), "PGD");
+}
+
+}  // namespace
+}  // namespace rp::core

@@ -1,0 +1,95 @@
+#include "data/augment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+
+namespace rp::data {
+namespace {
+
+TEST(Augment, HflipIsInvolution) {
+  Rng rng(1);
+  Tensor img = Tensor::rand(Shape{3, 8, 8}, rng);
+  EXPECT_LT(l2_distance(hflip(hflip(img)), img), 1e-6f);
+}
+
+TEST(Augment, HflipMirrorsColumns) {
+  Tensor img = Tensor::arange(4).reshape(Shape{1, 1, 4});
+  Tensor f = hflip(img);
+  EXPECT_EQ(f[0], 3.0f);
+  EXPECT_EQ(f[3], 0.0f);
+}
+
+TEST(Augment, HflipRejectsNon3d) {
+  EXPECT_THROW(hflip(Tensor(Shape{8, 8})), std::invalid_argument);
+}
+
+TEST(Augment, PadCropCenterIsIdentity) {
+  Rng rng(2);
+  Tensor img = Tensor::rand(Shape{3, 8, 8}, rng);
+  Tensor out = pad_crop(img, 2, 2, 2);
+  EXPECT_LT(l2_distance(out, img), 1e-6f);
+}
+
+TEST(Augment, PadCropShiftsContent) {
+  Tensor img = Tensor::arange(16).reshape(Shape{1, 4, 4});
+  // offset (pad+1, pad) = shift up by one row.
+  Tensor out = pad_crop(img, 1, 2, 1);
+  EXPECT_EQ(out.at(0, 0, 0), img.at(0, 1, 0));
+}
+
+TEST(Augment, PadCropReflectsAtBorder) {
+  Tensor img = Tensor::arange(4).reshape(Shape{1, 2, 2});
+  Tensor out = pad_crop(img, 1, 0, 1);  // shift down: top row from reflection
+  EXPECT_EQ(out.at(0, 0, 0), img.at(0, 0, 0));  // reflect(-1) == 0
+}
+
+TEST(Augment, PadCropRejectsBadOffsets) {
+  Tensor img(Shape{1, 4, 4});
+  EXPECT_THROW(pad_crop(img, 2, 5, 0), std::out_of_range);
+  EXPECT_THROW(pad_crop(img, 2, 0, -1), std::out_of_range);
+}
+
+TEST(Augment, PadCropFlipPreservesShapeAndRange) {
+  Rng rng(3);
+  Tensor img = Tensor::rand(Shape{3, 16, 16}, rng);
+  auto t = pad_crop_flip(2);
+  for (int i = 0; i < 20; ++i) {
+    Tensor out = t(img, rng);
+    ASSERT_EQ(out.shape(), img.shape());
+    for (float v : out.data()) {
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 1.0f);
+    }
+  }
+}
+
+TEST(Augment, PadCropFlipIsRngDeterministic) {
+  Rng rng1(7), rng2(7);
+  Rng data_rng(4);
+  Tensor img = Tensor::rand(Shape{3, 8, 8}, data_rng);
+  auto t = pad_crop_flip(2);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_LT(l2_distance(t(img, rng1), t(img, rng2)), 1e-6f);
+  }
+}
+
+TEST(Augment, ComposeAppliesLeftToRight) {
+  ImageTransform add1 = [](const Tensor& img, Rng&) { return img + 1.0f; };
+  ImageTransform dbl = [](const Tensor& img, Rng&) { return img * 2.0f; };
+  auto t = compose({add1, dbl});
+  Rng rng(5);
+  Tensor img = Tensor::zeros(Shape{1, 2, 2});
+  Tensor out = t(img, rng);
+  for (float v : out.data()) EXPECT_EQ(v, 2.0f);  // (0+1)*2
+}
+
+TEST(Augment, ComposeEmptyIsIdentity) {
+  auto t = compose({});
+  Rng rng(6);
+  Tensor img = Tensor::rand(Shape{1, 2, 2}, rng);
+  EXPECT_LT(l2_distance(t(img, rng), img), 1e-6f);
+}
+
+}  // namespace
+}  // namespace rp::data

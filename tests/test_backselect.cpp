@@ -1,0 +1,165 @@
+#include "core/backselect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/synth.hpp"
+#include "nn/models.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/ops.hpp"
+
+namespace rp::core {
+namespace {
+
+nn::NetworkPtr small_trained_net() {
+  static std::vector<std::pair<std::string, Tensor>> state;
+  auto net = nn::build_network("resnet8", nn::synth_cifar_task(), 1);
+  if (state.empty()) {
+    data::SynthConfig cfg;
+    cfg.n = 160;
+    cfg.seed = 21;
+    auto ds = data::make_synth_classification(cfg);
+    nn::TrainConfig tc;
+    tc.epochs = 3;
+    tc.batch_size = 32;
+    tc.schedule.base_lr = 0.1f;
+    tc.schedule.warmup_epochs = 0;
+    nn::train(*net, *ds, tc);
+    state = net->state();
+  } else {
+    net->load_state(state);
+  }
+  return net;
+}
+
+Tensor sample_image(int64_t i = 0) {
+  data::SynthConfig cfg;
+  cfg.n = 8;
+  cfg.seed = 22;
+  return data::make_synth_classification(cfg)->image(i);
+}
+
+TEST(BackSelect, OrderIsAPermutationOfAllPixels) {
+  auto net = small_trained_net();
+  BackSelectConfig cfg;
+  cfg.chunk = 32;
+  const auto order = backselect_order(*net, sample_image(), 0, cfg);
+  ASSERT_EQ(order.size(), 256u);
+  std::set<int64_t> seen(order.begin(), order.end());
+  EXPECT_EQ(seen.size(), 256u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 255);
+}
+
+TEST(BackSelect, ChunkOneAndBigChunkBothCoverAllPixels) {
+  auto net = small_trained_net();
+  Tensor tiny = sample_image();
+  BackSelectConfig big;
+  big.chunk = 256;
+  EXPECT_EQ(backselect_order(*net, tiny, 0, big).size(), 256u);
+}
+
+TEST(BackSelect, RejectsBadInput) {
+  auto net = small_trained_net();
+  BackSelectConfig cfg;
+  cfg.chunk = 0;
+  EXPECT_THROW(backselect_order(*net, sample_image(), 0, cfg), std::invalid_argument);
+  EXPECT_THROW(backselect_order(*net, Tensor(Shape{3, 16}), 0, {}), std::invalid_argument);
+}
+
+TEST(InformativeMask, KeepsExactlyTheTailFraction) {
+  std::vector<int64_t> order(100);
+  for (int64_t i = 0; i < 100; ++i) order[static_cast<size_t>(i)] = i;
+  const auto mask = informative_mask(order, 0.1);
+  ASSERT_EQ(mask.size(), 100u);
+  int kept = 0;
+  for (size_t i = 0; i < 100; ++i) {
+    kept += mask[i];
+    // Order is ascending informativeness: kept pixels are the last removed.
+    EXPECT_EQ(mask[i], i >= 90 ? 1 : 0);
+  }
+  EXPECT_EQ(kept, 10);
+}
+
+TEST(InformativeMask, BoundsChecked) {
+  std::vector<int64_t> order{0, 1};
+  EXPECT_THROW(informative_mask(order, -0.1), std::invalid_argument);
+  EXPECT_THROW(informative_mask(order, 1.5), std::invalid_argument);
+  EXPECT_EQ(informative_mask(order, 1.0), (std::vector<uint8_t>{1, 1}));
+  EXPECT_EQ(informative_mask(order, 0.0), (std::vector<uint8_t>{0, 0}));
+}
+
+TEST(ApplyPixelMask, FillsMaskedPixelsAcrossChannels) {
+  Tensor img = Tensor::ones(Shape{3, 2, 2});
+  std::vector<uint8_t> keep{1, 0, 0, 1};
+  Tensor out = apply_pixel_mask(img, keep, 0.25f);
+  for (int64_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(out.at(c, 0, 0), 1.0f);
+    EXPECT_EQ(out.at(c, 0, 1), 0.25f);
+    EXPECT_EQ(out.at(c, 1, 0), 0.25f);
+    EXPECT_EQ(out.at(c, 1, 1), 1.0f);
+  }
+}
+
+TEST(ApplyPixelMask, SizeMismatchThrows) {
+  Tensor img(Shape{3, 2, 2});
+  std::vector<uint8_t> wrong{1, 0};
+  EXPECT_THROW(apply_pixel_mask(img, wrong, 0.5f), std::invalid_argument);
+}
+
+TEST(Confidence, IsAProbability) {
+  auto net = small_trained_net();
+  const float c = confidence(*net, sample_image(), 3);
+  EXPECT_GT(c, 0.0f);
+  EXPECT_LT(c, 1.0f);
+}
+
+TEST(BackSelect, InformativePixelsSupportHigherConfidenceThanUninformative) {
+  // The core property: keeping the most informative 25% should preserve the
+  // prediction better than keeping the least informative 25%.
+  auto net = small_trained_net();
+  BackSelectConfig cfg;
+  cfg.chunk = 32;
+  double info_conf = 0.0, junk_conf = 0.0;
+  for (int64_t i = 0; i < 4; ++i) {
+    const Tensor img = sample_image(i);
+    Tensor single(Shape{1, 3, 16, 16});
+    single.set_slice0(0, img);
+    const auto pred = argmax_rows(net->forward(single))[0];
+    const auto order = backselect_order(*net, img, pred, cfg);
+    const auto keep_top = informative_mask(order, 0.25);
+    std::vector<uint8_t> keep_bottom(keep_top.size());
+    for (size_t p = 0; p < keep_top.size(); ++p) keep_bottom[p] = 1 - keep_top[p];
+    // keep_bottom keeps 75%; restrict to the *first* 25% removed instead.
+    std::vector<uint8_t> keep_first(keep_top.size(), 0);
+    for (size_t k = 0; k < order.size() / 4; ++k) keep_first[static_cast<size_t>(order[k])] = 1;
+    info_conf += confidence(*net, apply_pixel_mask(img, keep_top, cfg.fill), pred);
+    junk_conf += confidence(*net, apply_pixel_mask(img, keep_first, cfg.fill), pred);
+  }
+  EXPECT_GT(info_conf, junk_conf);
+}
+
+TEST(InformativeFeatureMatrix, ShapeAndRange) {
+  auto a = small_trained_net();
+  auto b = small_trained_net();
+  data::SynthConfig cfg;
+  cfg.n = 2;
+  cfg.seed = 23;
+  auto ds = data::make_synth_classification(cfg);
+  const std::vector<ModelRef> models{{"a", a.get()}, {"b", b.get()}};
+  BackSelectConfig bs;
+  bs.chunk = 64;
+  const Tensor m = informative_feature_matrix(models, *ds, 2, 0.1, bs);
+  ASSERT_EQ(m.shape(), (Shape{2, 2}));
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_GE(m[i], 0.0f);
+    EXPECT_LE(m[i], 1.0f);
+  }
+  // Identical models: matrix symmetric and diagonal == off-diagonal.
+  EXPECT_NEAR(m.at(0, 0), m.at(1, 1), 1e-5f);
+  EXPECT_NEAR(m.at(0, 1), m.at(1, 0), 1e-5f);
+}
+
+}  // namespace
+}  // namespace rp::core

@@ -1,0 +1,135 @@
+#include "nn/blocks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grad_check.hpp"
+
+namespace rp::nn {
+namespace {
+
+constexpr double kGradTol = 3e-2;
+
+TEST(ResidualBlock, IdentityShortcutShape) {
+  Rng rng(1);
+  ResidualBlock block("b", 4, 4, 1, 6, 6, rng);
+  Tensor x = Tensor::randn(Shape{2, 4, 6, 6}, rng);
+  EXPECT_EQ(block.forward(x, false).shape(), x.shape());
+}
+
+TEST(ResidualBlock, ProjectionShortcutShape) {
+  Rng rng(2);
+  ResidualBlock block("b", 4, 8, 2, 6, 6, rng);
+  Tensor x = Tensor::randn(Shape{2, 4, 6, 6}, rng);
+  EXPECT_EQ(block.forward(x, false).shape(), (Shape{2, 8, 3, 3}));
+}
+
+TEST(ResidualBlock, OutputIsNonNegative) {
+  Rng rng(3);
+  ResidualBlock block("b", 2, 2, 1, 4, 4, rng);
+  Tensor x = Tensor::randn(Shape{4, 2, 4, 4}, rng);
+  Tensor y = block.forward(x, true);
+  for (float v : y.data()) EXPECT_GE(v, 0.0f);
+}
+
+TEST(ResidualBlock, IdentityGradient) {
+  Rng rng(4);
+  ResidualBlock block("b", 2, 2, 1, 4, 4, rng);
+  Tensor x = Tensor::randn(Shape{3, 2, 4, 4}, rng);
+  EXPECT_LT(rp::testing::check_input_gradient(block, x, rng), kGradTol);
+}
+
+TEST(ResidualBlock, ProjectionGradient) {
+  Rng rng(5);
+  ResidualBlock block("b", 2, 4, 2, 4, 4, rng);
+  Tensor x = Tensor::randn(Shape{3, 2, 4, 4}, rng);
+  EXPECT_LT(rp::testing::check_input_gradient(block, x, rng), kGradTol);
+  EXPECT_LT(rp::testing::check_param_gradients(block, x, rng), kGradTol);
+}
+
+TEST(ResidualBlock, IdentityBlockHasTwoPrunableConvs) {
+  Rng rng(6);
+  ResidualBlock block("b", 4, 4, 1, 6, 6, rng);
+  std::vector<PrunableSpec> specs;
+  block.collect_prunable(specs);
+  EXPECT_EQ(specs.size(), 2u);
+}
+
+TEST(ResidualBlock, ProjectionBlockHasThreePrunableConvs) {
+  Rng rng(7);
+  ResidualBlock block("b", 4, 8, 2, 6, 6, rng);
+  std::vector<PrunableSpec> specs;
+  block.collect_prunable(specs);
+  EXPECT_EQ(specs.size(), 3u);
+}
+
+TEST(ResidualBlock, ConvsAreCoupledToTheirBatchNorms) {
+  Rng rng(8);
+  ResidualBlock block("b", 2, 2, 1, 4, 4, rng);
+  std::vector<PrunableSpec> specs;
+  block.collect_prunable(specs);
+  for (const auto& s : specs) {
+    EXPECT_EQ(s.out_coupled.size(), 2u) << s.layer_name;  // gamma + beta
+  }
+}
+
+TEST(ResidualBlock, CollectsBatchNormBuffers) {
+  Rng rng(9);
+  ResidualBlock block("b", 2, 4, 2, 4, 4, rng);  // 2 main BNs + 1 projection BN
+  std::vector<std::pair<std::string, Tensor*>> bufs;
+  block.collect_buffers(bufs);
+  EXPECT_EQ(bufs.size(), 6u);
+}
+
+TEST(DenseLayer, GrowsChannels) {
+  Rng rng(10);
+  DenseLayer layer("d", 4, 3, 4, 4, rng);
+  Tensor x = Tensor::randn(Shape{2, 4, 4, 4}, rng);
+  Tensor y = layer.forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{2, 7, 4, 4}));
+}
+
+TEST(DenseLayer, PassthroughChannelsAreUnchanged) {
+  Rng rng(11);
+  DenseLayer layer("d", 2, 2, 4, 4, rng);
+  Tensor x = Tensor::randn(Shape{1, 2, 4, 4}, rng);
+  Tensor y = layer.forward(x, false);
+  for (int64_t c = 0; c < 2; ++c) {
+    for (int64_t p = 0; p < 16; ++p) {
+      EXPECT_EQ(y.at(0, c, p / 4, p % 4), x.at(0, c, p / 4, p % 4));
+    }
+  }
+}
+
+TEST(DenseLayer, Gradient) {
+  Rng rng(12);
+  DenseLayer layer("d", 2, 2, 4, 4, rng);
+  Tensor x = Tensor::randn(Shape{3, 2, 4, 4}, rng);
+  EXPECT_LT(rp::testing::check_input_gradient(layer, x, rng), kGradTol);
+  EXPECT_LT(rp::testing::check_param_gradients(layer, x, rng), kGradTol);
+}
+
+TEST(DenseTransition, HalvesSpatialDims) {
+  Rng rng(13);
+  auto t = make_dense_transition("t", 8, 4, 6, 6, rng);
+  Tensor x = Tensor::randn(Shape{2, 8, 6, 6}, rng);
+  EXPECT_EQ(t->forward(x, false).shape(), (Shape{2, 4, 3, 3}));
+}
+
+TEST(ConvBnRelu, ShapeAndNonNegativity) {
+  Rng rng(14);
+  auto unit = make_conv_bn_relu("u", 3, 8, 2, 6, 6, rng);
+  Tensor x = Tensor::randn(Shape{2, 3, 6, 6}, rng);
+  Tensor y = unit->forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{2, 8, 3, 3}));
+  for (float v : y.data()) EXPECT_GE(v, 0.0f);
+}
+
+TEST(ConvBnRelu, Gradient) {
+  Rng rng(15);
+  auto unit = make_conv_bn_relu("u", 2, 3, 1, 4, 4, rng);
+  Tensor x = Tensor::randn(Shape{3, 2, 4, 4}, rng);
+  EXPECT_LT(rp::testing::check_input_gradient(*unit, x, rng), kGradTol);
+}
+
+}  // namespace
+}  // namespace rp::nn

@@ -1,0 +1,89 @@
+#include "exp/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "tensor/rng.hpp"
+
+namespace rp::exp {
+namespace {
+
+class CacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "rp_cache_test").string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(CacheTest, CreatesDirectory) {
+  ArtifactCache cache(dir_);
+  EXPECT_TRUE(std::filesystem::is_directory(dir_));
+}
+
+TEST_F(CacheTest, StateRoundTrip) {
+  ArtifactCache cache(dir_);
+  Rng rng(1);
+  std::vector<std::pair<std::string, Tensor>> state;
+  state.emplace_back("w", Tensor::randn(Shape{3, 3}, rng));
+  state.emplace_back("b", Tensor::randn(Shape{3}, rng));
+  EXPECT_FALSE(cache.has("model/a"));
+  cache.put_state("model/a", state);
+  EXPECT_TRUE(cache.has("model/a"));
+  const auto loaded = cache.get_state("model/a");
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].first, "w");
+  for (int64_t i = 0; i < 9; ++i) EXPECT_EQ((*loaded)[0].second[i], state[0].second[i]);
+}
+
+TEST_F(CacheTest, MissingKeyIsNullopt) {
+  ArtifactCache cache(dir_);
+  EXPECT_FALSE(cache.get_state("nope").has_value());
+  EXPECT_FALSE(cache.get_values("nope").has_value());
+}
+
+TEST_F(CacheTest, KeysWithSlashesAndSpacesAreSanitized) {
+  ArtifactCache cache(dir_);
+  cache.put_values("a/b c:d/e", {1.0, 2.0});
+  EXPECT_TRUE(cache.has("a/b c:d/e"));
+  const auto v = cache.get_values("a/b c:d/e");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ((*v)[1], 2.0);
+  // No nested directories were created.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    EXPECT_TRUE(entry.is_regular_file());
+  }
+}
+
+TEST_F(CacheTest, ValuesRoundTripPreservesOrder) {
+  ArtifactCache cache(dir_);
+  const std::vector<double> vals{0.45, 0.7, 0.83};
+  cache.put_values("ratios", vals);
+  const auto v = cache.get_values("ratios");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_EQ(v->size(), 3u);
+  for (size_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(static_cast<float>((*v)[i]),
+                                                 static_cast<float>(vals[i]));
+}
+
+TEST_F(CacheTest, OverwriteReplacesValue) {
+  ArtifactCache cache(dir_);
+  cache.put_values("k", {1.0});
+  cache.put_values("k", {2.0});
+  EXPECT_EQ((*cache.get_values("k"))[0], 2.0);
+}
+
+TEST_F(CacheTest, DistinctKeysDoNotCollide) {
+  ArtifactCache cache(dir_);
+  cache.put_values("a/b", {1.0});
+  cache.put_values("a_b2", {2.0});
+  EXPECT_EQ((*cache.get_values("a/b"))[0], 1.0);
+  EXPECT_EQ((*cache.get_values("a_b2"))[0], 2.0);
+}
+
+}  // namespace
+}  // namespace rp::exp

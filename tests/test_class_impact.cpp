@@ -1,0 +1,101 @@
+#include "core/class_impact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pruner.hpp"
+#include "data/synth.hpp"
+#include "nn/models.hpp"
+#include "nn/trainer.hpp"
+
+namespace rp::core {
+namespace {
+
+data::DatasetPtr eval_ds() {
+  data::SynthConfig cfg;
+  cfg.n = 60;
+  cfg.seed = 81;
+  return data::make_synth_classification(cfg);
+}
+
+nn::NetworkPtr trained_net() {
+  static std::vector<std::pair<std::string, Tensor>> state;
+  auto net = nn::build_network("resnet8", nn::synth_cifar_task(), 4);
+  if (state.empty()) {
+    data::SynthConfig cfg;
+    cfg.n = 160;
+    cfg.seed = 80;
+    auto ds = data::make_synth_classification(cfg);
+    nn::TrainConfig tc;
+    tc.epochs = 3;
+    tc.batch_size = 32;
+    tc.schedule.base_lr = 0.1f;
+    tc.schedule.warmup_epochs = 0;
+    nn::train(*net, *ds, tc);
+    state = net->state();
+  } else {
+    net->load_state(state);
+  }
+  return net;
+}
+
+TEST(PerClassAccuracy, CountsAndAveragesAreConsistent) {
+  auto net = trained_net();
+  auto ds = eval_ds();
+  const auto per_class = per_class_accuracy(*net, *ds);
+  ASSERT_EQ(per_class.size(), 10u);
+  int64_t total = 0;
+  double weighted = 0.0;
+  for (const auto& ca : per_class) {
+    EXPECT_EQ(ca.count, 6);  // balanced generator
+    EXPECT_GE(ca.accuracy, 0.0);
+    EXPECT_LE(ca.accuracy, 1.0);
+    total += ca.count;
+    weighted += ca.accuracy * ca.count;
+  }
+  EXPECT_EQ(total, ds->size());
+  const auto overall = nn::evaluate(*net, *ds).accuracy;
+  EXPECT_NEAR(weighted / total, overall, 1e-9);
+}
+
+TEST(PerClassAccuracy, RejectsSegmentationData) {
+  auto net = nn::build_network("segnet", nn::synth_seg_task(), 1);
+  auto ds = data::make_synth_segmentation(4, 1, data::nominal_params());
+  EXPECT_THROW(per_class_accuracy(*net, *ds), std::invalid_argument);
+}
+
+TEST(ClassImpact, IdenticalNetworksHaveZeroImpact) {
+  auto net = trained_net();
+  auto copy = net->clone();
+  const auto impacts = class_impact(*net, *copy, *eval_ds());
+  for (const auto& ci : impacts) {
+    EXPECT_EQ(ci.impact, 0.0);
+    EXPECT_EQ(ci.dense_accuracy, ci.pruned_accuracy);
+  }
+  EXPECT_EQ(impact_spread(impacts), 0.0);
+}
+
+TEST(ClassImpact, SortedByDescendingImpact) {
+  auto dense = trained_net();
+  auto pruned = dense->clone();
+  prune_to_ratio(*pruned, PruneMethod::WT, 0.8);  // harsh, no retraining
+  const auto impacts = class_impact(*dense, *pruned, *eval_ds());
+  for (size_t i = 1; i < impacts.size(); ++i) {
+    EXPECT_GE(impacts[i - 1].impact, impacts[i].impact);
+  }
+}
+
+TEST(ClassImpact, HarshPruningProducesNonuniformDamage) {
+  auto dense = trained_net();
+  auto pruned = dense->clone();
+  prune_to_ratio(*pruned, PruneMethod::WT, 0.85);
+  const auto impacts = class_impact(*dense, *pruned, *eval_ds());
+  // Selective damage: at least some spread across classes.
+  EXPECT_GT(impact_spread(impacts), 0.0);
+}
+
+TEST(ImpactSpread, EmptyThrows) {
+  EXPECT_THROW(impact_spread({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rp::core

@@ -1,0 +1,202 @@
+#include "corrupt/corruption.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corrupt/image_util.hpp"
+#include "data/synth.hpp"
+#include "tensor/ops.hpp"
+
+namespace rp::corrupt {
+namespace {
+
+Tensor test_image(uint64_t seed = 1) {
+  data::SynthConfig cfg;
+  cfg.n = 1;
+  cfg.seed = seed;
+  return data::make_synth_classification(cfg)->image(0);
+}
+
+class CorruptionTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CorruptionTest, PreservesShapeAndRange) {
+  const Corruption& c = get(GetParam());
+  const Tensor img = test_image();
+  for (int sev = 1; sev <= 5; ++sev) {
+    Rng rng(10 + static_cast<uint64_t>(sev));
+    Tensor out = c.apply(img, sev, rng);
+    ASSERT_EQ(out.shape(), img.shape());
+    for (float v : out.data()) {
+      ASSERT_GE(v, 0.0f) << c.name() << " sev " << sev;
+      ASSERT_LE(v, 1.0f) << c.name() << " sev " << sev;
+    }
+  }
+}
+
+TEST_P(CorruptionTest, ActuallyChangesTheImage) {
+  const Corruption& c = get(GetParam());
+  const Tensor img = test_image();
+  Rng rng(42);
+  EXPECT_GT(l2_distance(c.apply(img, 3, rng), img), 1e-3f) << c.name();
+}
+
+TEST_P(CorruptionTest, DeterministicGivenRngState) {
+  const Corruption& c = get(GetParam());
+  const Tensor img = test_image();
+  Rng r1(7), r2(7);
+  EXPECT_LT(l2_distance(c.apply(img, 4, r1), c.apply(img, 4, r2)), 1e-6f) << c.name();
+}
+
+TEST_P(CorruptionTest, SeverityFiveDistortsMoreThanSeverityOne) {
+  const Corruption& c = get(GetParam());
+  // Average over images so stochastic corruptions compare stably.
+  double d1 = 0.0, d5 = 0.0;
+  for (uint64_t s = 0; s < 8; ++s) {
+    const Tensor img = test_image(s);
+    Rng r1(100 + s), r5(100 + s);
+    d1 += l2_distance(c.apply(img, 1, r1), img);
+    d5 += l2_distance(c.apply(img, 5, r5), img);
+  }
+  EXPECT_GT(d5, d1) << c.name();
+}
+
+TEST_P(CorruptionTest, InvalidSeverityThrows) {
+  const Corruption& c = get(GetParam());
+  const Tensor img = test_image();
+  Rng rng(1);
+  EXPECT_THROW(c.apply(img, 0, rng), std::invalid_argument);
+  EXPECT_THROW(c.apply(img, 6, rng), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCorruptions, CorruptionTest,
+                         ::testing::ValuesIn(all_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(CorruptionRegistry, HasSixteenEntries) { EXPECT_EQ(registry().size(), 16u); }
+
+TEST(CorruptionRegistry, FourCategoriesOfFour) {
+  for (const std::string cat : {"noise", "blur", "weather", "digital"}) {
+    EXPECT_EQ(names_in_category(cat).size(), 4u) << cat;
+  }
+}
+
+TEST(CorruptionRegistry, UnknownNameThrows) {
+  EXPECT_THROW(get("vaporwave"), std::invalid_argument);
+  EXPECT_THROW(names_in_category("cosmic"), std::invalid_argument);
+}
+
+TEST(CorruptionRegistry, TransformValidatesEagerly) {
+  EXPECT_THROW(transform("nope", 3), std::invalid_argument);
+  EXPECT_NO_THROW(transform("gauss", 3));
+}
+
+TEST(UniformNoise, RespectsEpsBound) {
+  const Tensor img = test_image();
+  const float eps = 0.05f;
+  Rng rng(3);
+  Tensor out = uniform_noise(eps)(img, rng);
+  for (int64_t i = 0; i < img.numel(); ++i) {
+    // Bound holds up to clamping into [0, 1].
+    EXPECT_LE(std::abs(out[i] - img[i]), eps + 1e-6f);
+  }
+}
+
+TEST(UniformNoise, ZeroEpsIsIdentity) {
+  const Tensor img = test_image();
+  Rng rng(4);
+  EXPECT_LT(l2_distance(uniform_noise(0.0f)(img, rng), img), 1e-6f);
+}
+
+TEST(MakeCorrupted, BakesWholeDataset) {
+  data::SynthConfig cfg;
+  cfg.n = 10;
+  cfg.seed = 5;
+  auto ds = data::make_synth_classification(cfg);
+  auto corrupted = make_corrupted(*ds, "gauss", 3, 77);
+  EXPECT_EQ(corrupted->size(), 10);
+  EXPECT_EQ(corrupted->distribution(), "gauss/3");
+  for (int64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(corrupted->label(i), ds->label(i));
+    EXPECT_GT(l2_distance(corrupted->image(i), ds->image(i)), 1e-3f);
+  }
+}
+
+TEST(MakeCorrupted, SeedDeterminism) {
+  data::SynthConfig cfg;
+  cfg.n = 4;
+  cfg.seed = 6;
+  auto ds = data::make_synth_classification(cfg);
+  auto a = make_corrupted(*ds, "impulse", 3, 9);
+  auto b = make_corrupted(*ds, "impulse", 3, 9);
+  auto c = make_corrupted(*ds, "impulse", 3, 10);
+  EXPECT_LT(l2_distance(a->image(2), b->image(2)), 1e-6f);
+  EXPECT_GT(l2_distance(a->image(2), c->image(2)), 1e-4f);
+}
+
+TEST(MakeNoisy, NamesDistribution) {
+  data::SynthConfig cfg;
+  cfg.n = 3;
+  auto ds = data::make_synth_classification(cfg);
+  auto noisy = make_noisy(*ds, 0.1f, 1);
+  EXPECT_EQ(noisy->distribution(), "noise/0.100");
+}
+
+// ----- image_util primitives -------------------------------------------------------
+
+TEST(ImageUtil, BilinearSampleAtGridPointsIsExact) {
+  Tensor img = Tensor::arange(9).reshape(Shape{1, 3, 3});
+  EXPECT_FLOAT_EQ(bilinear_sample(img, 0, 1.0f, 2.0f), 5.0f);
+}
+
+TEST(ImageUtil, BilinearSampleInterpolatesMidpoints) {
+  Tensor img = Tensor::arange(4).reshape(Shape{1, 2, 2});
+  EXPECT_FLOAT_EQ(bilinear_sample(img, 0, 0.5f, 0.5f), 1.5f);
+}
+
+TEST(ImageUtil, BilinearSampleClampsOutside) {
+  Tensor img = Tensor::arange(4).reshape(Shape{1, 2, 2});
+  EXPECT_FLOAT_EQ(bilinear_sample(img, 0, -5.0f, -5.0f), 0.0f);
+  EXPECT_FLOAT_EQ(bilinear_sample(img, 0, 10.0f, 10.0f), 3.0f);
+}
+
+TEST(ImageUtil, KernelsAreNormalized) {
+  for (float r : {0.5f, 1.0f, 2.5f}) {
+    EXPECT_NEAR(sum(disk_kernel(r)), 1.0f, 1e-5f) << "disk r=" << r;
+  }
+  for (int64_t len : {2, 5, 8}) {
+    EXPECT_NEAR(sum(line_kernel(len, 0.7f)), 1.0f, 1e-4f) << "line len=" << len;
+  }
+}
+
+TEST(ImageUtil, ConvKernelWithDeltaIsIdentity) {
+  Tensor delta(Shape{3, 3});
+  delta.at(1, 1) = 1.0f;
+  Rng rng(8);
+  Tensor img = Tensor::rand(Shape{2, 5, 5}, rng);
+  EXPECT_LT(l2_distance(conv_kernel(img, delta), img), 1e-6f);
+}
+
+TEST(ImageUtil, ConvKernelPreservesMeanOfConstant) {
+  Tensor img = Tensor::full(Shape{1, 6, 6}, 0.7f);
+  Tensor blurred = conv_kernel(img, disk_kernel(1.5f));
+  for (float v : blurred.data()) EXPECT_NEAR(v, 0.7f, 1e-5f);
+}
+
+TEST(ImageUtil, LowfreqNoiseInRangeAndSmooth) {
+  Rng rng(9);
+  Tensor field = lowfreq_noise(16, 16, 4, rng);
+  EXPECT_EQ(field.shape(), (Shape{16, 16}));
+  float max_step = 0.0f;
+  for (int64_t y = 0; y < 16; ++y) {
+    for (int64_t x = 0; x < 16; ++x) {
+      EXPECT_GE(field.at(y, x), 0.0f);
+      EXPECT_LE(field.at(y, x), 1.0f);
+      if (x > 0) max_step = std::max(max_step, std::abs(field.at(y, x) - field.at(y, x - 1)));
+    }
+  }
+  EXPECT_LT(max_step, 0.5f);  // bilinear upsampling bounds local steps
+}
+
+}  // namespace
+}  // namespace rp::corrupt

@@ -1,0 +1,186 @@
+// Semantic property tests for individual corruption families: each family
+// must distort images in its characteristic way, not merely "change pixels".
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "corrupt/corruption.hpp"
+#include "data/synth.hpp"
+#include "tensor/ops.hpp"
+
+namespace rp::corrupt {
+namespace {
+
+Tensor test_image(uint64_t seed = 3) {
+  data::SynthConfig cfg;
+  cfg.n = 1;
+  cfg.seed = seed;
+  return data::make_synth_classification(cfg)->image(0);
+}
+
+float variance(const Tensor& t) {
+  const float m = mean(t);
+  double s = 0.0;
+  for (float v : t.data()) s += (v - m) * (v - m);
+  return static_cast<float>(s / t.numel());
+}
+
+/// Total variation: sum of absolute horizontal + vertical differences — a
+/// smoothness measure that blurs must reduce and pixel noise must raise.
+float total_variation(const Tensor& img) {
+  double tv = 0.0;
+  for (int64_t c = 0; c < img.size(0); ++c) {
+    for (int64_t y = 0; y < img.size(1); ++y) {
+      for (int64_t x = 0; x < img.size(2); ++x) {
+        if (x + 1 < img.size(2)) tv += std::fabs(img.at(c, y, x + 1) - img.at(c, y, x));
+        if (y + 1 < img.size(1)) tv += std::fabs(img.at(c, y + 1, x) - img.at(c, y, x));
+      }
+    }
+  }
+  return static_cast<float>(tv);
+}
+
+TEST(CorruptionSemantics, BrightnessRaisesMean) {
+  const Tensor img = test_image();
+  Rng rng(1);
+  EXPECT_GT(mean(get("brightness").apply(img, 3, rng)), mean(img));
+}
+
+TEST(CorruptionSemantics, ContrastReducesVariance) {
+  const Tensor img = test_image();
+  Rng rng(2);
+  EXPECT_LT(variance(get("contrast").apply(img, 4, rng)), variance(img));
+}
+
+TEST(CorruptionSemantics, ContrastPreservesMeanApproximately) {
+  const Tensor img = test_image();
+  Rng rng(3);
+  EXPECT_NEAR(mean(get("contrast").apply(img, 3, rng)), mean(img), 0.03f);
+}
+
+TEST(CorruptionSemantics, BlursReduceTotalVariation) {
+  const Tensor img = test_image();
+  for (const std::string name : {"defocus", "motion", "zoom"}) {
+    Rng rng(4);
+    EXPECT_LT(total_variation(get(name).apply(img, 4, rng)), total_variation(img)) << name;
+  }
+}
+
+TEST(CorruptionSemantics, NoisesRaiseTotalVariation) {
+  const Tensor img = test_image();
+  for (const std::string name : {"gauss", "impulse", "speckle"}) {
+    Rng rng(5);
+    EXPECT_GT(total_variation(get(name).apply(img, 4, rng)), total_variation(img)) << name;
+  }
+}
+
+TEST(CorruptionSemantics, GlassPreservesPixelMultiset) {
+  // Glass blur only swaps pixels locally: per-channel value multiset is
+  // unchanged.
+  const Tensor img = test_image();
+  Rng rng(6);
+  const Tensor out = get("glass").apply(img, 3, rng);
+  for (int64_t c = 0; c < 3; ++c) {
+    std::vector<float> a, b;
+    for (int64_t p = 0; p < 256; ++p) {
+      a.push_back(img[c * 256 + p]);
+      b.push_back(out[c * 256 + p]);
+    }
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "channel " << c;
+  }
+}
+
+TEST(CorruptionSemantics, PixelateIsConstantWithinBlocks) {
+  const Tensor img = test_image();
+  Rng rng(7);
+  const Tensor out = get("pixelate").apply(img, 5, rng);  // block 4
+  for (int64_t c = 0; c < 3; ++c) {
+    for (int64_t by = 0; by < 16; by += 4) {
+      for (int64_t bx = 0; bx < 16; bx += 4) {
+        const float v = out.at(c, by, bx);
+        for (int64_t y = by; y < by + 4; ++y) {
+          for (int64_t x = bx; x < bx + 4; ++x) {
+            ASSERT_FLOAT_EQ(out.at(c, y, x), v);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(CorruptionSemantics, FogAndFrostBrighten) {
+  // Both blend toward a bright overlay, so the mean must not decrease.
+  const Tensor img = test_image();
+  for (const std::string name : {"fog", "frost"}) {
+    Rng rng(8);
+    EXPECT_GE(mean(get(name).apply(img, 4, rng)), mean(img) - 1e-4f) << name;
+  }
+}
+
+TEST(CorruptionSemantics, SnowAddsBrightFlakes) {
+  const Tensor img = test_image();
+  Rng rng(9);
+  const Tensor out = get("snow").apply(img, 5, rng);
+  // Snow at high severity creates near-saturated pixels somewhere.
+  EXPECT_GT(max(out), 0.95f);
+  EXPECT_GT(mean(out), mean(img));
+}
+
+TEST(CorruptionSemantics, ImpulseCreatesSaturatedPixels) {
+  const Tensor img = clamp(test_image() * 0.5f + 0.25f, 0.3f, 0.7f);  // no extremes
+  Rng rng(10);
+  const Tensor out = get("impulse").apply(img, 4, rng);
+  int salt = 0, pepper = 0;
+  for (float v : out.data()) {
+    salt += (v == 1.0f);
+    pepper += (v == 0.0f);
+  }
+  EXPECT_GT(salt, 0);
+  EXPECT_GT(pepper, 0);
+}
+
+TEST(CorruptionSemantics, ShotNoiseScalesWithIntensity) {
+  // Poisson noise: bright regions get absolutely noisier than dark regions.
+  Tensor bright = Tensor::full(Shape{3, 16, 16}, 0.9f);
+  Tensor dark = Tensor::full(Shape{3, 16, 16}, 0.05f);
+  Rng r1(11), r2(11);
+  const float bright_dev = l2_distance(get("shot").apply(bright, 3, r1), bright);
+  const float dark_dev = l2_distance(get("shot").apply(dark, 3, r2), dark);
+  EXPECT_GT(bright_dev, dark_dev);
+}
+
+TEST(CorruptionSemantics, JpegRoughlyIdempotent) {
+  // Re-quantizing an already-quantized image changes little.
+  const Tensor img = test_image();
+  Rng rng(12);
+  const Tensor once = get("jpeg").apply(img, 3, rng);
+  const Tensor twice = get("jpeg").apply(once, 3, rng);
+  EXPECT_LT(l2_distance(twice, once), 0.5f * l2_distance(once, img) + 1e-3f);
+}
+
+TEST(CorruptionSemantics, ElasticPreservesMeanApproximately) {
+  const Tensor img = test_image();
+  Rng rng(13);
+  EXPECT_NEAR(mean(get("elastic").apply(img, 3, rng)), mean(img), 0.05f);
+}
+
+TEST(CorruptionSemantics, ZoomKeepsCenterPixelFamiliar) {
+  // Zoom blur averages progressively zoomed-in copies; the center pixel is a
+  // fixed point of the zoom, so it moves far less than the image average.
+  const Tensor img = test_image();
+  Rng rng(14);
+  const Tensor out = get("zoom").apply(img, 5, rng);
+  float center_diff = 0.0f;
+  for (int64_t c = 0; c < 3; ++c) {
+    center_diff += std::fabs(out.at(c, 8, 8) - img.at(c, 8, 8));
+  }
+  const float avg_diff = l1_norm(out - img) / static_cast<float>(img.numel());
+  EXPECT_LT(center_diff / 3.0f, avg_diff * 3.0f + 0.05f);
+}
+
+}  // namespace
+}  // namespace rp::corrupt

@@ -1,0 +1,210 @@
+#include "data/synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tensor/ops.hpp"
+
+namespace rp::data {
+namespace {
+
+SynthConfig small_cfg(uint64_t seed = 1) {
+  SynthConfig cfg;
+  cfg.n = 60;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(SynthClassification, ShapesAndRange) {
+  auto ds = make_synth_classification(small_cfg());
+  EXPECT_EQ(ds->size(), 60);
+  Tensor img = ds->image(0);
+  EXPECT_EQ(img.shape(), (Shape{3, 16, 16}));
+  for (int64_t i = 0; i < ds->size(); ++i) {
+    const Tensor im = ds->image(i);
+    for (float v : im.data()) {
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 1.0f);
+    }
+  }
+}
+
+TEST(SynthClassification, LabelsAreBalancedAndInRange) {
+  auto ds = make_synth_classification(small_cfg());
+  std::vector<int> counts(10, 0);
+  for (int64_t i = 0; i < ds->size(); ++i) {
+    const int64_t l = ds->label(i);
+    ASSERT_GE(l, 0);
+    ASSERT_LT(l, 10);
+    counts[static_cast<size_t>(l)]++;
+  }
+  for (int c : counts) EXPECT_EQ(c, 6);
+}
+
+TEST(SynthClassification, DeterministicForSameSeed) {
+  auto a = make_synth_classification(small_cfg(5));
+  auto b = make_synth_classification(small_cfg(5));
+  for (int64_t i = 0; i < a->size(); ++i) {
+    const Tensor ia = a->image(i), ib = b->image(i);
+    for (int64_t j = 0; j < ia.numel(); ++j) ASSERT_EQ(ia[j], ib[j]);
+  }
+}
+
+TEST(SynthClassification, DifferentSeedsDiffer) {
+  auto a = make_synth_classification(small_cfg(5));
+  auto b = make_synth_classification(small_cfg(6));
+  EXPECT_GT(l2_distance(a->image(0), b->image(0)), 0.01f);
+}
+
+TEST(SynthClassification, ClassesAreVisuallyDistinct) {
+  // Mean intra-class distance should be smaller than inter-class distance
+  // for the noiseless prototype (sanity of the generator's class structure).
+  SynthConfig cfg = small_cfg(7);
+  cfg.n = 100;
+  cfg.params = GenParams{};
+  cfg.params.noise_sigma = 0.0f;
+  cfg.params.pos_jitter = 0.0f;
+  cfg.params.rot_jitter = 0.0f;
+  cfg.params.color_jitter = 0.0f;
+  cfg.params.brightness_jitter = 0.0f;
+  cfg.params.scale_lo = cfg.params.scale_hi = 1.0f;
+  cfg.params.clutter_prob = 0.0f;
+  auto ds = make_synth_classification(cfg);
+  // With all nuisance off, same-class images are identical.
+  EXPECT_LT(l2_distance(ds->image(0), ds->image(10)), 1e-4f);   // both class 0
+  EXPECT_GT(l2_distance(ds->image(0), ds->image(1)), 0.5f);     // class 0 vs 1
+}
+
+TEST(SynthClassification, SupportsTwentyClasses) {
+  SynthConfig cfg = small_cfg(8);
+  cfg.num_classes = 20;
+  cfg.n = 40;
+  auto ds = make_synth_classification(cfg);
+  std::set<int64_t> labels;
+  for (int64_t i = 0; i < ds->size(); ++i) labels.insert(ds->label(i));
+  EXPECT_EQ(labels.size(), 20u);
+}
+
+TEST(SynthClassification, RejectsBadClassCount) {
+  SynthConfig cfg = small_cfg();
+  cfg.num_classes = 21;
+  EXPECT_THROW(make_synth_classification(cfg), std::invalid_argument);
+  cfg.num_classes = 1;
+  EXPECT_THROW(make_synth_classification(cfg), std::invalid_argument);
+}
+
+TEST(SynthClassification, IsNotSegmentation) {
+  auto ds = make_synth_classification(small_cfg());
+  EXPECT_FALSE(ds->segmentation());
+  EXPECT_THROW(ds->dense_labels(0), std::logic_error);
+}
+
+TEST(SynthSegmentation, ShapesAndDenseLabels) {
+  auto ds = make_synth_segmentation(20, 1, nominal_params());
+  EXPECT_TRUE(ds->segmentation());
+  EXPECT_EQ(ds->size(), 20);
+  for (int64_t i = 0; i < ds->size(); ++i) {
+    const auto labels = ds->dense_labels(i);
+    ASSERT_EQ(labels.size(), 256u);
+    for (int64_t l : labels) {
+      EXPECT_GE(l, 0);
+      EXPECT_LE(l, 5);
+    }
+  }
+}
+
+TEST(SynthSegmentation, HasForegroundAndBackground) {
+  auto ds = make_synth_segmentation(20, 2, nominal_params());
+  int64_t fg = 0, bg = 0;
+  for (int64_t i = 0; i < ds->size(); ++i) {
+    for (int64_t l : ds->dense_labels(i)) (l == 0 ? bg : fg)++;
+  }
+  EXPECT_GT(fg, 0);
+  EXPECT_GT(bg, fg);  // background dominates
+}
+
+TEST(SynthSegmentation, Deterministic) {
+  auto a = make_synth_segmentation(5, 3, nominal_params());
+  auto b = make_synth_segmentation(5, 3, nominal_params());
+  EXPECT_EQ(a->dense_labels(4), b->dense_labels(4));
+}
+
+TEST(GenParams, ShiftPresetsAreProgressivelyHarder) {
+  const GenParams nom = nominal_params(), v2 = v2_params(), obj = objectnet_params();
+  EXPECT_GT(v2.pos_jitter, nom.pos_jitter);
+  EXPECT_GT(obj.pos_jitter, v2.pos_jitter);
+  EXPECT_GT(obj.clutter_prob, nom.clutter_prob);
+}
+
+// ----- dataset plumbing ------------------------------------------------------------
+
+TEST(Dataset, MakeBatchStacksImagesAndLabels) {
+  auto ds = make_synth_classification(small_cfg());
+  std::vector<int64_t> idx{0, 5, 9};
+  const Batch b = make_batch(*ds, idx);
+  EXPECT_EQ(b.images.shape(), (Shape{3, 3, 16, 16}));
+  ASSERT_EQ(b.labels.size(), 3u);
+  EXPECT_EQ(b.labels[1], ds->label(5));
+  const Tensor row = b.images.slice0(2);
+  EXPECT_LT(l2_distance(row, ds->image(9)), 1e-6f);
+}
+
+TEST(Dataset, MakeBatchAppliesTransform) {
+  auto ds = make_synth_classification(small_cfg());
+  ImageTransform doubler = [](const Tensor& img, Rng&) { return img * 0.0f; };
+  std::vector<int64_t> idx{0};
+  Rng rng(1);
+  const Batch b = make_batch(*ds, idx, &doubler, &rng);
+  for (float v : b.images.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Dataset, MakeBatchTransformWithoutRngThrows) {
+  auto ds = make_synth_classification(small_cfg());
+  ImageTransform t = [](const Tensor& img, Rng&) { return img; };
+  std::vector<int64_t> idx{0};
+  EXPECT_THROW(make_batch(*ds, idx, &t, nullptr), std::invalid_argument);
+}
+
+TEST(Dataset, MakeBatchEmptyThrows) {
+  auto ds = make_synth_classification(small_cfg());
+  std::vector<int64_t> idx;
+  EXPECT_THROW(make_batch(*ds, idx), std::invalid_argument);
+}
+
+TEST(Dataset, SegmentationBatchConcatenatesPixelLabels) {
+  auto ds = make_synth_segmentation(4, 1, nominal_params());
+  std::vector<int64_t> idx{0, 1};
+  const Batch b = make_batch(*ds, idx);
+  EXPECT_EQ(b.labels.size(), 2u * 256u);
+}
+
+TEST(Dataset, BakeAppliesTransformOnce) {
+  auto ds = make_synth_classification(small_cfg());
+  Rng rng(9);
+  auto baked = bake(*ds, [](const Tensor& img, Rng&) { return img * 0.5f; }, rng, "halved");
+  EXPECT_EQ(baked->size(), ds->size());
+  EXPECT_EQ(baked->distribution(), "halved");
+  EXPECT_NEAR(mean(baked->image(3)), 0.5f * mean(ds->image(3)), 1e-5f);
+  EXPECT_EQ(baked->label(3), ds->label(3));
+}
+
+TEST(Dataset, TakeReturnsPrefix) {
+  auto ds = make_synth_classification(small_cfg());
+  auto sub = take(*ds, 10);
+  EXPECT_EQ(sub->size(), 10);
+  EXPECT_LT(l2_distance(sub->image(9), ds->image(9)), 1e-6f);
+  auto all = take(*ds, 1000);  // clamped
+  EXPECT_EQ(all->size(), ds->size());
+}
+
+TEST(Dataset, InMemoryValidatesShapes) {
+  Tensor imgs(Shape{2, 3, 4, 4});
+  EXPECT_THROW(InMemoryDataset(imgs, {0}, "x"), std::invalid_argument);
+  EXPECT_THROW(InMemoryDataset(Tensor(Shape{2, 3}), {0, 1}, "x"), std::invalid_argument);
+  std::vector<std::vector<int64_t>> dense{{0}};
+  EXPECT_THROW(InMemoryDataset(imgs, {0, 1}, dense, "x"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rp::data

@@ -1,0 +1,101 @@
+#include "core/function_distance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pruner.hpp"
+#include "data/synth.hpp"
+#include "nn/models.hpp"
+#include "nn/summary.hpp"
+#include "nn/trainer.hpp"
+
+namespace rp::core {
+namespace {
+
+data::DatasetPtr ds() {
+  data::SynthConfig cfg;
+  cfg.n = 48;
+  cfg.seed = 71;
+  return data::make_synth_classification(cfg);
+}
+
+nn::NetworkPtr trained(uint64_t seed) {
+  auto net = nn::build_network("resnet8", nn::synth_cifar_task(), seed);
+  data::SynthConfig cfg;
+  cfg.n = 128;
+  cfg.seed = 70;
+  auto train = data::make_synth_classification(cfg);
+  nn::TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 32;
+  tc.schedule.base_lr = 0.1f;
+  tc.schedule.warmup_epochs = 0;
+  tc.seed = seed;
+  nn::train(*net, *train, tc);
+  return net;
+}
+
+TEST(IdentifyParent, FindsTrueParentOfPrunedNetwork) {
+  auto parent = trained(1);
+  auto impostor = trained(2);
+  auto pruned = parent->clone();
+  prune_to_ratio(*pruned, PruneMethod::WT, 0.4);
+
+  const std::vector<Candidate> candidates{{"parent", parent.get()},
+                                          {"impostor", impostor.get()}};
+  const auto id = identify_parent(*pruned, candidates, *ds(), 0.05f, 32, 3, 9);
+  ASSERT_EQ(id.ranking.size(), 2u);
+  EXPECT_EQ(id.ranking[0].label, "parent");
+  EXPECT_GT(id.margin, 0.0);
+  EXPECT_GT(id.ranking[0].similarity.match_fraction,
+            id.ranking[1].similarity.match_fraction);
+}
+
+TEST(IdentifyParent, SingleCandidateHasZeroMargin) {
+  auto parent = trained(1);
+  auto pruned = parent->clone();
+  prune_to_ratio(*pruned, PruneMethod::WT, 0.3);
+  const std::vector<Candidate> candidates{{"only", parent.get()}};
+  const auto id = identify_parent(*pruned, candidates, *ds(), 0.05f, 16, 2, 9);
+  EXPECT_EQ(id.margin, 0.0);
+  EXPECT_EQ(id.ranking[0].label, "only");
+}
+
+TEST(IdentifyParent, NoCandidatesThrows) {
+  auto parent = trained(1);
+  EXPECT_THROW(identify_parent(*parent, {}, *ds(), 0.05f, 16, 2, 9), std::invalid_argument);
+}
+
+TEST(Summary, ReflectsPruningState) {
+  auto net = trained(1);
+  auto s0 = nn::summarize(*net);
+  EXPECT_EQ(s0.prune_ratio, 0.0);
+  EXPECT_EQ(s0.prunable_active, s0.prunable_total);
+  EXPECT_FALSE(s0.layers.empty());
+  for (const auto& l : s0.layers) {
+    EXPECT_EQ(l.active, l.weights);
+    EXPECT_EQ(l.active_filters, l.out_units);
+    EXPECT_EQ(l.flops, l.active * (l.flops / std::max<int64_t>(1, l.active)));
+  }
+
+  prune_to_ratio(*net, PruneMethod::WT, 0.5);
+  auto s1 = nn::summarize(*net);
+  EXPECT_NEAR(s1.prune_ratio, 0.5, 1e-3);
+  EXPECT_LT(s1.prunable_active, s1.prunable_total);
+  EXPECT_LT(s1.flops, s0.flops);
+  // Per-layer actives sum to the network total.
+  int64_t sum_active = 0;
+  for (const auto& l : s1.layers) sum_active += l.active;
+  EXPECT_EQ(sum_active, s1.prunable_active);
+}
+
+TEST(Summary, PrintsWithoutCrashing) {
+  auto net = trained(1);
+  std::ostringstream os;
+  nn::print_summary(nn::summarize(*net), os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("resnet8"), std::string::npos);
+  EXPECT_NE(out.find("MACs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rp::core

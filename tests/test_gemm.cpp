@@ -1,0 +1,165 @@
+#include "tensor/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tensor/ops.hpp"
+
+namespace rp {
+namespace {
+
+/// Reference triple-loop GEMM for validation.
+Tensor naive_matmul(const Tensor& a, const Tensor& b, bool ta, bool tb) {
+  const int64_t m = ta ? a.size(1) : a.size(0);
+  const int64_t k = ta ? a.size(0) : a.size(1);
+  const int64_t n = tb ? b.size(0) : b.size(1);
+  Tensor c(Shape{m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = ta ? a.at(p, i) : a.at(i, p);
+        const float bv = tb ? b.at(j, p) : b.at(p, j);
+        s += static_cast<double>(av) * bv;
+      }
+      c.at(i, j) = static_cast<float>(s);
+    }
+  }
+  return c;
+}
+
+using GemmParam = std::tuple<int, int, int, bool, bool>;
+
+class GemmTest : public ::testing::TestWithParam<GemmParam> {};
+
+TEST_P(GemmTest, MatchesNaiveReference) {
+  const auto [m, k, n, ta, tb] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 1000 + k * 100 + n * 10 + ta * 2 + tb));
+  Tensor a = Tensor::randn(ta ? Shape{k, m} : Shape{m, k}, rng);
+  Tensor b = Tensor::randn(tb ? Shape{n, k} : Shape{k, n}, rng);
+  Tensor got = matmul(a, b, ta, tb);
+  Tensor want = naive_matmul(a, b, ta, tb);
+  ASSERT_EQ(got.shape(), want.shape());
+  for (int64_t i = 0; i < got.numel(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-3f) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmTest,
+    ::testing::Values(GemmParam{1, 1, 1, false, false}, GemmParam{3, 4, 5, false, false},
+                      GemmParam{3, 4, 5, true, false}, GemmParam{3, 4, 5, false, true},
+                      GemmParam{3, 4, 5, true, true}, GemmParam{16, 32, 8, false, false},
+                      GemmParam{7, 13, 7, true, true}, GemmParam{64, 27, 64, false, false},
+                      GemmParam{1, 100, 1, false, true}));
+
+TEST(Gemm, AlphaBetaSemantics) {
+  Rng rng(1);
+  Tensor a = Tensor::randn(Shape{2, 3}, rng);
+  Tensor b = Tensor::randn(Shape{3, 2}, rng);
+  Tensor c = Tensor::full(Shape{2, 2}, 1.0f);
+  Tensor ref = naive_matmul(a, b, false, false);
+  gemm(a, b, c, false, false, 2.0f, 3.0f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_NEAR(c[i], 2.0f * ref[i] + 3.0f, 1e-4f);
+}
+
+TEST(Gemm, BetaOneAccumulates) {
+  Rng rng(2);
+  Tensor a = Tensor::randn(Shape{2, 2}, rng);
+  Tensor b = Tensor::randn(Shape{2, 2}, rng);
+  Tensor c(Shape{2, 2});
+  gemm(a, b, c);
+  Tensor once = c;
+  gemm(a, b, c, false, false, 1.0f, 1.0f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_NEAR(c[i], 2.0f * once[i], 1e-4f);
+}
+
+TEST(Gemm, IncompatibleShapesThrow) {
+  Tensor a(Shape{2, 3}), b(Shape{4, 5}), c(Shape{2, 5});
+  EXPECT_THROW(gemm(a, b, c), std::invalid_argument);
+  Tensor b2(Shape{3, 5}), c_bad(Shape{3, 5});
+  EXPECT_THROW(gemm(a, b2, c_bad), std::invalid_argument);
+}
+
+TEST(Gemm, NonMatrixThrows) {
+  Tensor a(Shape{2, 3, 4}), b(Shape{3, 2}), c(Shape{2, 2});
+  EXPECT_THROW(gemm(a, b, c), std::invalid_argument);
+}
+
+// ----- im2col / col2im ----------------------------------------------------------
+
+TEST(Im2col, IdentityKernelGeometry) {
+  // 1x1 kernel, stride 1, no padding: cols == flattened image.
+  ConvGeom g{2, 3, 3, 1, 1, 0};
+  Rng rng(3);
+  Tensor img = Tensor::randn(Shape{2, 3, 3}, rng);
+  Tensor cols;
+  im2col(img, g, cols);
+  ASSERT_EQ(cols.shape(), (Shape{2, 9}));
+  for (int64_t i = 0; i < img.numel(); ++i) EXPECT_EQ(cols[i], img[i]);
+}
+
+TEST(Im2col, ZeroPaddingFillsBorders) {
+  ConvGeom g{1, 2, 2, 3, 1, 1};
+  Tensor img = Tensor::ones(Shape{1, 2, 2});
+  Tensor cols;
+  im2col(img, g, cols);
+  ASSERT_EQ(cols.shape(), (Shape{9, 4}));
+  // Kernel offset (0,0) reads the pixel up-left of each output: for output
+  // (0,0) that's padding -> 0.
+  EXPECT_EQ(cols.at(0, 0), 0.0f);
+  // Kernel center (1,1) reads the pixel itself -> 1.
+  EXPECT_EQ(cols.at(4, 0), 1.0f);
+  EXPECT_EQ(cols.at(4, 3), 1.0f);
+}
+
+TEST(Im2col, StrideSkipsPositions) {
+  ConvGeom g{1, 4, 4, 1, 2, 0};
+  Tensor img = Tensor::arange(16).reshape(Shape{1, 4, 4});
+  Tensor cols;
+  im2col(img, g, cols);
+  ASSERT_EQ(cols.shape(), (Shape{1, 4}));
+  EXPECT_EQ(cols[0], 0.0f);
+  EXPECT_EQ(cols[1], 2.0f);
+  EXPECT_EQ(cols[2], 8.0f);
+  EXPECT_EQ(cols[3], 10.0f);
+}
+
+TEST(Im2col, GeometryMismatchThrows) {
+  ConvGeom g{1, 4, 4, 3, 1, 1};
+  Tensor img(Shape{2, 4, 4});
+  Tensor cols;
+  EXPECT_THROW(im2col(img, g, cols), std::invalid_argument);
+}
+
+/// col2im must be the adjoint of im2col: <im2col(x), y> == <x, col2im(y)>.
+TEST(Col2im, IsAdjointOfIm2col) {
+  ConvGeom g{2, 5, 4, 3, 2, 1};
+  Rng rng(4);
+  Tensor x = Tensor::randn(Shape{2, 5, 4}, rng);
+  Tensor cols;
+  im2col(x, g, cols);
+  Tensor y = Tensor::randn(cols.shape(), rng);
+  Tensor back;
+  col2im(y, g, back);
+
+  double lhs = 0.0, rhs = 0.0;
+  for (int64_t i = 0; i < cols.numel(); ++i) lhs += static_cast<double>(cols[i]) * y[i];
+  for (int64_t i = 0; i < x.numel(); ++i) rhs += static_cast<double>(x[i]) * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(ConvGeom, OutputDims) {
+  ConvGeom g{3, 16, 16, 3, 2, 1};
+  EXPECT_EQ(g.out_h(), 8);
+  EXPECT_EQ(g.out_w(), 8);
+  EXPECT_EQ(g.patch(), 27);
+  ConvGeom same{3, 16, 16, 3, 1, 1};
+  EXPECT_EQ(same.out_h(), 16);
+  ConvGeom valid{1, 5, 5, 3, 1, 0};
+  EXPECT_EQ(valid.out_h(), 3);
+}
+
+}  // namespace
+}  // namespace rp

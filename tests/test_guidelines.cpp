@@ -1,0 +1,64 @@
+#include "core/guidelines.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rp::core {
+namespace {
+
+TEST(Guidelines, CollapsedTestPotentialMeansDoNotPrune) {
+  PotentialEvidence e;
+  e.train = 0.85;
+  e.test_average = 0.4;
+  e.test_minimum = 0.0;  // some corruption kills all potential
+  e.shifts_modeled = false;
+  EXPECT_EQ(recommend(e), Guideline::DoNotPrune);
+  EXPECT_EQ(safe_prune_ratio(e), 0.0);
+}
+
+TEST(Guidelines, PartialKnowledgeMeansModerate) {
+  PotentialEvidence e;
+  e.train = 0.85;
+  e.test_average = 0.6;
+  e.test_minimum = 0.3;
+  e.shifts_modeled = false;
+  EXPECT_EQ(recommend(e), Guideline::PruneModerately);
+  EXPECT_EQ(safe_prune_ratio(e), 0.3);
+}
+
+TEST(Guidelines, ModeledShiftsWithRetainedPotentialMeansFull) {
+  PotentialEvidence e;
+  e.train = 0.85;
+  e.test_average = 0.82;
+  e.test_minimum = 0.7;
+  e.shifts_modeled = true;
+  EXPECT_EQ(recommend(e), Guideline::PruneFully);
+  EXPECT_NEAR(safe_prune_ratio(e), 0.82, 1e-12);
+}
+
+TEST(Guidelines, ModeledShiftsWithLostPotentialSuggestsAugmentation) {
+  PotentialEvidence e;
+  e.train = 0.85;
+  e.test_average = 0.5;
+  e.test_minimum = 0.2;
+  e.shifts_modeled = true;
+  EXPECT_EQ(recommend(e), Guideline::PruneWithAugmentation);
+}
+
+TEST(Guidelines, StringsAreStable) {
+  EXPECT_EQ(to_string(Guideline::DoNotPrune), "do-not-prune");
+  EXPECT_EQ(to_string(Guideline::PruneModerately), "prune-moderately");
+  EXPECT_EQ(to_string(Guideline::PruneFully), "prune-fully");
+  EXPECT_EQ(to_string(Guideline::PruneWithAugmentation), "prune-with-augmentation");
+}
+
+TEST(Guidelines, DescriptionsMatchThePaper) {
+  // The four guidelines as literally stated in Section 1.
+  EXPECT_NE(describe(Guideline::DoNotPrune).find("Don't prune"), std::string::npos);
+  EXPECT_NE(describe(Guideline::PruneModerately).find("Prune moderately"), std::string::npos);
+  EXPECT_NE(describe(Guideline::PruneFully).find("full extent"), std::string::npos);
+  EXPECT_NE(describe(Guideline::PruneWithAugmentation).find("data augmentation"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace rp::core

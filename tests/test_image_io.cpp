@@ -1,0 +1,75 @@
+#include "data/image_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+namespace rp::data {
+namespace {
+
+std::string tmp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(ImageIo, PpmRoundTripWithin8BitQuantization) {
+  Rng rng(1);
+  Tensor img = Tensor::rand(Shape{3, 5, 7}, rng);
+  const std::string path = tmp_path("rp_io_test.ppm");
+  write_ppm(path, img);
+  Tensor back = read_ppm(path);
+  ASSERT_EQ(back.shape(), img.shape());
+  for (int64_t i = 0; i < img.numel(); ++i) {
+    EXPECT_NEAR(back[i], img[i], 1.0f / 255.0f + 1e-5f);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, WriteClampsOutOfRangeValues) {
+  Tensor img(Shape{3, 1, 2}, {-1.0f, 2.0f, -1.0f, 2.0f, -1.0f, 2.0f});
+  const std::string path = tmp_path("rp_io_clamp.ppm");
+  write_ppm(path, img);
+  Tensor back = read_ppm(path);
+  EXPECT_EQ(back.at(0, 0, 0), 0.0f);
+  EXPECT_EQ(back.at(0, 0, 1), 1.0f);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, RejectsBadShapes) {
+  EXPECT_THROW(write_ppm(tmp_path("x.ppm"), Tensor(Shape{1, 4, 4})), std::invalid_argument);
+  EXPECT_THROW(write_ppm(tmp_path("x.ppm"), Tensor(Shape{3, 4})), std::invalid_argument);
+}
+
+TEST(ImageIo, ReadRejectsMissingOrBadFiles) {
+  EXPECT_THROW(read_ppm("/nonexistent/file.ppm"), std::runtime_error);
+  const std::string path = tmp_path("rp_io_bad.ppm");
+  std::ofstream(path) << "P3\n1 1\n255\n0 0 0\n";  // ASCII PPM unsupported
+  EXPECT_THROW(read_ppm(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, TileLayout) {
+  Tensor batch(Shape{3, 3, 2, 2});
+  batch.set_slice0(0, Tensor::full(Shape{3, 2, 2}, 0.1f));
+  batch.set_slice0(1, Tensor::full(Shape{3, 2, 2}, 0.5f));
+  batch.set_slice0(2, Tensor::full(Shape{3, 2, 2}, 0.9f));
+  Tensor tiled = tile_images(batch, 2);
+  // 2 rows x 2 cols of 2x2 tiles with 1px separators: 5x5.
+  EXPECT_EQ(tiled.shape(), (Shape{3, 5, 5}));
+  EXPECT_FLOAT_EQ(tiled.at(0, 0, 0), 0.1f);
+  EXPECT_FLOAT_EQ(tiled.at(0, 0, 3), 0.5f);
+  EXPECT_FLOAT_EQ(tiled.at(0, 3, 0), 0.9f);
+  EXPECT_FLOAT_EQ(tiled.at(0, 0, 2), 1.0f);  // separator
+}
+
+TEST(ImageIo, TileRejectsBadInput) {
+  EXPECT_THROW(tile_images(Tensor(Shape{2, 1, 4, 4}), 2), std::invalid_argument);
+  EXPECT_THROW(tile_images(Tensor(Shape{2, 3, 4, 4}), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rp::data

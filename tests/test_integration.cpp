@@ -1,0 +1,159 @@
+// End-to-end integration tests: the paper's full pipeline at miniature
+// scale — train, iteratively prune+retrain, evaluate prune potential across
+// distributions, and issue a guideline. These tests assert structural
+// invariants (determinism, monotonicity, ranges), not absolute accuracies.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/guidelines.hpp"
+#include "core/noise_similarity.hpp"
+#include "core/robust.hpp"
+#include "corrupt/corruption.hpp"
+#include "exp/runner.hpp"
+#include "nn/trainer.hpp"
+
+namespace rp {
+namespace {
+
+exp::ExperimentScale mini_scale() {
+  exp::ExperimentScale s;
+  s.reps = 1;
+  s.train_n = 128;
+  s.test_n = 64;
+  s.epochs = 3;
+  s.retrain_epochs = 1;
+  s.cycles = 3;
+  s.keep_per_cycle = 0.55;
+  s.profile_samples = 32;
+  return s;
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PipelineTest()
+      : dir_((std::filesystem::temp_directory_path() / "rp_integration_test").string()),
+        cache_((std::filesystem::remove_all(dir_), dir_)),
+        runner_(mini_scale(), cache_) {}
+  ~PipelineTest() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+  exp::ArtifactCache cache_;
+  exp::Runner runner_;
+};
+
+TEST_F(PipelineTest, FullPipelineProducesValidPotentials) {
+  const auto task = nn::synth_cifar_task();
+  const auto test = runner_.test_set(task);
+  auto noisy = corrupt::make_noisy(*test, 0.15f, 99);
+
+  for (core::PruneMethod m : {core::PruneMethod::WT, core::PruneMethod::FT}) {
+    const double base_nom = runner_.dense_error("resnet8", task, 0, *test);
+    const double base_noisy = runner_.dense_error("resnet8", task, 0, *noisy);
+    const auto curve_nom = runner_.curve_cached("resnet8", task, m, 0, *test);
+    const auto curve_noisy = runner_.curve_cached("resnet8", task, m, 0, *noisy);
+
+    const double p_nom = core::prune_potential(curve_nom, base_nom, 0.01);
+    const double p_noisy = core::prune_potential(curve_noisy, base_noisy, 0.01);
+    EXPECT_GE(p_nom, 0.0);
+    EXPECT_LE(p_nom, 1.0);
+    EXPECT_GE(p_noisy, 0.0);
+    EXPECT_LE(p_noisy, 1.0);
+
+    // Structural: curve ratios strictly increase across cycles.
+    for (size_t i = 1; i < curve_nom.size(); ++i) {
+      EXPECT_GT(curve_nom[i].ratio, curve_nom[i - 1].ratio);
+    }
+    // Noisy errors never beat nominal errors by a wide margin.
+    for (size_t i = 0; i < curve_nom.size(); ++i) {
+      EXPECT_GE(curve_noisy[i].error, curve_nom[i].error - 0.05);
+    }
+  }
+}
+
+TEST_F(PipelineTest, PipelineIsFullyDeterministic) {
+  const auto task = nn::synth_cifar_task();
+  const auto test = runner_.test_set(task);
+  const auto c1 = runner_.curve_cached("resnet8", task, core::PruneMethod::WT, 0, *test);
+
+  // A second runner with a fresh cache directory must reproduce exactly.
+  const std::string dir2 = dir_ + "_2";
+  std::filesystem::remove_all(dir2);
+  exp::ArtifactCache cache2(dir2);
+  exp::Runner runner2(mini_scale(), cache2);
+  const auto c2 = runner2.curve_cached("resnet8", task, core::PruneMethod::WT, 0, *test);
+  std::filesystem::remove_all(dir2);
+
+  ASSERT_EQ(c1.size(), c2.size());
+  for (size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_EQ(c1[i].ratio, c2[i].ratio);
+    EXPECT_EQ(c1[i].error, c2[i].error);
+  }
+}
+
+TEST_F(PipelineTest, PrunedCheckpointIsMoreSimilarToParentThanSeparateNet) {
+  // The Section-4 headline at miniature scale: agreement(parent, pruned) >
+  // agreement(parent, separately trained).
+  const auto task = nn::synth_cifar_task();
+  auto parent = runner_.trained("resnet8", task, 0);
+  auto separate = runner_.separate("resnet8", task, 0);
+  const auto family = runner_.sweep("resnet8", task, core::PruneMethod::WT, 0);
+  auto pruned = runner_.instantiate("resnet8", task, family.front());
+
+  const auto test = runner_.test_set(task);
+  const auto sim_pruned = core::noise_similarity(*parent, *pruned, *test, 0.05f, 48, 3, 7);
+  const auto sim_separate = core::noise_similarity(*parent, *separate, *test, 0.05f, 48, 3, 7);
+  EXPECT_GT(sim_pruned.match_fraction, sim_separate.match_fraction);
+  EXPECT_LT(sim_pruned.softmax_l2, sim_separate.softmax_l2);
+}
+
+TEST_F(PipelineTest, RobustTagIsolatesArtifacts) {
+  const auto task = nn::synth_cifar_task();
+  const auto augment = core::robust_augment(core::paper_split());
+  auto nominal = runner_.trained("resnet8", task, 0);
+  auto robust = runner_.trained("resnet8", task, 0, augment, "robust");
+  EXPECT_TRUE(cache_.has("synth_cifar/resnet8/rep0/dense"));
+  EXPECT_TRUE(cache_.has("synth_cifar/resnet8/robust/rep0/dense"));
+  // The two trainings produce different weights.
+  const auto sn = nominal->state(), sr = robust->state();
+  bool differ = false;
+  for (size_t i = 0; i < sn.size() && !differ; ++i) {
+    for (int64_t j = 0; j < sn[i].second.numel(); ++j) {
+      if (sn[i].second[j] != sr[i].second[j]) {
+        differ = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST_F(PipelineTest, GuidelineFollowsFromMeasuredEvidence) {
+  const auto task = nn::synth_cifar_task();
+  const auto test = runner_.test_set(task);
+  const double base = runner_.dense_error("resnet8", task, 0, *test);
+  const auto curve = runner_.curve_cached("resnet8", task, core::PruneMethod::WT, 0, *test);
+
+  core::PotentialEvidence e;
+  e.train = core::prune_potential(curve, base, 0.01);
+  // Degenerate case: pretend the o.o.d. potential collapsed.
+  e.test_average = e.train / 2;
+  e.test_minimum = 0.0;
+  EXPECT_EQ(core::recommend(e), core::Guideline::DoNotPrune);
+  EXPECT_EQ(core::safe_prune_ratio(e), 0.0);
+}
+
+TEST_F(PipelineTest, SegmentationPipelineRuns) {
+  const auto task = nn::synth_seg_task();
+  const auto test = runner_.test_set(task);
+  const auto curve = runner_.curve_cached("segnet", task, core::PruneMethod::WT, 0, *test);
+  ASSERT_EQ(curve.size(), 3u);
+  for (const auto& p : curve) {
+    EXPECT_GE(p.error, 0.0);
+    EXPECT_LE(p.error, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace rp

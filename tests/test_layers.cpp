@@ -1,0 +1,380 @@
+#include "nn/layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grad_check.hpp"
+#include "tensor/ops.hpp"
+
+namespace rp::nn {
+namespace {
+
+constexpr double kGradTol = 3e-2;  // float forward + central differences
+
+Tensor away_from_kinks(Shape shape, Rng& rng) {
+  // Inputs with |x| > 0.1 so ReLU/maxpool finite differences never straddle
+  // a non-differentiable point.
+  Tensor t = Tensor::randn(std::move(shape), rng);
+  for (float& v : t.data()) {
+    if (std::fabs(v) < 0.15f) v = v >= 0 ? v + 0.2f : v - 0.2f;
+  }
+  return t;
+}
+
+// ----- Conv2d --------------------------------------------------------------------
+
+TEST(Conv2d, OutputShape) {
+  Rng rng(1);
+  Conv2d conv("c", 3, 8, 3, 1, 1, 6, 6, true, rng);
+  Tensor x = Tensor::randn(Shape{2, 3, 6, 6}, rng);
+  Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{2, 8, 6, 6}));
+}
+
+TEST(Conv2d, StridedOutputShape) {
+  Rng rng(2);
+  Conv2d conv("c", 2, 4, 3, 2, 1, 8, 8, false, rng);
+  Tensor x = Tensor::randn(Shape{1, 2, 8, 8}, rng);
+  EXPECT_EQ(conv.forward(x, false).shape(), (Shape{1, 4, 4, 4}));
+}
+
+TEST(Conv2d, KnownValueIdentityKernel) {
+  Rng rng(3);
+  Conv2d conv("c", 1, 1, 1, 1, 0, 3, 3, false, rng);
+  conv.weight().value.fill(2.0f);
+  Tensor x = Tensor::arange(9).reshape(Shape{1, 1, 3, 3});
+  Tensor y = conv.forward(x, false);
+  for (int64_t i = 0; i < 9; ++i) EXPECT_FLOAT_EQ(y[i], 2.0f * x[i]);
+}
+
+TEST(Conv2d, BiasIsAddedPerChannel) {
+  Rng rng(4);
+  Conv2d conv("c", 1, 2, 1, 1, 0, 2, 2, true, rng);
+  conv.weight().value.zero();
+  std::vector<Parameter*> params;
+  conv.collect_params(params);
+  params[1]->value[0] = 1.5f;
+  params[1]->value[1] = -0.5f;
+  Tensor x = Tensor::randn(Shape{1, 1, 2, 2}, rng);
+  Tensor y = conv.forward(x, false);
+  for (int64_t p = 0; p < 4; ++p) {
+    EXPECT_FLOAT_EQ(y[p], 1.5f);
+    EXPECT_FLOAT_EQ(y[4 + p], -0.5f);
+  }
+}
+
+TEST(Conv2d, InputGradient) {
+  Rng rng(5);
+  Conv2d conv("c", 2, 3, 3, 1, 1, 4, 4, true, rng);
+  Tensor x = Tensor::randn(Shape{2, 2, 4, 4}, rng);
+  EXPECT_LT(rp::testing::check_input_gradient(conv, x, rng), kGradTol);
+}
+
+TEST(Conv2d, ParamGradients) {
+  Rng rng(6);
+  Conv2d conv("c", 2, 3, 3, 2, 1, 4, 4, true, rng);
+  Tensor x = Tensor::randn(Shape{2, 2, 4, 4}, rng);
+  EXPECT_LT(rp::testing::check_param_gradients(conv, x, rng), kGradTol);
+}
+
+TEST(Conv2d, WrongInputGeometryThrows) {
+  Rng rng(7);
+  Conv2d conv("c", 2, 3, 3, 1, 1, 4, 4, false, rng);
+  Tensor bad = Tensor::randn(Shape{1, 2, 5, 5}, rng);
+  EXPECT_THROW(conv.forward(bad, false), std::invalid_argument);
+}
+
+TEST(Conv2d, PrunableSpecDescribesLayer) {
+  Rng rng(8);
+  Conv2d conv("c", 3, 8, 3, 1, 1, 6, 6, true, rng);
+  std::vector<PrunableSpec> specs;
+  conv.collect_prunable(specs);
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].out_units, 8);
+  EXPECT_EQ(specs[0].in_groups, 3);
+  EXPECT_EQ(specs[0].group_size, 9);
+  EXPECT_EQ(specs[0].out_positions, 36);
+  EXPECT_EQ(specs[0].weight->value.shape(), (Shape{8, 27}));
+  EXPECT_TRUE(specs[0].weight->prunable);
+}
+
+TEST(Conv2d, ProfilingRecordsActivationStats) {
+  Rng rng(9);
+  Conv2d conv("c", 2, 4, 3, 1, 1, 4, 4, false, rng);
+  conv.set_profiling(true);
+  Tensor x = Tensor::randn(Shape{3, 2, 4, 4}, rng);
+  conv.forward(x, false);
+  std::vector<PrunableSpec> specs;
+  conv.collect_prunable(specs);
+  float in_max = 0.0f;
+  for (float v : x.data()) in_max = std::max(in_max, std::fabs(v));
+  float recorded = 0.0f;
+  for (float v : *specs[0].in_act_stat) recorded = std::max(recorded, v);
+  EXPECT_FLOAT_EQ(recorded, in_max);
+  // Toggling profiling back on resets the stats.
+  conv.set_profiling(true);
+  for (float v : *specs[0].in_act_stat) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Conv2d, FlopsTrackMask) {
+  Rng rng(10);
+  Conv2d conv("c", 2, 4, 3, 1, 1, 4, 4, false, rng);
+  const int64_t dense = conv.flops();
+  EXPECT_EQ(dense, 4 * 2 * 9 * 16);  // out_c * in_c * k*k * positions
+  conv.weight().mask.zero();
+  EXPECT_EQ(conv.flops(), 0);
+}
+
+// ----- Linear ---------------------------------------------------------------------
+
+TEST(Linear, KnownValue) {
+  Rng rng(11);
+  Linear fc("fc", 2, 2, true, rng);
+  fc.weight().value = Tensor(Shape{2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  std::vector<Parameter*> params;
+  fc.collect_params(params);
+  params[1]->value = Tensor(Shape{2}, {0.5f, -0.5f});
+  Tensor x(Shape{1, 2}, {1.0f, 1.0f});
+  Tensor y = fc.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 3.5f);   // 1+2+0.5
+  EXPECT_FLOAT_EQ(y.at(0, 1), 6.5f);   // 3+4-0.5
+}
+
+TEST(Linear, InputGradient) {
+  Rng rng(12);
+  Linear fc("fc", 5, 4, true, rng);
+  Tensor x = Tensor::randn(Shape{3, 5}, rng);
+  EXPECT_LT(rp::testing::check_input_gradient(fc, x, rng), kGradTol);
+}
+
+TEST(Linear, ParamGradients) {
+  Rng rng(13);
+  Linear fc("fc", 5, 4, true, rng);
+  Tensor x = Tensor::randn(Shape{3, 5}, rng);
+  EXPECT_LT(rp::testing::check_param_gradients(fc, x, rng), kGradTol);
+}
+
+TEST(Linear, WrongInputThrows) {
+  Rng rng(14);
+  Linear fc("fc", 5, 4, false, rng);
+  EXPECT_THROW(fc.forward(Tensor(Shape{3, 6}), false), std::invalid_argument);
+}
+
+// ----- BatchNorm2d -------------------------------------------------------------------
+
+TEST(BatchNorm2d, NormalizesInTrainMode) {
+  BatchNorm2d bn("bn", 2);
+  Rng rng(15);
+  Tensor x = Tensor::randn(Shape{8, 2, 4, 4}, rng, 3.0f);
+  x += 5.0f;
+  Tensor y = bn.forward(x, true);
+  // Per-channel mean ~0, var ~1 after normalization (gamma=1, beta=0).
+  for (int64_t c = 0; c < 2; ++c) {
+    double s = 0.0, s2 = 0.0;
+    int64_t n = 0;
+    for (int64_t i = 0; i < 8; ++i) {
+      for (int64_t p = 0; p < 16; ++p) {
+        const float v = y.at(i, c, p / 4, p % 4);
+        s += v;
+        s2 += static_cast<double>(v) * v;
+        ++n;
+      }
+    }
+    EXPECT_NEAR(s / n, 0.0, 1e-3);
+    EXPECT_NEAR(s2 / n, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm2d, EvalUsesRunningStats) {
+  BatchNorm2d bn("bn", 1);
+  Rng rng(16);
+  // Train on data with mean 2, std 1 for a while to converge running stats.
+  for (int i = 0; i < 200; ++i) {
+    Tensor x = Tensor::randn(Shape{16, 1, 2, 2}, rng);
+    x += 2.0f;
+    bn.forward(x, true);
+  }
+  // In eval, an input equal to the running mean maps to ~beta = 0.
+  Tensor probe = Tensor::full(Shape{1, 1, 2, 2}, 2.0f);
+  Tensor y = bn.forward(probe, false);
+  EXPECT_NEAR(y[0], 0.0f, 0.15f);
+}
+
+TEST(BatchNorm2d, InputGradient) {
+  BatchNorm2d bn("bn", 3);
+  Rng rng(17);
+  Tensor x = Tensor::randn(Shape{4, 3, 2, 2}, rng);
+  EXPECT_LT(rp::testing::check_input_gradient(bn, x, rng, /*train=*/true, /*eps=*/1e-2f),
+            kGradTol);
+}
+
+TEST(BatchNorm2d, ParamGradients) {
+  BatchNorm2d bn("bn", 3);
+  Rng rng(18);
+  Tensor x = Tensor::randn(Shape{4, 3, 2, 2}, rng);
+  EXPECT_LT(rp::testing::check_param_gradients(bn, x, rng), kGradTol);
+}
+
+TEST(BatchNorm2d, BuffersAreCollected) {
+  BatchNorm2d bn("bn", 4);
+  std::vector<std::pair<std::string, Tensor*>> bufs;
+  bn.collect_buffers(bufs);
+  ASSERT_EQ(bufs.size(), 2u);
+  EXPECT_EQ(bufs[0].first, "bn.running_mean");
+  EXPECT_EQ(bufs[1].first, "bn.running_var");
+}
+
+TEST(BatchNorm2d, ChannelMismatchThrows) {
+  BatchNorm2d bn("bn", 4);
+  EXPECT_THROW(bn.forward(Tensor(Shape{1, 3, 2, 2}), true), std::invalid_argument);
+}
+
+// ----- ReLU / pools / reshape ----------------------------------------------------------
+
+TEST(ReLU, ForwardClampsNegative) {
+  ReLU relu;
+  Tensor x(Shape{1, 1, 1, 4}, {-2.0f, -0.5f, 0.5f, 2.0f});
+  Tensor y = relu.forward(x, false);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[1], 0.0f);
+  EXPECT_EQ(y[2], 0.5f);
+  EXPECT_EQ(y[3], 2.0f);
+}
+
+TEST(ReLU, Gradient) {
+  ReLU relu;
+  Rng rng(19);
+  Tensor x = away_from_kinks(Shape{2, 3, 2, 2}, rng);
+  EXPECT_LT(rp::testing::check_input_gradient(relu, x, rng), kGradTol);
+}
+
+TEST(MaxPool2d, ForwardPicksMax) {
+  MaxPool2d pool;
+  Tensor x = Tensor::arange(16).reshape(Shape{1, 1, 4, 4});
+  Tensor y = pool.forward(x, false);
+  ASSERT_EQ(y.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_EQ(y[0], 5.0f);
+  EXPECT_EQ(y[1], 7.0f);
+  EXPECT_EQ(y[2], 13.0f);
+  EXPECT_EQ(y[3], 15.0f);
+}
+
+TEST(MaxPool2d, OddSpatialThrows) {
+  MaxPool2d pool;
+  EXPECT_THROW(pool.forward(Tensor(Shape{1, 1, 3, 4}), false), std::invalid_argument);
+}
+
+TEST(MaxPool2d, Gradient) {
+  MaxPool2d pool;
+  Rng rng(20);
+  Tensor x = away_from_kinks(Shape{2, 2, 4, 4}, rng);
+  EXPECT_LT(rp::testing::check_input_gradient(pool, x, rng), kGradTol);
+}
+
+TEST(GlobalAvgPool, ForwardAverages) {
+  GlobalAvgPool gap;
+  Tensor x = Tensor::arange(8).reshape(Shape{1, 2, 2, 2});
+  Tensor y = gap.forward(x, false);
+  ASSERT_EQ(y.shape(), (Shape{1, 2}));
+  EXPECT_FLOAT_EQ(y.at(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 5.5f);
+}
+
+TEST(GlobalAvgPool, Gradient) {
+  GlobalAvgPool gap;
+  Rng rng(21);
+  Tensor x = Tensor::randn(Shape{2, 3, 2, 2}, rng);
+  EXPECT_LT(rp::testing::check_input_gradient(gap, x, rng), kGradTol);
+}
+
+TEST(Flatten, RoundTrip) {
+  Flatten flat;
+  Rng rng(22);
+  Tensor x = Tensor::randn(Shape{2, 3, 4, 5}, rng);
+  Tensor y = flat.forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{2, 60}));
+  Tensor dx = flat.backward(y);
+  EXPECT_EQ(dx.shape(), x.shape());
+}
+
+TEST(Upsample2x, ForwardReplicates) {
+  Upsample2x up;
+  Tensor x = Tensor::arange(4).reshape(Shape{1, 1, 2, 2});
+  Tensor y = up.forward(x, false);
+  ASSERT_EQ(y.shape(), (Shape{1, 1, 4, 4}));
+  EXPECT_EQ(y.at(0, 0, 0, 0), 0.0f);
+  EXPECT_EQ(y.at(0, 0, 0, 1), 0.0f);
+  EXPECT_EQ(y.at(0, 0, 1, 1), 0.0f);
+  EXPECT_EQ(y.at(0, 0, 2, 2), 3.0f);
+  EXPECT_EQ(y.at(0, 0, 3, 3), 3.0f);
+}
+
+TEST(Upsample2x, Gradient) {
+  Upsample2x up;
+  Rng rng(23);
+  Tensor x = Tensor::randn(Shape{2, 2, 3, 3}, rng);
+  EXPECT_LT(rp::testing::check_input_gradient(up, x, rng), kGradTol);
+}
+
+// ----- Sequential -----------------------------------------------------------------------
+
+TEST(Sequential, ComposesChildren) {
+  Rng rng(24);
+  Sequential seq("s");
+  seq.add(std::make_unique<Conv2d>("c", 1, 2, 3, 1, 1, 4, 4, false, rng));
+  seq.add(std::make_unique<ReLU>());
+  seq.add(std::make_unique<GlobalAvgPool>());
+  Tensor x = Tensor::randn(Shape{2, 1, 4, 4}, rng);
+  EXPECT_EQ(seq.forward(x, false).shape(), (Shape{2, 2}));
+  EXPECT_EQ(seq.size(), 3u);
+}
+
+TEST(Sequential, Gradient) {
+  Rng rng(25);
+  Sequential seq("s");
+  seq.add(std::make_unique<Conv2d>("c", 1, 2, 3, 1, 1, 4, 4, true, rng));
+  seq.add(std::make_unique<BatchNorm2d>("bn", 2));
+  seq.add(std::make_unique<ReLU>());
+  Tensor x = Tensor::randn(Shape{3, 1, 4, 4}, rng);
+  EXPECT_LT(rp::testing::check_input_gradient(seq, x, rng), kGradTol);
+  // Conv -> BN chains amplify float finite-difference noise; allow more slack.
+  EXPECT_LT(rp::testing::check_param_gradients(seq, x, rng), 2 * kGradTol);
+}
+
+TEST(Sequential, CollectsEverything) {
+  Rng rng(26);
+  Sequential seq("s");
+  seq.add(std::make_unique<Conv2d>("c", 1, 2, 3, 1, 1, 4, 4, true, rng));
+  seq.add(std::make_unique<BatchNorm2d>("bn", 2));
+  std::vector<Parameter*> params;
+  seq.collect_params(params);
+  EXPECT_EQ(params.size(), 4u);  // weight, bias, gamma, beta
+  std::vector<PrunableSpec> specs;
+  seq.collect_prunable(specs);
+  EXPECT_EQ(specs.size(), 1u);
+  std::vector<std::pair<std::string, Tensor*>> bufs;
+  seq.collect_buffers(bufs);
+  EXPECT_EQ(bufs.size(), 2u);
+}
+
+// ----- concat ----------------------------------------------------------------------------
+
+TEST(ConcatChannels, StacksAlongChannelAxis) {
+  Tensor a = Tensor::full(Shape{1, 2, 2, 2}, 1.0f);
+  Tensor b = Tensor::full(Shape{1, 3, 2, 2}, 2.0f);
+  Tensor y = concat_channels(a, b);
+  ASSERT_EQ(y.shape(), (Shape{1, 5, 2, 2}));
+  EXPECT_EQ(y.at(0, 0, 0, 0), 1.0f);
+  EXPECT_EQ(y.at(0, 1, 1, 1), 1.0f);
+  EXPECT_EQ(y.at(0, 2, 0, 0), 2.0f);
+  EXPECT_EQ(y.at(0, 4, 1, 1), 2.0f);
+}
+
+TEST(ConcatChannels, MismatchThrows) {
+  Tensor a(Shape{1, 2, 2, 2}), b(Shape{1, 2, 3, 3});
+  EXPECT_THROW(concat_channels(a, b), std::invalid_argument);
+  Tensor c(Shape{2, 2, 2, 2});
+  EXPECT_THROW(concat_channels(a, c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rp::nn

@@ -1,0 +1,123 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace rp::nn {
+namespace {
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogC) {
+  Tensor logits(Shape{2, 4});  // all zeros -> uniform distribution
+  std::vector<int64_t> labels{0, 3};
+  const auto r = softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(r.loss, std::log(4.0f), 1e-5f);
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentCorrectPredictionHasLowLoss) {
+  Tensor logits(Shape{1, 3}, {10.0f, 0.0f, 0.0f});
+  std::vector<int64_t> labels{0};
+  EXPECT_LT(softmax_cross_entropy(logits, labels).loss, 1e-3f);
+}
+
+TEST(SoftmaxCrossEntropy, GradientIsSoftmaxMinusOnehotOverN) {
+  Tensor logits(Shape{2, 3}, {1.0f, 2.0f, 3.0f, 0.0f, 0.0f, 0.0f});
+  std::vector<int64_t> labels{2, 1};
+  const auto r = softmax_cross_entropy(logits, labels);
+  const Tensor p = softmax_rows(logits);
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      const float onehot = (j == labels[static_cast<size_t>(i)]) ? 1.0f : 0.0f;
+      EXPECT_NEAR(r.dlogits.at(i, j), (p.at(i, j) - onehot) / 2.0f, 1e-5f);
+    }
+  }
+}
+
+TEST(SoftmaxCrossEntropy, GradientSumsToZeroPerRow) {
+  Rng rng(1);
+  Tensor logits = Tensor::randn(Shape{4, 5}, rng);
+  std::vector<int64_t> labels{0, 1, 2, 3};
+  const auto r = softmax_cross_entropy(logits, labels);
+  for (int64_t i = 0; i < 4; ++i) {
+    float s = 0.0f;
+    for (int64_t j = 0; j < 5; ++j) s += r.dlogits.at(i, j);
+    EXPECT_NEAR(s, 0.0f, 1e-5f);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, NumericGradientMatches) {
+  Rng rng(2);
+  Tensor logits = Tensor::randn(Shape{3, 4}, rng);
+  std::vector<int64_t> labels{1, 0, 3};
+  const auto r = softmax_cross_entropy(logits, labels);
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    const float num = (softmax_cross_entropy(lp, labels).loss -
+                       softmax_cross_entropy(lm, labels).loss) /
+                      (2 * eps);
+    EXPECT_NEAR(r.dlogits[i], num, 5e-3f);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, RejectsBadInput) {
+  Tensor logits(Shape{2, 3});
+  std::vector<int64_t> too_few{0};
+  EXPECT_THROW(softmax_cross_entropy(logits, too_few), std::invalid_argument);
+  std::vector<int64_t> bad_label{0, 5};
+  EXPECT_THROW(softmax_cross_entropy(logits, bad_label), std::out_of_range);
+  std::vector<int64_t> ok{0, 0};
+  EXPECT_THROW(softmax_cross_entropy(Tensor(Shape{2}), ok), std::invalid_argument);
+}
+
+TEST(PixelCrossEntropy, MatchesFlatCrossEntropyOnEquivalentData) {
+  // A [1, C, 1, 1] "image" is a single classification sample.
+  Tensor logits4(Shape{1, 3, 1, 1}, {1.0f, 2.0f, 0.5f});
+  Tensor logits2(Shape{1, 3}, {1.0f, 2.0f, 0.5f});
+  std::vector<int64_t> labels{1};
+  const auto r4 = pixel_cross_entropy(logits4, labels);
+  const auto r2 = softmax_cross_entropy(logits2, labels);
+  EXPECT_NEAR(r4.loss, r2.loss, 1e-6f);
+  for (int64_t c = 0; c < 3; ++c) EXPECT_NEAR(r4.dlogits[c], r2.dlogits[c], 1e-6f);
+}
+
+TEST(PixelCrossEntropy, AveragesOverPixels) {
+  // Two pixels with identical logits and labels: loss equals single-pixel loss.
+  Tensor one(Shape{1, 2, 1, 1}, {2.0f, 0.0f});
+  Tensor two(Shape{1, 2, 1, 2}, {2.0f, 2.0f, 0.0f, 0.0f});
+  std::vector<int64_t> l1{0}, l2{0, 0};
+  EXPECT_NEAR(pixel_cross_entropy(two, l2).loss, pixel_cross_entropy(one, l1).loss, 1e-6f);
+}
+
+TEST(PixelCrossEntropy, IgnoreLabelSkipsPixels) {
+  Tensor logits(Shape{1, 2, 1, 2}, {5.0f, 0.0f, 0.0f, 5.0f});
+  // Second pixel ignored: only the first (confident correct) contributes.
+  std::vector<int64_t> labels{0, -1};
+  const auto r = pixel_cross_entropy(logits, labels, /*ignore_label=*/-1);
+  EXPECT_LT(r.loss, 0.01f);
+  // Ignored pixel gets zero gradient.
+  EXPECT_EQ(r.dlogits.at(0, 0, 0, 1), 0.0f);
+  EXPECT_EQ(r.dlogits.at(0, 1, 0, 1), 0.0f);
+}
+
+TEST(PixelCrossEntropy, AllIgnoredGivesZeroLoss) {
+  Tensor logits(Shape{1, 2, 1, 1}, {1.0f, 2.0f});
+  std::vector<int64_t> labels{-1};
+  const auto r = pixel_cross_entropy(logits, labels, -1);
+  EXPECT_EQ(r.loss, 0.0f);
+}
+
+TEST(PixelCrossEntropy, RejectsBadInput) {
+  Tensor logits(Shape{1, 2, 2, 2});
+  std::vector<int64_t> wrong_count{0, 1};
+  EXPECT_THROW(pixel_cross_entropy(logits, wrong_count), std::invalid_argument);
+  std::vector<int64_t> bad{0, 1, 2, 5};
+  EXPECT_THROW(pixel_cross_entropy(logits, bad), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace rp::nn

@@ -1,0 +1,68 @@
+#include "nn/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rp::nn {
+namespace {
+
+TEST(Accuracy, CountsMatchesPerRow) {
+  Tensor logits(Shape{3, 2}, {1.0f, 0.0f, 0.0f, 1.0f, 1.0f, 0.0f});
+  std::vector<int64_t> labels{0, 1, 1};
+  EXPECT_NEAR(accuracy(logits, labels), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Accuracy, PerfectAndZero) {
+  Tensor logits(Shape{2, 2}, {1.0f, 0.0f, 0.0f, 1.0f});
+  std::vector<int64_t> right{0, 1}, wrong{1, 0};
+  EXPECT_EQ(accuracy(logits, right), 1.0);
+  EXPECT_EQ(accuracy(logits, wrong), 0.0);
+}
+
+TEST(Accuracy, SizeMismatchThrows) {
+  Tensor logits(Shape{2, 2});
+  std::vector<int64_t> labels{0};
+  EXPECT_THROW(accuracy(logits, labels), std::invalid_argument);
+}
+
+TEST(MeanIou, PerfectPredictionIsOne) {
+  std::vector<int64_t> labels{0, 1, 2, 1, 0};
+  EXPECT_EQ(mean_iou(labels, labels, 3), 1.0);
+}
+
+TEST(MeanIou, KnownValue) {
+  // Class 0: inter 1, union 3; class 1: inter 1, union 3 -> mean 1/3.
+  std::vector<int64_t> pred{0, 0, 1, 1};
+  std::vector<int64_t> truth{0, 1, 0, 1};
+  EXPECT_NEAR(mean_iou(pred, truth, 2), 1.0 / 3.0, 1e-9);
+}
+
+TEST(MeanIou, AbsentClassesAreExcluded) {
+  // Class 2 never appears: the mean is over classes 0 and 1 only.
+  std::vector<int64_t> pred{0, 1};
+  std::vector<int64_t> truth{0, 1};
+  EXPECT_EQ(mean_iou(pred, truth, 3), 1.0);
+}
+
+TEST(MeanIou, RejectsBadLabels) {
+  std::vector<int64_t> pred{0, 5};
+  std::vector<int64_t> truth{0, 1};
+  EXPECT_THROW(mean_iou(pred, truth, 3), std::out_of_range);
+  std::vector<int64_t> short_truth{0};
+  EXPECT_THROW(mean_iou(pred, short_truth, 3), std::invalid_argument);
+}
+
+TEST(PixelArgmax, PicksChannelwiseMax) {
+  // 2 channels, 1x2 pixels: pixel 0 -> channel 1, pixel 1 -> channel 0.
+  Tensor logits(Shape{1, 2, 1, 2}, {0.0f, 5.0f, 1.0f, 2.0f});
+  const auto out = pixel_argmax(logits);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 0);
+}
+
+TEST(PixelArgmax, RejectsNon4d) {
+  EXPECT_THROW(pixel_argmax(Tensor(Shape{2, 3})), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rp::nn

@@ -1,0 +1,179 @@
+#include "nn/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/models.hpp"
+#include "tensor/ops.hpp"
+
+namespace rp::nn {
+namespace {
+
+class ArchTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  TaskSpec task_for(const std::string& arch) const {
+    if (arch == "segnet") return synth_seg_task();
+    if (arch == "resnet_im" || arch == "resnet_im_l") return synth_imagenet_task();
+    return synth_cifar_task();
+  }
+};
+
+TEST_P(ArchTest, BuildsAndForwardsCorrectShape) {
+  const std::string arch = GetParam();
+  const TaskSpec task = task_for(arch);
+  auto net = build_network(arch, task, 1);
+  Rng rng(2);
+  Tensor x = Tensor::rand(Shape{2, task.in_c, task.in_h, task.in_w}, rng);
+  Tensor y = net->forward(x);
+  if (task.segmentation) {
+    EXPECT_EQ(y.shape(), (Shape{2, task.num_classes, task.in_h, task.in_w}));
+  } else {
+    EXPECT_EQ(y.shape(), (Shape{2, task.num_classes}));
+  }
+}
+
+TEST_P(ArchTest, HasPrunableWeightsAndFlops) {
+  const std::string arch = GetParam();
+  auto net = build_network(arch, task_for(arch), 1);
+  EXPECT_GT(net->prunable_total(), 0);
+  EXPECT_EQ(net->prunable_active(), net->prunable_total());
+  EXPECT_EQ(net->prune_ratio(), 0.0);
+  EXPECT_GT(net->flops(), 0);
+  EXPECT_GE(net->param_count(), net->prunable_total());
+  EXPECT_FALSE(net->prunable().empty());
+}
+
+TEST_P(ArchTest, InitializationIsSeedDeterministic) {
+  const std::string arch = GetParam();
+  const TaskSpec task = task_for(arch);
+  auto a = build_network(arch, task, 7);
+  auto b = build_network(arch, task, 7);
+  auto c = build_network(arch, task, 8);
+  const auto sa = a->state(), sb = b->state(), sc = c->state();
+  ASSERT_EQ(sa.size(), sb.size());
+  bool all_equal_ab = true, all_equal_ac = true;
+  for (size_t i = 0; i < sa.size(); ++i) {
+    for (int64_t j = 0; j < sa[i].second.numel(); ++j) {
+      all_equal_ab &= (sa[i].second[j] == sb[i].second[j]);
+      all_equal_ac &= (sa[i].second[j] == sc[i].second[j]);
+    }
+  }
+  EXPECT_TRUE(all_equal_ab);
+  EXPECT_FALSE(all_equal_ac);
+}
+
+TEST_P(ArchTest, StateRoundTripsThroughLoad) {
+  const std::string arch = GetParam();
+  const TaskSpec task = task_for(arch);
+  auto a = build_network(arch, task, 3);
+  auto b = build_network(arch, task, 4);
+  b->load_state(a->state());
+  Rng rng(5);
+  Tensor x = Tensor::rand(Shape{1, task.in_c, task.in_h, task.in_w}, rng);
+  const Tensor ya = a->forward(x);
+  const Tensor yb = b->forward(x);
+  for (int64_t i = 0; i < ya.numel(); ++i) EXPECT_EQ(ya[i], yb[i]);
+}
+
+TEST_P(ArchTest, CloneIsFunctionallyIdentical) {
+  const std::string arch = GetParam();
+  const TaskSpec task = task_for(arch);
+  auto net = build_network(arch, task, 6);
+  auto copy = net->clone();
+  Rng rng(7);
+  Tensor x = Tensor::rand(Shape{2, task.in_c, task.in_h, task.in_w}, rng);
+  const Tensor y1 = net->forward(x);
+  const Tensor y2 = copy->forward(x);
+  for (int64_t i = 0; i < y1.numel(); ++i) EXPECT_EQ(y1[i], y2[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, ArchTest,
+                         ::testing::Values("resnet8", "resnet14", "resnet20", "vgg11", "densenet",
+                                           "wrn", "resnet_im", "resnet_im_l", "segnet"));
+
+TEST(Network, UnknownArchThrows) {
+  EXPECT_THROW(build_network("alexnet", synth_cifar_task(), 1), std::invalid_argument);
+}
+
+TEST(Network, DepthOrderingOfResnetFamily) {
+  const TaskSpec task = synth_cifar_task();
+  const auto n8 = build_network("resnet8", task, 1)->param_count();
+  const auto n14 = build_network("resnet14", task, 1)->param_count();
+  const auto n20 = build_network("resnet20", task, 1)->param_count();
+  EXPECT_LT(n8, n14);
+  EXPECT_LT(n14, n20);
+}
+
+TEST(Network, WrnIsWiderThanResnet8) {
+  const TaskSpec task = synth_cifar_task();
+  EXPECT_GT(build_network("wrn", task, 1)->param_count(),
+            2 * build_network("resnet8", task, 1)->param_count());
+}
+
+TEST(Network, PruneRatioTracksMasks) {
+  auto net = build_network("resnet8", synth_cifar_task(), 1);
+  auto& spec = net->prunable().front();
+  const int64_t total = net->prunable_total();
+  // Zero half of the first layer's mask entries.
+  Parameter& w = *spec.weight;
+  const int64_t half = w.numel() / 2;
+  for (int64_t i = 0; i < half; ++i) w.mask[i] = 0.0f;
+  EXPECT_EQ(net->prunable_active(), total - half);
+  EXPECT_NEAR(net->prune_ratio(), static_cast<double>(half) / total, 1e-12);
+}
+
+TEST(Network, EnforceMasksZeroesPrunedWeights) {
+  auto net = build_network("resnet8", synth_cifar_task(), 1);
+  Parameter& w = *net->prunable().front().weight;
+  w.mask[0] = 0.0f;
+  w.value[0] = 123.0f;
+  net->enforce_masks();
+  EXPECT_EQ(w.value[0], 0.0f);
+}
+
+TEST(Network, LoadStateRejectsUnknownNames) {
+  auto net = build_network("resnet8", synth_cifar_task(), 1);
+  EXPECT_THROW(net->load_state({{"bogus.weight", Tensor(Shape{1})}}), std::runtime_error);
+}
+
+TEST(Network, LoadStateRejectsShapeMismatch) {
+  auto net = build_network("resnet8", synth_cifar_task(), 1);
+  const auto name = net->prunable().front().weight->name;
+  EXPECT_THROW(net->load_state({{name, Tensor(Shape{1, 1})}}), std::runtime_error);
+}
+
+TEST(Network, StateContainsMasksForPrunableParams) {
+  auto net = build_network("resnet8", synth_cifar_task(), 1);
+  int masks = 0;
+  for (const auto& [name, t] : net->state()) {
+    if (name.ends_with(".mask")) ++masks;
+  }
+  EXPECT_EQ(masks, static_cast<int>(net->prunable().size()));
+}
+
+TEST(Network, ZeroGradClearsAllGradients) {
+  auto net = build_network("resnet8", synth_cifar_task(), 1);
+  for (Parameter* p : net->params()) p->grad.fill(1.0f);
+  net->zero_grad();
+  for (Parameter* p : net->params()) {
+    for (float v : p->grad.data()) EXPECT_EQ(v, 0.0f);
+  }
+}
+
+TEST(Network, ClassificationArchsListIsConsistent) {
+  for (const auto& arch : classification_archs()) {
+    EXPECT_NO_THROW(build_network(arch, synth_cifar_task(), 1));
+  }
+}
+
+TEST(Network, FlopsDecreaseWhenMasked) {
+  auto net = build_network("vgg11", synth_cifar_task(), 1);
+  const int64_t dense = net->flops();
+  for (const auto& spec : net->prunable()) {
+    Parameter& w = *spec.weight;
+    for (int64_t i = 0; i < w.numel() / 2; ++i) w.mask[i] = 0.0f;
+  }
+  EXPECT_LT(net->flops(), dense);
+}
+
+}  // namespace
+}  // namespace rp::nn

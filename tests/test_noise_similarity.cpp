@@ -1,0 +1,94 @@
+#include "core/noise_similarity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synth.hpp"
+#include "nn/models.hpp"
+#include "nn/trainer.hpp"
+
+namespace rp::core {
+namespace {
+
+data::DatasetPtr test_ds() {
+  data::SynthConfig cfg;
+  cfg.n = 32;
+  cfg.seed = 31;
+  return data::make_synth_classification(cfg);
+}
+
+nn::NetworkPtr trained(uint64_t seed) {
+  auto net = nn::build_network("resnet8", nn::synth_cifar_task(), seed);
+  data::SynthConfig cfg;
+  cfg.n = 128;
+  cfg.seed = 30 + seed;
+  auto ds = data::make_synth_classification(cfg);
+  nn::TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 32;
+  tc.schedule.base_lr = 0.1f;
+  tc.schedule.warmup_epochs = 0;
+  tc.seed = seed;
+  nn::train(*net, *ds, tc);
+  return net;
+}
+
+TEST(NoiseSimilarity, SelfComparisonIsPerfect) {
+  auto net = trained(1);
+  auto ds = test_ds();
+  const auto r = noise_similarity(*net, *net, *ds, 0.05f, 16, 2, 7);
+  EXPECT_EQ(r.match_fraction, 1.0);
+  EXPECT_NEAR(r.softmax_l2, 0.0, 1e-9);
+}
+
+TEST(NoiseSimilarity, CloneComparisonIsPerfect) {
+  auto net = trained(1);
+  auto copy = net->clone();
+  auto ds = test_ds();
+  const auto r = noise_similarity(*net, *copy, *ds, 0.05f, 16, 2, 7);
+  EXPECT_EQ(r.match_fraction, 1.0);
+}
+
+TEST(NoiseSimilarity, IndependentNetworksDiffer) {
+  auto a = trained(1);
+  auto b = trained(2);
+  auto ds = test_ds();
+  const auto r = noise_similarity(*a, *b, *ds, 0.05f, 32, 3, 7);
+  EXPECT_LT(r.match_fraction, 1.0);
+  EXPECT_GT(r.softmax_l2, 0.01);
+}
+
+TEST(NoiseSimilarity, DeterministicGivenSeed) {
+  auto a = trained(1);
+  auto b = trained(2);
+  auto ds = test_ds();
+  const auto r1 = noise_similarity(*a, *b, *ds, 0.08f, 16, 2, 99);
+  const auto r2 = noise_similarity(*a, *b, *ds, 0.08f, 16, 2, 99);
+  EXPECT_EQ(r1.match_fraction, r2.match_fraction);
+  EXPECT_EQ(r1.softmax_l2, r2.softmax_l2);
+}
+
+TEST(NoiseSimilarity, IsSymmetric) {
+  auto a = trained(1);
+  auto b = trained(2);
+  auto ds = test_ds();
+  const auto ab = noise_similarity(*a, *b, *ds, 0.05f, 16, 2, 5);
+  const auto ba = noise_similarity(*b, *a, *ds, 0.05f, 16, 2, 5);
+  EXPECT_EQ(ab.match_fraction, ba.match_fraction);
+  EXPECT_NEAR(ab.softmax_l2, ba.softmax_l2, 1e-9);
+}
+
+TEST(NoiseSimilarity, ZeroEpsComparesCleanData) {
+  auto a = trained(1);
+  auto ds = test_ds();
+  const auto r1 = noise_similarity(*a, *a, *ds, 0.0f, 8, 3, 1);
+  EXPECT_EQ(r1.match_fraction, 1.0);
+}
+
+TEST(NoiseSimilarity, RejectsBadArguments) {
+  auto a = trained(1);
+  auto ds = test_ds();
+  EXPECT_THROW(noise_similarity(*a, *a, *ds, 0.05f, 8, 0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rp::core

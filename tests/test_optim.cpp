@@ -1,0 +1,117 @@
+#include "nn/optim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rp::nn {
+namespace {
+
+Parameter make_param(std::vector<float> values, bool prunable = true) {
+  const auto n = static_cast<int64_t>(values.size());
+  Tensor t(Shape{n}, std::move(values));
+  return Parameter("p", std::move(t), prunable);
+}
+
+TEST(Sgd, VanillaStepIsGradientDescent) {
+  Parameter p = make_param({1.0f, 2.0f});
+  p.grad = Tensor(Shape{2}, {0.5f, -0.5f});
+  Sgd opt({&p}, {.momentum = 0.0f, .nesterov = false, .weight_decay = 0.0f});
+  opt.step(0.1f);
+  EXPECT_FLOAT_EQ(p.value[0], 1.0f - 0.1f * 0.5f);
+  EXPECT_FLOAT_EQ(p.value[1], 2.0f + 0.1f * 0.5f);
+}
+
+TEST(Sgd, WeightDecayAddsL2Pull) {
+  Parameter p = make_param({1.0f});
+  p.grad.zero();
+  Sgd opt({&p}, {.momentum = 0.0f, .nesterov = false, .weight_decay = 0.1f});
+  opt.step(1.0f);
+  EXPECT_FLOAT_EQ(p.value[0], 0.9f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Parameter p = make_param({0.0f});
+  Sgd opt({&p}, {.momentum = 0.9f, .nesterov = false, .weight_decay = 0.0f});
+  p.grad = Tensor(Shape{1}, {1.0f});
+  opt.step(1.0f);  // v = 1, x = -1
+  EXPECT_FLOAT_EQ(p.value[0], -1.0f);
+  p.grad = Tensor(Shape{1}, {1.0f});
+  opt.step(1.0f);  // v = 1.9, x = -2.9
+  EXPECT_FLOAT_EQ(p.value[0], -2.9f);
+}
+
+TEST(Sgd, NesterovLooksAhead) {
+  Parameter p = make_param({0.0f});
+  Sgd opt({&p}, {.momentum = 0.9f, .nesterov = true, .weight_decay = 0.0f});
+  p.grad = Tensor(Shape{1}, {1.0f});
+  opt.step(1.0f);  // v = 1, step = g + mu*v = 1.9
+  EXPECT_FLOAT_EQ(p.value[0], -1.9f);
+}
+
+TEST(Sgd, MaskedWeightsStayZero) {
+  Parameter p = make_param({0.0f, 1.0f});
+  p.mask[0] = 0.0f;
+  p.value[0] = 0.0f;
+  Sgd opt({&p}, {.momentum = 0.9f, .nesterov = false, .weight_decay = 1e-2f});
+  for (int i = 0; i < 5; ++i) {
+    p.grad = Tensor(Shape{2}, {1.0f, 1.0f});  // gradient tries to move both
+    opt.step(0.1f);
+    EXPECT_EQ(p.value[0], 0.0f) << "pruned weight moved at step " << i;
+  }
+  EXPECT_NE(p.value[1], 1.0f);  // unmasked weight does move
+}
+
+TEST(Sgd, ZeroGradClears) {
+  Parameter p = make_param({1.0f});
+  p.grad.fill(5.0f);
+  Sgd opt({&p}, {});
+  opt.zero_grad();
+  EXPECT_EQ(p.grad[0], 0.0f);
+}
+
+TEST(LrSchedule, WarmupRampsLinearly) {
+  LrSchedule s;
+  s.base_lr = 1.0f;
+  s.warmup_epochs = 4;
+  s.milestones = {};
+  EXPECT_FLOAT_EQ(s.lr_at(0), 0.2f);
+  EXPECT_FLOAT_EQ(s.lr_at(1), 0.4f);
+  EXPECT_FLOAT_EQ(s.lr_at(3), 0.8f);
+  EXPECT_FLOAT_EQ(s.lr_at(4), 1.0f);
+}
+
+TEST(LrSchedule, StepDecayAtMilestones) {
+  LrSchedule s;
+  s.base_lr = 1.0f;
+  s.warmup_epochs = 0;
+  s.milestones = {10, 20};
+  s.gamma = 0.1f;
+  EXPECT_FLOAT_EQ(s.lr_at(5), 1.0f);
+  EXPECT_FLOAT_EQ(s.lr_at(10), 0.1f);
+  EXPECT_FLOAT_EQ(s.lr_at(19), 0.1f);
+  EXPECT_NEAR(s.lr_at(25), 0.01f, 1e-6f);
+}
+
+TEST(LrSchedule, PolyDecaysToZero) {
+  LrSchedule s;
+  s.kind = LrSchedule::Kind::Poly;
+  s.base_lr = 1.0f;
+  s.warmup_epochs = 0;
+  s.total_epochs = 10;
+  s.poly_power = 0.9f;
+  EXPECT_FLOAT_EQ(s.lr_at(0), 1.0f);
+  EXPECT_GT(s.lr_at(5), s.lr_at(9));
+  EXPECT_FLOAT_EQ(s.lr_at(10), 0.0f);
+  EXPECT_FLOAT_EQ(s.lr_at(15), 0.0f);  // clamped past the horizon
+}
+
+TEST(LrSchedule, PolyIsMonotoneDecreasing) {
+  LrSchedule s;
+  s.kind = LrSchedule::Kind::Poly;
+  s.base_lr = 0.05f;
+  s.warmup_epochs = 0;
+  s.total_epochs = 20;
+  for (int e = 1; e < 20; ++e) EXPECT_LE(s.lr_at(e), s.lr_at(e - 1));
+}
+
+}  // namespace
+}  // namespace rp::nn

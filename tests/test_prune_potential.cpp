@@ -1,0 +1,74 @@
+#include "core/prune_potential.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rp::core {
+namespace {
+
+const std::vector<CurvePoint> kCurve = {
+    {0.45, 0.050}, {0.70, 0.052}, {0.83, 0.058}, {0.91, 0.090}, {0.95, 0.200},
+};
+
+TEST(PrunePotential, PicksLargestQualifyingRatio) {
+  // base error 5%, delta 0.5%: 0.45 (5.0) and 0.70 (5.2) qualify; 0.83 (5.8)
+  // does not.
+  EXPECT_EQ(prune_potential(kCurve, 0.050, 0.005), 0.70);
+}
+
+TEST(PrunePotential, LargerDeltaGivesLargerPotential) {
+  EXPECT_EQ(prune_potential(kCurve, 0.050, 0.01), 0.83);
+  EXPECT_EQ(prune_potential(kCurve, 0.050, 0.05), 0.91);
+  EXPECT_EQ(prune_potential(kCurve, 0.050, 0.5), 0.95);
+}
+
+TEST(PrunePotential, ZeroWhenNothingQualifies) {
+  EXPECT_EQ(prune_potential(kCurve, 0.01, 0.005), 0.0);
+}
+
+TEST(PrunePotential, UnsortedInputHandled) {
+  std::vector<CurvePoint> shuffled = {{0.91, 0.09}, {0.45, 0.05}, {0.70, 0.052}};
+  EXPECT_EQ(prune_potential(shuffled, 0.05, 0.005), 0.70);
+}
+
+TEST(PrunePotential, NonMonotoneCurveUsesMaxQualifying) {
+  // A dip back under the margin at high ratio counts (max over qualifying).
+  std::vector<CurvePoint> dip = {{0.5, 0.10}, {0.7, 0.05}};
+  EXPECT_EQ(prune_potential(dip, 0.05, 0.005), 0.7);
+}
+
+TEST(PrunePotential, NegativeDeltaThrows) {
+  EXPECT_THROW(prune_potential(kCurve, 0.05, -0.1), std::invalid_argument);
+}
+
+TEST(PrunePotential, EmptyCurveIsZero) {
+  EXPECT_EQ(prune_potential(std::span<const CurvePoint>{}, 0.05, 0.005), 0.0);
+}
+
+TEST(ExcessError, Definition) {
+  EXPECT_DOUBLE_EQ(excess_error(0.30, 0.05), 0.25);
+  EXPECT_DOUBLE_EQ(excess_error(0.05, 0.05), 0.0);
+}
+
+TEST(ExcessErrorDifference, ZeroWhenTradeoffTransfers) {
+  // Pruned loses 25% extra on o.o.d., unpruned also loses 25% -> diff 0.
+  EXPECT_NEAR(excess_error_difference(0.35, 0.10, 0.30, 0.05), 0.0, 1e-12);
+}
+
+TEST(ExcessErrorDifference, PositiveWhenPrunedSuffersMore) {
+  // Pruned: 10% -> 40% (+30); unpruned: 5% -> 30% (+25) -> diff +5.
+  EXPECT_NEAR(excess_error_difference(0.40, 0.10, 0.30, 0.05), 0.05, 1e-12);
+}
+
+TEST(SummarizePotentials, AverageAndMin) {
+  std::vector<double> p{0.8, 0.6, 0.0, 0.9};
+  const auto s = summarize_potentials(p);
+  EXPECT_NEAR(s.average, 0.575, 1e-12);
+  EXPECT_EQ(s.minimum, 0.0);
+}
+
+TEST(SummarizePotentials, EmptyThrows) {
+  EXPECT_THROW(summarize_potentials(std::span<const double>{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rp::core

@@ -1,0 +1,107 @@
+#include "core/prune_retrain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synth.hpp"
+#include "nn/models.hpp"
+
+namespace rp::core {
+namespace {
+
+TEST(CycleTargetRatio, FollowsGeometricSchedule) {
+  EXPECT_NEAR(cycle_target_ratio(0.85, 1), 0.15, 1e-12);
+  EXPECT_NEAR(cycle_target_ratio(0.85, 2), 1.0 - 0.85 * 0.85, 1e-12);
+  EXPECT_NEAR(cycle_target_ratio(0.5, 3), 0.875, 1e-12);
+}
+
+TEST(CycleTargetRatio, RejectsBadKeep) {
+  EXPECT_THROW(cycle_target_ratio(0.0, 1), std::invalid_argument);
+  EXPECT_THROW(cycle_target_ratio(1.0, 1), std::invalid_argument);
+}
+
+TEST(PruneRetrain, RejectsZeroCycles) {
+  auto net = nn::build_network("resnet8", nn::synth_cifar_task(), 1);
+  data::SynthConfig cfg;
+  cfg.n = 32;
+  auto ds = data::make_synth_classification(cfg);
+  PruneRetrainConfig prc;
+  prc.cycles = 0;
+  EXPECT_THROW(prune_retrain(*net, *ds, prc), std::invalid_argument);
+}
+
+class PruneRetrainMethodTest : public ::testing::TestWithParam<PruneMethod> {};
+
+TEST_P(PruneRetrainMethodTest, ObserverSeesMonotoneRatios) {
+  auto net = nn::build_network("resnet8", nn::synth_cifar_task(), 1);
+  data::SynthConfig cfg;
+  cfg.n = 96;
+  cfg.seed = 3;
+  auto ds = data::make_synth_classification(cfg);
+
+  PruneRetrainConfig prc;
+  prc.method = GetParam();
+  prc.keep_per_cycle = 0.6;
+  prc.cycles = 3;
+  prc.retrain.epochs = 1;
+  prc.retrain.batch_size = 32;
+  prc.retrain.schedule.base_lr = 0.05f;
+  prc.retrain.schedule.warmup_epochs = 0;
+  prc.profile_samples = 48;
+
+  std::vector<int> cycles;
+  std::vector<double> ratios;
+  prune_retrain(*net, *ds, prc, [&](int cycle, double ratio) {
+    cycles.push_back(cycle);
+    ratios.push_back(ratio);
+  });
+
+  ASSERT_EQ(cycles.size(), 3u);
+  EXPECT_EQ(cycles[0], 1);
+  EXPECT_EQ(cycles[2], 3);
+  EXPECT_LT(ratios[0], ratios[1]);
+  EXPECT_LT(ratios[1], ratios[2]);
+  // Unstructured methods hit the geometric targets exactly.
+  if (!is_structured(GetParam())) {
+    for (int c = 1; c <= 3; ++c) {
+      EXPECT_NEAR(ratios[static_cast<size_t>(c - 1)], cycle_target_ratio(0.6, c), 1e-3);
+    }
+  }
+  EXPECT_NEAR(net->prune_ratio(), ratios[2], 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, PruneRetrainMethodTest, ::testing::ValuesIn(kAllMethods),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(PruneRetrain, RetrainingRecoversAccuracyOnEasyTask) {
+  // Train to convergence, prune 45%, and check retraining recovers within a
+  // small margin — the premise of the whole pipeline (Figure 2).
+  data::SynthConfig cfg;
+  cfg.n = 240;
+  cfg.seed = 4;
+  cfg.params.noise_sigma = 0.02f;   // easy variant: tests the mechanism,
+  cfg.params.rot_jitter = 0.2f;     // not the task difficulty
+  cfg.params.color_jitter = 0.06f;
+  cfg.params.clutter_prob = 0.0f;
+  auto ds = data::make_synth_classification(cfg);
+  auto net = nn::build_network("resnet8", nn::synth_cifar_task(), 1);
+  nn::TrainConfig tc;
+  tc.epochs = 5;
+  tc.batch_size = 32;
+  tc.schedule.base_lr = 0.1f;
+  tc.schedule.milestones = {3};
+  nn::train(*net, *ds, tc);
+  const double dense_acc = nn::evaluate(*net, *ds).accuracy;
+
+  PruneRetrainConfig prc;
+  prc.method = PruneMethod::WT;
+  prc.keep_per_cycle = 0.55;
+  prc.cycles = 1;
+  prc.retrain = tc;
+  prc.retrain.epochs = 3;
+  prune_retrain(*net, *ds, prc);
+  const double pruned_acc = nn::evaluate(*net, *ds).accuracy;
+  EXPECT_GT(pruned_acc, dense_acc - 0.05);
+}
+
+}  // namespace
+}  // namespace rp::core

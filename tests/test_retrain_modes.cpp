@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "core/prune_retrain.hpp"
+#include "data/synth.hpp"
+#include "nn/models.hpp"
+#include "nn/trainer.hpp"
+
+namespace rp::core {
+namespace {
+
+data::DatasetPtr tiny_ds() {
+  data::SynthConfig cfg;
+  cfg.n = 96;
+  cfg.seed = 61;
+  return data::make_synth_classification(cfg);
+}
+
+PruneRetrainConfig base_config() {
+  PruneRetrainConfig prc;
+  prc.method = PruneMethod::WT;
+  prc.keep_per_cycle = 0.6;
+  prc.cycles = 2;
+  prc.retrain.epochs = 2;
+  prc.retrain.batch_size = 32;
+  prc.retrain.schedule.base_lr = 0.1f;
+  prc.retrain.schedule.warmup_epochs = 0;
+  // LR rewinding sees 0.1 then 0.01 per retrain; fine-tuning uses the final
+  // 0.01 throughout — the Renda et al. distinction.
+  prc.retrain.schedule.milestones = {1};
+  return prc;
+}
+
+TEST(RetrainMode, Names) {
+  EXPECT_EQ(to_string(RetrainMode::LrRewind), "lr-rewind");
+  EXPECT_EQ(to_string(RetrainMode::FineTune), "fine-tune");
+  EXPECT_EQ(to_string(RetrainMode::WeightRewind), "weight-rewind");
+}
+
+class RetrainModeTest : public ::testing::TestWithParam<RetrainMode> {};
+
+TEST_P(RetrainModeTest, ReachesTargetRatioAndKeepsMasks) {
+  auto ds = tiny_ds();
+  auto net = nn::build_network("resnet8", nn::synth_cifar_task(), 3);
+  PruneRetrainConfig prc = base_config();
+  prc.mode = GetParam();
+  prune_retrain(*net, *ds, prc);
+  EXPECT_NEAR(net->prune_ratio(), cycle_target_ratio(0.6, 2), 1e-3);
+  for (const auto& spec : net->prunable()) {
+    for (int64_t i = 0; i < spec.weight->value.numel(); ++i) {
+      if (spec.weight->mask[i] == 0.0f) {
+        ASSERT_EQ(spec.weight->value[i], 0.0f) << to_string(GetParam());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, RetrainModeTest,
+                         ::testing::Values(RetrainMode::LrRewind, RetrainMode::FineTune,
+                                           RetrainMode::WeightRewind),
+                         [](const auto& info) {
+                           std::string n = to_string(info.param);
+                           std::erase(n, '-');
+                           return n;
+                         });
+
+TEST(RetrainMode, ModesProduceDifferentWeights) {
+  auto ds = tiny_ds();
+  auto run = [&](RetrainMode mode) {
+    auto net = nn::build_network("resnet8", nn::synth_cifar_task(), 3);
+    // Pre-train so weight rewinding has a meaningful target.
+    nn::TrainConfig tc;
+    tc.epochs = 1;
+    tc.batch_size = 32;
+    tc.schedule.base_lr = 0.1f;
+    tc.schedule.warmup_epochs = 0;
+    nn::train(*net, *ds, tc);
+    PruneRetrainConfig prc = base_config();
+    prc.mode = mode;
+    prune_retrain(*net, *ds, prc);
+    return net->state();
+  };
+  const auto lr_rewind = run(RetrainMode::LrRewind);
+  const auto fine_tune = run(RetrainMode::FineTune);
+  const auto weight_rewind = run(RetrainMode::WeightRewind);
+  auto differs = [](const auto& a, const auto& b) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      for (int64_t j = 0; j < a[i].second.numel(); ++j) {
+        if (a[i].second[j] != b[i].second[j]) return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(differs(lr_rewind, fine_tune));
+  EXPECT_TRUE(differs(lr_rewind, weight_rewind));
+  EXPECT_TRUE(differs(fine_tune, weight_rewind));
+}
+
+TEST(BaselineMethods, RandAndLayerWtHitExactRatios) {
+  for (PruneMethod m : kBaselineMethods) {
+    auto net = nn::build_network("resnet8", nn::synth_cifar_task(), 1);
+    prune_to_ratio(*net, m, 0.6);
+    EXPECT_NEAR(net->prune_ratio(), 0.6, 1e-3) << to_string(m);
+  }
+}
+
+TEST(BaselineMethods, LayerWtPrunesUniformFractionPerLayer) {
+  auto net = nn::build_network("resnet8", nn::synth_cifar_task(), 1);
+  prune_to_ratio(*net, PruneMethod::LayerWT, 0.5);
+  for (const auto& spec : net->prunable()) {
+    const auto& w = *spec.weight;
+    int64_t active = 0;
+    for (int64_t i = 0; i < w.mask.numel(); ++i) active += (w.mask[i] != 0.0f);
+    const double layer_ratio = 1.0 - static_cast<double>(active) / w.mask.numel();
+    EXPECT_NEAR(layer_ratio, 0.5, 0.05) << spec.layer_name;
+  }
+}
+
+TEST(BaselineMethods, RandIsValueIndependent) {
+  // Scaling all weights must not change random pruning's choice.
+  auto a = nn::build_network("resnet8", nn::synth_cifar_task(), 1);
+  auto b = nn::build_network("resnet8", nn::synth_cifar_task(), 1);
+  for (nn::Parameter* p : b->params()) p->value *= 3.0f;
+  prune_to_ratio(*a, PruneMethod::Rand, 0.5);
+  prune_to_ratio(*b, PruneMethod::Rand, 0.5);
+  auto sa = a->prunable();
+  auto sb = b->prunable();
+  for (size_t s = 0; s < sa.size(); ++s) {
+    for (int64_t i = 0; i < sa[s].weight->mask.numel(); ++i) {
+      ASSERT_EQ(sa[s].weight->mask[i], sb[s].weight->mask[i]);
+    }
+  }
+}
+
+TEST(BaselineMethods, WtBeatsRandAfterPruning) {
+  // Without retraining, magnitude pruning should hurt the loss less than
+  // random pruning at the same ratio.
+  auto ds = tiny_ds();
+  auto base = nn::build_network("resnet8", nn::synth_cifar_task(), 5);
+  nn::TrainConfig tc;
+  tc.epochs = 3;
+  tc.batch_size = 32;
+  tc.schedule.base_lr = 0.1f;
+  tc.schedule.warmup_epochs = 0;
+  nn::train(*base, *ds, tc);
+
+  auto wt = base->clone();
+  auto rnd = base->clone();
+  prune_to_ratio(*wt, PruneMethod::WT, 0.5);
+  prune_to_ratio(*rnd, PruneMethod::Rand, 0.5);
+  EXPECT_LT(nn::evaluate(*wt, *ds).loss, nn::evaluate(*rnd, *ds).loss);
+}
+
+TEST(BaselineMethods, LazyMasksRoundTripThroughState) {
+  // Structured pruning creates masks on bias/BN params; state()/load_state
+  // must preserve them so pruned channels stay dead across serialization.
+  auto net = nn::build_network("resnet8", nn::synth_cifar_task(), 1);
+  data::SynthConfig cfg;
+  cfg.n = 16;
+  auto ds = data::make_synth_classification(cfg);
+  nn::profile_activations(*net, *ds, 16);
+  prune_to_ratio(*net, PruneMethod::FT, 0.5);
+
+  auto copy = nn::build_network("resnet8", nn::synth_cifar_task(), 2);
+  copy->load_state(net->state());
+  int lazy_masks = 0;
+  for (const auto& spec : copy->prunable()) {
+    for (nn::Parameter* p : spec.out_coupled) {
+      if (!p->mask.empty()) ++lazy_masks;
+    }
+  }
+  EXPECT_GT(lazy_masks, 0);
+}
+
+}  // namespace
+}  // namespace rp::core

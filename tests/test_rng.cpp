@@ -1,0 +1,165 @@
+#include "tensor/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace rp {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng r(0);
+  // Should not be a stuck all-zero state.
+  std::set<uint64_t> vals;
+  for (int i = 0; i < 16; ++i) vals.insert(r.next_u64());
+  EXPECT_GT(vals.size(), 10u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = r.uniform();
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = r.uniform(-2.5f, 3.5f);
+    EXPECT_GE(v, -2.5f);
+    EXPECT_LT(v, 3.5f);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng r(11);
+  double s = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) s += r.uniform();
+  EXPECT_NEAR(s / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng r(13);
+  double s = 0.0, s2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal();
+    s += v;
+    s2 += v * v;
+  }
+  EXPECT_NEAR(s / n, 0.0, 0.02);
+  EXPECT_NEAR(s2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaleAndShift) {
+  Rng r(17);
+  double s = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) s += r.normal(5.0f, 0.1f);
+  EXPECT_NEAR(s / n, 5.0, 0.01);
+}
+
+TEST(Rng, RandintStaysInRange) {
+  Rng r(19);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = r.randint(7);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values reachable
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0f));
+    EXPECT_TRUE(r.bernoulli(1.0f));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng r(29);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3f);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng r(31);
+  const auto p = r.permutation(100);
+  std::set<int64_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 99);
+}
+
+TEST(Rng, PermutationShuffles) {
+  Rng r(37);
+  const auto p = r.permutation(100);
+  int fixed = 0;
+  for (int64_t i = 0; i < 100; ++i) fixed += (p[static_cast<size_t>(i)] == i);
+  EXPECT_LT(fixed, 15);  // E[fixed points] = 1
+}
+
+TEST(Rng, ForkIsIndependentOfParentContinuation) {
+  Rng parent(41);
+  Rng fork1 = parent.fork(1);
+  // Advancing the parent must not change what an identically-created fork
+  // produces from the same pre-fork state.
+  Rng parent2(41);
+  Rng fork2 = parent2.fork(1);
+  parent2.next_u64();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(fork1.next_u64(), fork2.next_u64());
+}
+
+TEST(Rng, ForksWithDifferentSaltsDiffer) {
+  Rng parent(43);
+  Rng a = parent.fork(1), b = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(SeedFromString, DistinctNamesDistinctSeeds) {
+  EXPECT_NE(seed_from_string("resnet8/wt/rep0"), seed_from_string("resnet8/wt/rep1"));
+  EXPECT_NE(seed_from_string("a"), seed_from_string("b"));
+  EXPECT_EQ(seed_from_string("same"), seed_from_string("same"));
+}
+
+class RngRangeTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(RngRangeTest, RandintUniformity) {
+  const int64_t n = GetParam();
+  Rng r(100 + static_cast<uint64_t>(n));
+  std::vector<int> counts(static_cast<size_t>(n), 0);
+  const int draws = 2000 * static_cast<int>(n);
+  for (int i = 0; i < draws; ++i) counts[static_cast<size_t>(r.randint(n))]++;
+  for (int64_t v = 0; v < n; ++v) {
+    EXPECT_NEAR(counts[static_cast<size_t>(v)], 2000, 350) << "value " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RngRangeTest, ::testing::Values(2, 3, 5, 10, 17));
+
+}  // namespace
+}  // namespace rp

@@ -1,0 +1,112 @@
+#include "core/robust.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "corrupt/corruption.hpp"
+#include "data/synth.hpp"
+#include "tensor/ops.hpp"
+
+namespace rp::core {
+namespace {
+
+TEST(PaperSplit, TrainAndTestAreDisjoint) {
+  const auto s = paper_split();
+  std::set<std::string> train(s.train.begin(), s.train.end());
+  for (const auto& name : s.test) {
+    EXPECT_EQ(train.count(name), 0u) << name << " appears on both sides";
+  }
+}
+
+TEST(PaperSplit, CoversAllSixteenCorruptions) {
+  const auto s = paper_split();
+  std::set<std::string> all(s.train.begin(), s.train.end());
+  all.insert(s.test.begin(), s.test.end());
+  EXPECT_EQ(all.size(), corrupt::all_names().size());
+}
+
+TEST(PaperSplit, EveryCategoryOnBothSides) {
+  // Table 11's key property: each corruption type (noise/blur/weather/
+  // digital) is represented in both the train and the test distribution.
+  const auto s = paper_split();
+  for (const std::string cat : {"noise", "blur", "weather", "digital"}) {
+    auto in_cat = [&](const std::vector<std::string>& names) {
+      return std::any_of(names.begin(), names.end(),
+                         [&](const std::string& n) { return corrupt::get(n).category() == cat; });
+    };
+    EXPECT_TRUE(in_cat(s.train)) << cat << " missing from train";
+    EXPECT_TRUE(in_cat(s.test)) << cat << " missing from test";
+  }
+}
+
+TEST(PaperSplit, SeverityIsThree) { EXPECT_EQ(paper_split().severity, 3); }
+
+TEST(RandomSplit, HasSameStructuralProperties) {
+  const auto s = random_split(1234, 2);
+  std::set<std::string> train(s.train.begin(), s.train.end());
+  for (const auto& name : s.test) EXPECT_EQ(train.count(name), 0u);
+  EXPECT_EQ(s.train.size(), 8u);
+  EXPECT_EQ(s.test.size(), 8u);
+}
+
+TEST(RandomSplit, DifferentSeedsGiveDifferentSplits) {
+  const auto a = random_split(1, 2);
+  const auto b = random_split(2, 2);
+  EXPECT_NE(a.train, b.train);
+}
+
+TEST(RandomSplit, Deterministic) {
+  EXPECT_EQ(random_split(7, 2).train, random_split(7, 2).train);
+}
+
+TEST(RobustAugment, ProducesValidImages) {
+  const auto aug = robust_augment(paper_split());
+  data::SynthConfig cfg;
+  cfg.n = 4;
+  cfg.seed = 5;
+  auto ds = data::make_synth_classification(cfg);
+  Rng rng(6);
+  for (int i = 0; i < 20; ++i) {
+    Tensor out = aug(ds->image(static_cast<int64_t>(i % 4)), rng);
+    ASSERT_EQ(out.shape(), (Shape{3, 16, 16}));
+    for (float v : out.data()) {
+      ASSERT_GE(v, 0.0f);
+      ASSERT_LE(v, 1.0f);
+    }
+  }
+}
+
+TEST(RobustAugment, SometimesLeavesImageClean) {
+  // The identity option must be drawn with probability 1/(n+1).
+  const auto aug = robust_augment(paper_split());
+  data::SynthConfig cfg;
+  cfg.n = 1;
+  auto ds = data::make_synth_classification(cfg);
+  const Tensor img = ds->image(0);
+  Rng rng(7);
+  int clean = 0;
+  const int draws = 200;
+  for (int i = 0; i < draws; ++i) {
+    clean += (l2_distance(aug(img, rng), img) < 1e-6f);
+  }
+  // 8 train corruptions + identity: expect ~draws/9 clean draws.
+  EXPECT_GT(clean, draws / 20);
+  EXPECT_LT(clean, draws / 3);
+}
+
+TEST(RobustAugment, EmptyTrainSideThrows) {
+  CorruptionSplit s;
+  s.test = {"gauss"};
+  EXPECT_THROW(robust_augment(s), std::invalid_argument);
+}
+
+TEST(RobustAugment, UnknownCorruptionThrowsEagerly) {
+  CorruptionSplit s;
+  s.train = {"not-a-corruption"};
+  EXPECT_THROW(robust_augment(s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rp::core

@@ -1,0 +1,154 @@
+#include "exp/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "tensor/ops.hpp"
+
+namespace rp::exp {
+namespace {
+
+/// Tiny scale so runner integration tests stay fast.
+ExperimentScale tiny_scale() {
+  ExperimentScale s;
+  s.reps = 1;
+  s.train_n = 96;
+  s.test_n = 48;
+  s.epochs = 2;
+  s.retrain_epochs = 1;
+  s.cycles = 2;
+  s.keep_per_cycle = 0.6;
+  s.profile_samples = 32;
+  return s;
+}
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  RunnerTest()
+      : dir_((std::filesystem::temp_directory_path() / "rp_runner_test").string()),
+        cache_((std::filesystem::remove_all(dir_), dir_)),
+        runner_(tiny_scale(), cache_) {}
+  ~RunnerTest() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+  ArtifactCache cache_;
+  Runner runner_;
+};
+
+TEST_F(RunnerTest, DatasetsAreDeterministicAndSized) {
+  const auto task = nn::synth_cifar_task();
+  auto train = runner_.train_set(task);
+  auto test = runner_.test_set(task);
+  EXPECT_EQ(train->size(), 96);
+  EXPECT_EQ(test->size(), 48);
+  auto train2 = runner_.train_set(task);
+  EXPECT_EQ(train.get(), train2.get());  // memoized
+  // Train and test sets differ (different seeds).
+  EXPECT_GT(l2_distance(train->image(0), test->image(0)), 1e-3f);
+}
+
+TEST_F(RunnerTest, SegmentationTaskGetsSegmentationData) {
+  auto ds = runner_.train_set(nn::synth_seg_task());
+  EXPECT_TRUE(ds->segmentation());
+}
+
+TEST_F(RunnerTest, TrainConfigVariesByArch) {
+  const auto resnet = runner_.train_config("resnet8", 0);
+  const auto vgg = runner_.train_config("vgg11", 0);
+  const auto seg = runner_.train_config("segnet", 0);
+  EXPECT_NE(resnet.schedule.base_lr, vgg.schedule.base_lr);
+  EXPECT_EQ(seg.schedule.kind, nn::LrSchedule::Kind::Poly);
+  EXPECT_NE(runner_.train_config("resnet8", 0).seed, runner_.train_config("resnet8", 1).seed);
+}
+
+TEST_F(RunnerTest, TrainedIsCachedAndDeterministic) {
+  const auto task = nn::synth_cifar_task();
+  auto a = runner_.trained("resnet8", task, 0);
+  EXPECT_TRUE(cache_.has("synth_cifar/resnet8/rep0/dense"));
+  auto b = runner_.trained("resnet8", task, 0);  // from cache
+  const auto sa = a->state(), sb = b->state();
+  for (size_t i = 0; i < sa.size(); ++i) {
+    for (int64_t j = 0; j < sa[i].second.numel(); ++j) {
+      ASSERT_EQ(sa[i].second[j], sb[i].second[j]);
+    }
+  }
+}
+
+TEST_F(RunnerTest, SeparateNetworkDiffersFromParent) {
+  const auto task = nn::synth_cifar_task();
+  auto parent = runner_.trained("resnet8", task, 0);
+  auto sep = runner_.separate("resnet8", task, 0);
+  const auto sp = parent->state(), ss = sep->state();
+  bool any_diff = false;
+  for (size_t i = 0; i < sp.size(); ++i) {
+    for (int64_t j = 0; j < sp[i].second.numel(); ++j) {
+      any_diff |= (sp[i].second[j] != ss[i].second[j]);
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(RunnerTest, SweepProducesMonotoneCheckpoints) {
+  const auto task = nn::synth_cifar_task();
+  const auto family = runner_.sweep("resnet8", task, core::PruneMethod::WT, 0);
+  ASSERT_EQ(family.size(), 2u);
+  EXPECT_GT(family[0].ratio, 0.3);
+  EXPECT_GT(family[1].ratio, family[0].ratio);
+  // Cached: a second call reproduces the same ratios.
+  const auto again = runner_.sweep("resnet8", task, core::PruneMethod::WT, 0);
+  ASSERT_EQ(again.size(), 2u);
+  // Cached ratios round-trip through float32 storage.
+  EXPECT_NEAR(again[0].ratio, family[0].ratio, 1e-6);
+  EXPECT_NEAR(again[1].ratio, family[1].ratio, 1e-6);
+}
+
+TEST_F(RunnerTest, InstantiateRestoresPruneRatio) {
+  const auto task = nn::synth_cifar_task();
+  const auto family = runner_.sweep("resnet8", task, core::PruneMethod::WT, 0);
+  auto net = runner_.instantiate("resnet8", task, family[1]);
+  EXPECT_NEAR(net->prune_ratio(), family[1].ratio, 1e-9);
+}
+
+TEST_F(RunnerTest, CurveEvaluatesEveryCheckpoint) {
+  const auto task = nn::synth_cifar_task();
+  const auto family = runner_.sweep("resnet8", task, core::PruneMethod::WT, 0);
+  const auto curve = runner_.curve("resnet8", task, family, *runner_.test_set(task));
+  ASSERT_EQ(curve.size(), family.size());
+  for (size_t i = 0; i < curve.size(); ++i) {
+    EXPECT_EQ(curve[i].ratio, family[i].ratio);
+    EXPECT_GE(curve[i].error, 0.0);
+    EXPECT_LE(curve[i].error, 1.0);
+  }
+}
+
+TEST_F(RunnerTest, MismatchedScaleFingerprintThrows) {
+  exp::ExperimentScale other = tiny_scale();
+  other.epochs += 1;  // any artifact-affecting knob
+  EXPECT_THROW(exp::Runner(other, cache_), std::runtime_error);
+  // Same scale re-attaches fine.
+  EXPECT_NO_THROW(exp::Runner(tiny_scale(), cache_));
+}
+
+TEST(ScaleFromArgs, ParsesFlags) {
+  const char* argv_paper[] = {"bench", "--paper"};
+  EXPECT_TRUE(scale_from_args(2, const_cast<char**>(argv_paper)).paper);
+  const char* argv_fast[] = {"bench", "--fast"};
+  EXPECT_FALSE(scale_from_args(2, const_cast<char**>(argv_fast)).paper);
+  const char* argv_reps[] = {"bench", "--reps", "5"};
+  EXPECT_EQ(scale_from_args(3, const_cast<char**>(argv_reps)).reps, 5);
+  const char* argv_bad[] = {"bench", "--frobnicate"};
+  EXPECT_THROW(scale_from_args(2, const_cast<char**>(argv_bad)), std::invalid_argument);
+}
+
+TEST(Scales, PaperScaleIsLarger) {
+  const auto fast = fast_scale();
+  const auto paper = paper_scale();
+  EXPECT_GT(paper.train_n, fast.train_n);
+  EXPECT_GT(paper.epochs, fast.epochs);
+  EXPECT_GT(paper.reps, fast.reps);
+  EXPECT_GE(paper.cycles, fast.cycles);
+}
+
+}  // namespace
+}  // namespace rp::exp

@@ -1,0 +1,86 @@
+#include "tensor/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+namespace rp {
+namespace {
+
+TEST(Serialize, TensorRoundTrip) {
+  Rng rng(1);
+  Tensor t = Tensor::randn(Shape{2, 3, 4}, rng);
+  std::stringstream ss;
+  save_tensor(ss, t);
+  Tensor u = load_tensor(ss);
+  ASSERT_EQ(u.shape(), t.shape());
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(u[i], t[i]);
+}
+
+TEST(Serialize, EmptyTensorRoundTrip) {
+  Tensor t(Shape{0});
+  std::stringstream ss;
+  save_tensor(ss, t);
+  Tensor u = load_tensor(ss);
+  EXPECT_EQ(u.shape(), (Shape{0}));
+}
+
+TEST(Serialize, BundleRoundTripPreservesOrderAndNames) {
+  Rng rng(2);
+  std::vector<std::pair<std::string, Tensor>> items;
+  items.emplace_back("conv.weight", Tensor::randn(Shape{4, 9}, rng));
+  items.emplace_back("conv.weight.mask", Tensor::ones(Shape{4, 9}));
+  items.emplace_back("bn.running_mean", Tensor::randn(Shape{4}, rng));
+  std::stringstream ss;
+  save_tensors(ss, items);
+  const auto loaded = load_tensors(ss);
+  ASSERT_EQ(loaded.size(), 3u);
+  for (size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(loaded[i].first, items[i].first);
+    ASSERT_EQ(loaded[i].second.shape(), items[i].second.shape());
+    for (int64_t j = 0; j < items[i].second.numel(); ++j) {
+      EXPECT_EQ(loaded[i].second[j], items[i].second[j]);
+    }
+  }
+}
+
+TEST(Serialize, BadMagicThrows) {
+  std::stringstream ss;
+  ss << "not a tensor stream";
+  EXPECT_THROW(load_tensor(ss), std::runtime_error);
+  std::stringstream ss2;
+  ss2 << "garbage bundle bytes";
+  EXPECT_THROW(load_tensors(ss2), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedPayloadThrows) {
+  Rng rng(3);
+  Tensor t = Tensor::randn(Shape{100}, rng);
+  std::stringstream ss;
+  save_tensor(ss, t);
+  std::string bytes = ss.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream truncated(bytes);
+  EXPECT_THROW(load_tensor(truncated), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::string path = std::filesystem::temp_directory_path() / "rp_serialize_test.bin";
+  Rng rng(4);
+  std::vector<std::pair<std::string, Tensor>> items;
+  items.emplace_back("x", Tensor::randn(Shape{7}, rng));
+  save_tensors_file(path, items);
+  const auto loaded = load_tensors_file(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].first, "x");
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_tensors_file("/nonexistent/dir/file.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rp

@@ -1,0 +1,64 @@
+#include "tensor/shape.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rp {
+namespace {
+
+TEST(Shape, DefaultIsScalarLike) {
+  Shape s;
+  EXPECT_EQ(s.ndim(), 0);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Shape, NumelIsProductOfDims) {
+  EXPECT_EQ((Shape{2, 3, 4}).numel(), 24);
+  EXPECT_EQ((Shape{7}).numel(), 7);
+  EXPECT_EQ((Shape{5, 0, 3}).numel(), 0);
+}
+
+TEST(Shape, IndexingAndNegativeAxes) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[2], 4);
+  EXPECT_EQ(s[-1], 4);
+  EXPECT_EQ(s[-3], 2);
+}
+
+TEST(Shape, OutOfRangeAxisThrows) {
+  Shape s{2, 3};
+  EXPECT_THROW(s[2], std::out_of_range);
+  EXPECT_THROW(s[-3], std::out_of_range);
+}
+
+TEST(Shape, NegativeDimensionThrows) {
+  EXPECT_THROW(Shape({2, -1}), std::invalid_argument);
+}
+
+TEST(Shape, StridesAreRowMajor) {
+  Shape s{2, 3, 4};
+  const auto st = s.strides();
+  ASSERT_EQ(st.size(), 3u);
+  EXPECT_EQ(st[0], 12);
+  EXPECT_EQ(st[1], 4);
+  EXPECT_EQ(st[2], 1);
+}
+
+TEST(Shape, EqualityComparesDims) {
+  EXPECT_EQ((Shape{2, 3}), (Shape{2, 3}));
+  EXPECT_NE((Shape{2, 3}), (Shape{3, 2}));
+  EXPECT_NE((Shape{2, 3}), (Shape{2, 3, 1}));
+}
+
+TEST(Shape, ToStringIsReadable) { EXPECT_EQ((Shape{2, 3}).to_string(), "[2, 3]"); }
+
+TEST(Shape, NormalizeAxisRoundTrips) {
+  Shape s{4, 5, 6};
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(s.normalize_axis(i), i);
+    EXPECT_EQ(s.normalize_axis(i - 3), i);
+  }
+}
+
+}  // namespace
+}  // namespace rp

@@ -1,0 +1,119 @@
+#include "exp/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace rp::exp {
+namespace {
+
+TEST(Summarize, MeanAndStddev) {
+  std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.n, 8);
+}
+
+TEST(Summarize, SingleValueHasZeroStddev) {
+  std::vector<double> v{3.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.mean, 3.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, EmptyIsZeroed) {
+  const Summary s = summarize(std::span<const double>{});
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.n, 0);
+}
+
+TEST(OlsSlopeOrigin, ExactOnPerfectLine) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y{2.5, 5.0, 7.5};
+  EXPECT_NEAR(ols_slope_origin(x, y), 2.5, 1e-12);
+}
+
+TEST(OlsSlopeOrigin, MinimizesThroughOriginNotAffine) {
+  // Data with an intercept: the through-origin slope is sum(xy)/sum(xx).
+  std::vector<double> x{1.0, 2.0};
+  std::vector<double> y{2.0, 3.0};  // affine fit would be y = 1 + x
+  EXPECT_NEAR(ols_slope_origin(x, y), (1 * 2 + 2 * 3) / (1.0 + 4.0), 1e-12);
+}
+
+TEST(OlsSlopeOrigin, ZeroXGivesZero) {
+  std::vector<double> x{0.0, 0.0};
+  std::vector<double> y{1.0, 2.0};
+  EXPECT_EQ(ols_slope_origin(x, y), 0.0);
+}
+
+TEST(OlsSlopeOrigin, SizeMismatchThrows) {
+  std::vector<double> x{1.0};
+  std::vector<double> y{1.0, 2.0};
+  EXPECT_THROW(ols_slope_origin(x, y), std::invalid_argument);
+}
+
+TEST(BootstrapSlopeCi, ContainsTrueSlopeOnCleanData) {
+  Rng rng(1);
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    const double xv = rng.uniform(0.1f, 1.0f);
+    x.push_back(xv);
+    y.push_back(3.0 * xv + 0.05 * rng.normal());
+  }
+  const Interval ci = bootstrap_slope_ci(x, y, 500, 0.95, 42);
+  EXPECT_LT(ci.lo, 3.0);
+  EXPECT_GT(ci.hi, 3.0);
+  EXPECT_LT(ci.hi - ci.lo, 1.0);  // tight on clean data
+}
+
+TEST(BootstrapSlopeCi, DeterministicGivenSeed) {
+  std::vector<double> x{0.1, 0.5, 0.9};
+  std::vector<double> y{0.2, 1.1, 1.7};
+  const Interval a = bootstrap_slope_ci(x, y, 200, 0.95, 7);
+  const Interval b = bootstrap_slope_ci(x, y, 200, 0.95, 7);
+  EXPECT_EQ(a.lo, b.lo);
+  EXPECT_EQ(a.hi, b.hi);
+}
+
+TEST(BootstrapSlopeCi, WiderConfidenceGivesWiderInterval) {
+  Rng rng(2);
+  std::vector<double> x, y;
+  for (int i = 0; i < 30; ++i) {
+    const double xv = rng.uniform(0.1f, 1.0f);
+    x.push_back(xv);
+    y.push_back(2.0 * xv + 0.3 * rng.normal());
+  }
+  const Interval narrow = bootstrap_slope_ci(x, y, 1000, 0.5, 3);
+  const Interval wide = bootstrap_slope_ci(x, y, 1000, 0.99, 3);
+  EXPECT_LE(wide.lo, narrow.lo);
+  EXPECT_GE(wide.hi, narrow.hi);
+}
+
+TEST(BootstrapSlopeCi, RejectsBadInput) {
+  std::vector<double> x{1.0}, y{1.0};
+  EXPECT_THROW(bootstrap_slope_ci(x, y, 10, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(bootstrap_slope_ci(x, y, 10, 1.0, 1), std::invalid_argument);
+  std::vector<double> empty;
+  EXPECT_THROW(bootstrap_slope_ci(empty, empty, 10, 0.95, 1), std::invalid_argument);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> up{2.0, 4.0, 6.0};
+  std::vector<double> down{6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(x, up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, down), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesGivesZero) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> c{5.0, 5.0, 5.0};
+  EXPECT_EQ(pearson(x, c), 0.0);
+}
+
+}  // namespace
+}  // namespace rp::exp

@@ -1,0 +1,66 @@
+#include "exp/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rp::exp {
+namespace {
+
+TEST(Table, PrintsAlignedCells) {
+  Table t({"model", "acc"});
+  t.add_row({"resnet8", "99.4"});
+  t.add_row({"vgg11", "98.0"});
+  std::stringstream ss;
+  t.print(ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("| model"), std::string::npos);
+  EXPECT_NE(out.find("resnet8"), std::string::npos);
+  EXPECT_NE(out.find("+--"), std::string::npos);
+  // Every row line has the same length (alignment).
+  std::string line;
+  std::stringstream reread(out);
+  size_t len = 0;
+  while (std::getline(reread, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len);
+  }
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(FmtPm, PaperStyle) {
+  EXPECT_EQ(fmt_pm(84.9, 3.3, 1), "84.9 +- 3.3");
+  Summary s;
+  s.mean = 66.7;
+  s.stddev = 0.0;
+  EXPECT_EQ(fmt_pm(s, 1), "66.7 +- 0.0");
+}
+
+TEST(FmtPct, ConvertsFractions) {
+  EXPECT_EQ(fmt_pct(0.849, 1), "84.9");
+  EXPECT_EQ(fmt_pct(1.0, 0), "100");
+}
+
+TEST(PrintChart, RejectsLengthMismatch) {
+  EXPECT_THROW(print_chart("t", "x", {1.0, 2.0}, {{"s", {1.0}}}), std::invalid_argument);
+}
+
+TEST(PrintChart, HandlesFlatAndEmptySeries) {
+  // Must not crash or divide by zero.
+  EXPECT_NO_THROW(print_chart("flat", "x", {1.0, 2.0}, {{"s", {5.0, 5.0}}}));
+  EXPECT_NO_THROW(print_chart("empty", "x", {}, {}));
+}
+
+}  // namespace
+}  // namespace rp::exp

@@ -1,0 +1,150 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rp {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(Shape{2, 3});
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, FullAndOnes) {
+  Tensor t = Tensor::full(Shape{4}, 2.5f);
+  for (float v : t.data()) EXPECT_EQ(v, 2.5f);
+  Tensor o = Tensor::ones(Shape{3, 3});
+  for (float v : o.data()) EXPECT_EQ(v, 1.0f);
+}
+
+TEST(Tensor, Arange) {
+  Tensor t = Tensor::arange(5);
+  for (int64_t i = 0; i < 5; ++i) EXPECT_EQ(t[i], static_cast<float>(i));
+}
+
+TEST(Tensor, DataShapeMismatchThrows) {
+  EXPECT_THROW(Tensor(Shape{2, 2}, {1.0f, 2.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, RandnRespectsStddev) {
+  Rng rng(5);
+  Tensor t = Tensor::randn(Shape{10000}, rng, 0.5f);
+  double s2 = 0.0;
+  for (float v : t.data()) s2 += static_cast<double>(v) * v;
+  EXPECT_NEAR(s2 / t.numel(), 0.25, 0.02);
+}
+
+TEST(Tensor, RandRespectsRange) {
+  Rng rng(6);
+  Tensor t = Tensor::rand(Shape{1000}, rng, -1.0f, 1.0f);
+  for (float v : t.data()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(Tensor, MultiDimAccessors) {
+  Tensor t(Shape{2, 3, 4});
+  t.at(1, 2, 3) = 7.0f;
+  EXPECT_EQ(t[1 * 12 + 2 * 4 + 3], 7.0f);
+  Tensor u(Shape{2, 3, 4, 5});
+  u.at(1, 2, 3, 4) = 9.0f;
+  EXPECT_EQ(u[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t = Tensor::arange(6).reshape(Shape{2, 3});
+  EXPECT_EQ(t.at(1, 2), 5.0f);
+  Tensor u = t.reshape(Shape{3, 2});
+  EXPECT_EQ(u.at(2, 1), 5.0f);
+}
+
+TEST(Tensor, ReshapeWrongCountThrows) {
+  EXPECT_THROW(Tensor::arange(6).reshape(Shape{4}), std::invalid_argument);
+}
+
+TEST(Tensor, FlattenIs1D) {
+  Tensor t(Shape{2, 3, 4});
+  EXPECT_EQ(t.flatten().shape(), Shape{24});
+}
+
+TEST(Tensor, Slice0ExtractsRows) {
+  Tensor t = Tensor::arange(12).reshape(Shape{3, 4});
+  Tensor row = t.slice0(1);
+  EXPECT_EQ(row.shape(), Shape{4});
+  EXPECT_EQ(row[0], 4.0f);
+  EXPECT_EQ(row[3], 7.0f);
+}
+
+TEST(Tensor, Slice0OutOfRangeThrows) {
+  Tensor t(Shape{2, 2});
+  EXPECT_THROW(t.slice0(2), std::out_of_range);
+  EXPECT_THROW(t.slice0(-1), std::out_of_range);
+}
+
+TEST(Tensor, SetSlice0RoundTrips) {
+  Tensor t(Shape{3, 4});
+  Tensor row = Tensor::full(Shape{4}, 2.0f);
+  t.set_slice0(2, row);
+  for (int64_t j = 0; j < 4; ++j) EXPECT_EQ(t.at(2, j), 2.0f);
+  for (int64_t j = 0; j < 4; ++j) EXPECT_EQ(t.at(0, j), 0.0f);
+}
+
+TEST(Tensor, SetSlice0WrongSizeThrows) {
+  Tensor t(Shape{3, 4});
+  EXPECT_THROW(t.set_slice0(0, Tensor(Shape{5})), std::invalid_argument);
+}
+
+TEST(Tensor, ElementwiseArithmetic) {
+  Tensor a = Tensor::arange(4);
+  Tensor b = Tensor::full(Shape{4}, 2.0f);
+  Tensor sum = a + b;
+  Tensor diff = a - b;
+  Tensor prod = a * b;
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(sum[i], static_cast<float>(i) + 2.0f);
+    EXPECT_EQ(diff[i], static_cast<float>(i) - 2.0f);
+    EXPECT_EQ(prod[i], static_cast<float>(i) * 2.0f);
+  }
+}
+
+TEST(Tensor, ScalarArithmetic) {
+  Tensor a = Tensor::arange(3);
+  Tensor shifted = a + 1.0f;
+  Tensor scaled = 2.0f * a;
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(shifted[i], static_cast<float>(i) + 1.0f);
+    EXPECT_EQ(scaled[i], 2.0f * static_cast<float>(i));
+  }
+}
+
+TEST(Tensor, ShapeMismatchArithmeticThrows) {
+  Tensor a(Shape{2, 2}), b(Shape{4});
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+  EXPECT_THROW(a *= b, std::invalid_argument);
+}
+
+TEST(Tensor, FillAndZero) {
+  Tensor t(Shape{5});
+  t.fill(3.0f);
+  for (float v : t.data()) EXPECT_EQ(v, 3.0f);
+  t.zero();
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, CopyIsDeep) {
+  Tensor a = Tensor::arange(3);
+  Tensor b = a;
+  b[0] = 99.0f;
+  EXPECT_EQ(a[0], 0.0f);
+}
+
+}  // namespace
+}  // namespace rp

@@ -1,0 +1,114 @@
+#include "nn/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synth.hpp"
+#include "nn/models.hpp"
+#include "tensor/ops.hpp"
+
+namespace rp::nn {
+namespace {
+
+data::DatasetPtr tiny_train() {
+  data::SynthConfig cfg;
+  cfg.n = 120;
+  cfg.seed = 11;
+  // Low-nuisance variant: these tests exercise the training mechanics, not
+  // the task difficulty.
+  cfg.params.noise_sigma = 0.02f;
+  cfg.params.rot_jitter = 0.2f;
+  cfg.params.color_jitter = 0.06f;
+  cfg.params.clutter_prob = 0.0f;
+  return data::make_synth_classification(cfg);
+}
+
+TrainConfig tiny_config(int epochs = 3) {
+  TrainConfig tc;
+  tc.epochs = epochs;
+  tc.batch_size = 32;
+  tc.schedule.base_lr = 0.1f;
+  tc.schedule.warmup_epochs = 0;
+  tc.schedule.milestones = {};
+  tc.seed = 3;
+  return tc;
+}
+
+TEST(Trainer, TrainingImprovesAccuracy) {
+  auto ds = tiny_train();
+  auto net = build_network("resnet8", synth_cifar_task(), 1);
+  const double before = evaluate(*net, *ds).accuracy;
+  train(*net, *ds, tiny_config(4));
+  const double after = evaluate(*net, *ds).accuracy;
+  EXPECT_GT(after, before + 0.3);  // far above the 10% chance level
+}
+
+TEST(Trainer, TrainingIsSeedDeterministic) {
+  auto ds = tiny_train();
+  auto a = build_network("resnet8", synth_cifar_task(), 1);
+  auto b = build_network("resnet8", synth_cifar_task(), 1);
+  train(*a, *ds, tiny_config(2));
+  train(*b, *ds, tiny_config(2));
+  const auto sa = a->state(), sb = b->state();
+  for (size_t i = 0; i < sa.size(); ++i) {
+    for (int64_t j = 0; j < sa[i].second.numel(); ++j) {
+      ASSERT_EQ(sa[i].second[j], sb[i].second[j]) << sa[i].first;
+    }
+  }
+}
+
+TEST(Trainer, EvaluateReportsLossAndAccuracy) {
+  auto ds = tiny_train();
+  auto net = build_network("resnet8", synth_cifar_task(), 1);
+  const EvalResult r = evaluate(*net, *ds);
+  EXPECT_GT(r.loss, 0.0);
+  EXPECT_GE(r.accuracy, 0.0);
+  EXPECT_LE(r.accuracy, 1.0);
+  EXPECT_FALSE(r.iou_valid);
+  EXPECT_NEAR(r.error(), 1.0 - r.accuracy, 1e-12);
+}
+
+TEST(Trainer, EvaluateSegmentationReportsIou) {
+  auto ds = data::make_synth_segmentation(16, 1, data::nominal_params());
+  auto net = build_network("segnet", synth_seg_task(), 1);
+  const EvalResult r = evaluate(*net, *ds);
+  EXPECT_TRUE(r.iou_valid);
+  EXPECT_GE(r.iou, 0.0);
+  EXPECT_LE(r.iou, 1.0);
+  EXPECT_NEAR(r.error(), 1.0 - r.iou, 1e-12);
+}
+
+TEST(Trainer, PredictMatchesLoopedForward) {
+  auto ds = tiny_train();
+  auto net = build_network("resnet8", synth_cifar_task(), 1);
+  Tensor stack(Shape{10, 3, 16, 16});
+  for (int64_t i = 0; i < 10; ++i) stack.set_slice0(i, ds->image(i));
+  // Different batch sizes must give identical logits (eval mode is
+  // batch-independent).
+  const Tensor full = predict(*net, stack, 10);
+  const Tensor chunked = predict(*net, stack, 3);
+  EXPECT_LT(l2_distance(full, chunked), 1e-4f);
+}
+
+TEST(Trainer, ProfileActivationsPopulatesStats) {
+  auto ds = tiny_train();
+  auto net = build_network("resnet8", synth_cifar_task(), 1);
+  profile_activations(*net, *ds, 32);
+  bool any_nonzero = false;
+  for (const auto& spec : net->prunable()) {
+    for (float v : *spec.in_act_stat) any_nonzero |= (v > 0.0f);
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Trainer, SegmentationTrainingImprovesIou) {
+  auto ds = data::make_synth_segmentation(80, 2, data::nominal_params());
+  auto net = build_network("segnet", synth_seg_task(), 1);
+  const double before = evaluate(*net, *ds).iou;
+  TrainConfig tc = tiny_config(3);
+  tc.schedule.base_lr = 0.05f;
+  train(*net, *ds, tc);
+  EXPECT_GT(evaluate(*net, *ds).iou, before);
+}
+
+}  // namespace
+}  // namespace rp::nn
