@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_retrain.dir/bench_ablation_retrain.cpp.o"
+  "CMakeFiles/bench_ablation_retrain.dir/bench_ablation_retrain.cpp.o.d"
+  "bench_ablation_retrain"
+  "bench_ablation_retrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_retrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_class_impact.dir/bench_class_impact.cpp.o"
+  "CMakeFiles/bench_class_impact.dir/bench_class_impact.cpp.o.d"
+  "bench_class_impact"
+  "bench_class_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_class_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

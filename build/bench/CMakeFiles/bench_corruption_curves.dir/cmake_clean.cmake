@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_corruption_curves.dir/bench_corruption_curves.cpp.o"
+  "CMakeFiles/bench_corruption_curves.dir/bench_corruption_curves.cpp.o.d"
+  "bench_corruption_curves"
+  "bench_corruption_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_corruption_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delta_sweep.dir/bench_delta_sweep.cpp.o"
+  "CMakeFiles/bench_delta_sweep.dir/bench_delta_sweep.cpp.o.d"
+  "bench_delta_sweep"
+  "bench_delta_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delta_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

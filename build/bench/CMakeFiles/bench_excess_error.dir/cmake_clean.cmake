@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_excess_error.dir/bench_excess_error.cpp.o"
+  "CMakeFiles/bench_excess_error.dir/bench_excess_error.cpp.o.d"
+  "bench_excess_error"
+  "bench_excess_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_excess_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_imagenet_prune.dir/bench_imagenet_prune.cpp.o"
+  "CMakeFiles/bench_imagenet_prune.dir/bench_imagenet_prune.cpp.o.d"
+  "bench_imagenet_prune"
+  "bench_imagenet_prune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_imagenet_prune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

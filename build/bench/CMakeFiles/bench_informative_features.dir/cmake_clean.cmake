@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_informative_features.dir/bench_informative_features.cpp.o"
+  "CMakeFiles/bench_informative_features.dir/bench_informative_features.cpp.o.d"
+  "bench_informative_features"
+  "bench_informative_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_informative_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_noise_similarity.dir/bench_noise_similarity.cpp.o"
+  "CMakeFiles/bench_noise_similarity.dir/bench_noise_similarity.cpp.o.d"
+  "bench_noise_similarity"
+  "bench_noise_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_noise_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

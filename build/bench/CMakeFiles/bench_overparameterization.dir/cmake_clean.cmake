@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overparameterization.dir/bench_overparameterization.cpp.o"
+  "CMakeFiles/bench_overparameterization.dir/bench_overparameterization.cpp.o.d"
+  "bench_overparameterization"
+  "bench_overparameterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overparameterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_potential_corrupt.dir/bench_potential_corrupt.cpp.o"
+  "CMakeFiles/bench_potential_corrupt.dir/bench_potential_corrupt.cpp.o.d"
+  "bench_potential_corrupt"
+  "bench_potential_corrupt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_potential_corrupt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

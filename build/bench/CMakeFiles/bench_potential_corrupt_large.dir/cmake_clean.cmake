@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_potential_corrupt_large.dir/bench_potential_corrupt_large.cpp.o"
+  "CMakeFiles/bench_potential_corrupt_large.dir/bench_potential_corrupt_large.cpp.o.d"
+  "bench_potential_corrupt_large"
+  "bench_potential_corrupt_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_potential_corrupt_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_potential_noise.dir/bench_potential_noise.cpp.o"
+  "CMakeFiles/bench_potential_noise.dir/bench_potential_noise.cpp.o.d"
+  "bench_potential_noise"
+  "bench_potential_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_potential_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

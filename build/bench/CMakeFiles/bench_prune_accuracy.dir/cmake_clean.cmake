@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prune_accuracy.dir/bench_prune_accuracy.cpp.o"
+  "CMakeFiles/bench_prune_accuracy.dir/bench_prune_accuracy.cpp.o.d"
+  "bench_prune_accuracy"
+  "bench_prune_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prune_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

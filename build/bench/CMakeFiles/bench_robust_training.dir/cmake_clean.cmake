@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_robust_training.dir/bench_robust_training.cpp.o"
+  "CMakeFiles/bench_robust_training.dir/bench_robust_training.cpp.o.d"
+  "bench_robust_training"
+  "bench_robust_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_robust_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

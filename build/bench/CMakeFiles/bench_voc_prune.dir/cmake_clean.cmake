@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_voc_prune.dir/bench_voc_prune.cpp.o"
+  "CMakeFiles/bench_voc_prune.dir/bench_voc_prune.cpp.o.d"
+  "bench_voc_prune"
+  "bench_voc_prune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_voc_prune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

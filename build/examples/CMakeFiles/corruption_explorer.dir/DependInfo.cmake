@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/corruption_explorer.cpp" "examples/CMakeFiles/corruption_explorer.dir/corruption_explorer.cpp.o" "gcc" "examples/CMakeFiles/corruption_explorer.dir/corruption_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/rp_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/corrupt/CMakeFiles/rp_corrupt.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rp_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corruption_explorer.dir/corruption_explorer.cpp.o"
+  "CMakeFiles/corruption_explorer.dir/corruption_explorer.cpp.o.d"
+  "corruption_explorer"
+  "corruption_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corruption_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_gallery.dir/noise_gallery.cpp.o"
+  "CMakeFiles/noise_gallery.dir/noise_gallery.cpp.o.d"
+  "noise_gallery"
+  "noise_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_pruning.dir/robust_pruning.cpp.o"
+  "CMakeFiles/robust_pruning.dir/robust_pruning.cpp.o.d"
+  "robust_pruning"
+  "robust_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adversarial.cpp" "src/core/CMakeFiles/rp_core.dir/adversarial.cpp.o" "gcc" "src/core/CMakeFiles/rp_core.dir/adversarial.cpp.o.d"
+  "/root/repo/src/core/backselect.cpp" "src/core/CMakeFiles/rp_core.dir/backselect.cpp.o" "gcc" "src/core/CMakeFiles/rp_core.dir/backselect.cpp.o.d"
+  "/root/repo/src/core/class_impact.cpp" "src/core/CMakeFiles/rp_core.dir/class_impact.cpp.o" "gcc" "src/core/CMakeFiles/rp_core.dir/class_impact.cpp.o.d"
+  "/root/repo/src/core/function_distance.cpp" "src/core/CMakeFiles/rp_core.dir/function_distance.cpp.o" "gcc" "src/core/CMakeFiles/rp_core.dir/function_distance.cpp.o.d"
+  "/root/repo/src/core/guidelines.cpp" "src/core/CMakeFiles/rp_core.dir/guidelines.cpp.o" "gcc" "src/core/CMakeFiles/rp_core.dir/guidelines.cpp.o.d"
+  "/root/repo/src/core/noise_similarity.cpp" "src/core/CMakeFiles/rp_core.dir/noise_similarity.cpp.o" "gcc" "src/core/CMakeFiles/rp_core.dir/noise_similarity.cpp.o.d"
+  "/root/repo/src/core/prune_potential.cpp" "src/core/CMakeFiles/rp_core.dir/prune_potential.cpp.o" "gcc" "src/core/CMakeFiles/rp_core.dir/prune_potential.cpp.o.d"
+  "/root/repo/src/core/prune_retrain.cpp" "src/core/CMakeFiles/rp_core.dir/prune_retrain.cpp.o" "gcc" "src/core/CMakeFiles/rp_core.dir/prune_retrain.cpp.o.d"
+  "/root/repo/src/core/pruner.cpp" "src/core/CMakeFiles/rp_core.dir/pruner.cpp.o" "gcc" "src/core/CMakeFiles/rp_core.dir/pruner.cpp.o.d"
+  "/root/repo/src/core/robust.cpp" "src/core/CMakeFiles/rp_core.dir/robust.cpp.o" "gcc" "src/core/CMakeFiles/rp_core.dir/robust.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/rp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/corrupt/CMakeFiles/rp_corrupt.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rp_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

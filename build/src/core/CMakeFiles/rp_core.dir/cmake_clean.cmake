@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_core.dir/adversarial.cpp.o"
+  "CMakeFiles/rp_core.dir/adversarial.cpp.o.d"
+  "CMakeFiles/rp_core.dir/backselect.cpp.o"
+  "CMakeFiles/rp_core.dir/backselect.cpp.o.d"
+  "CMakeFiles/rp_core.dir/class_impact.cpp.o"
+  "CMakeFiles/rp_core.dir/class_impact.cpp.o.d"
+  "CMakeFiles/rp_core.dir/function_distance.cpp.o"
+  "CMakeFiles/rp_core.dir/function_distance.cpp.o.d"
+  "CMakeFiles/rp_core.dir/guidelines.cpp.o"
+  "CMakeFiles/rp_core.dir/guidelines.cpp.o.d"
+  "CMakeFiles/rp_core.dir/noise_similarity.cpp.o"
+  "CMakeFiles/rp_core.dir/noise_similarity.cpp.o.d"
+  "CMakeFiles/rp_core.dir/prune_potential.cpp.o"
+  "CMakeFiles/rp_core.dir/prune_potential.cpp.o.d"
+  "CMakeFiles/rp_core.dir/prune_retrain.cpp.o"
+  "CMakeFiles/rp_core.dir/prune_retrain.cpp.o.d"
+  "CMakeFiles/rp_core.dir/pruner.cpp.o"
+  "CMakeFiles/rp_core.dir/pruner.cpp.o.d"
+  "CMakeFiles/rp_core.dir/robust.cpp.o"
+  "CMakeFiles/rp_core.dir/robust.cpp.o.d"
+  "librp_core.a"
+  "librp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

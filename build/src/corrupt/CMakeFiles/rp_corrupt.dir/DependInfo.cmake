@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corrupt/corruptions.cpp" "src/corrupt/CMakeFiles/rp_corrupt.dir/corruptions.cpp.o" "gcc" "src/corrupt/CMakeFiles/rp_corrupt.dir/corruptions.cpp.o.d"
+  "/root/repo/src/corrupt/image_util.cpp" "src/corrupt/CMakeFiles/rp_corrupt.dir/image_util.cpp.o" "gcc" "src/corrupt/CMakeFiles/rp_corrupt.dir/image_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/rp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rp_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

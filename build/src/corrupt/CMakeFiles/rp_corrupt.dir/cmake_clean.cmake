@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_corrupt.dir/corruptions.cpp.o"
+  "CMakeFiles/rp_corrupt.dir/corruptions.cpp.o.d"
+  "CMakeFiles/rp_corrupt.dir/image_util.cpp.o"
+  "CMakeFiles/rp_corrupt.dir/image_util.cpp.o.d"
+  "librp_corrupt.a"
+  "librp_corrupt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_corrupt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

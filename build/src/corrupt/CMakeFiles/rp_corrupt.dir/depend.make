@@ -1,0 +1,2 @@
+# Empty dependencies file for rp_corrupt.
+# This may be replaced when dependencies are built.

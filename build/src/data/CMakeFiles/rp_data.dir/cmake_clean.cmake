@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_data.dir/augment.cpp.o"
+  "CMakeFiles/rp_data.dir/augment.cpp.o.d"
+  "CMakeFiles/rp_data.dir/dataset.cpp.o"
+  "CMakeFiles/rp_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/rp_data.dir/image_io.cpp.o"
+  "CMakeFiles/rp_data.dir/image_io.cpp.o.d"
+  "CMakeFiles/rp_data.dir/synth.cpp.o"
+  "CMakeFiles/rp_data.dir/synth.cpp.o.d"
+  "librp_data.a"
+  "librp_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_exp.dir/cache.cpp.o"
+  "CMakeFiles/rp_exp.dir/cache.cpp.o.d"
+  "CMakeFiles/rp_exp.dir/runner.cpp.o"
+  "CMakeFiles/rp_exp.dir/runner.cpp.o.d"
+  "CMakeFiles/rp_exp.dir/stats.cpp.o"
+  "CMakeFiles/rp_exp.dir/stats.cpp.o.d"
+  "CMakeFiles/rp_exp.dir/table.cpp.o"
+  "CMakeFiles/rp_exp.dir/table.cpp.o.d"
+  "librp_exp.a"
+  "librp_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

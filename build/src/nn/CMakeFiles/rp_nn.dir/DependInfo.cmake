@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/blocks.cpp" "src/nn/CMakeFiles/rp_nn.dir/blocks.cpp.o" "gcc" "src/nn/CMakeFiles/rp_nn.dir/blocks.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/rp_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/rp_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/rp_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/rp_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/metrics.cpp" "src/nn/CMakeFiles/rp_nn.dir/metrics.cpp.o" "gcc" "src/nn/CMakeFiles/rp_nn.dir/metrics.cpp.o.d"
+  "/root/repo/src/nn/models.cpp" "src/nn/CMakeFiles/rp_nn.dir/models.cpp.o" "gcc" "src/nn/CMakeFiles/rp_nn.dir/models.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/rp_nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/rp_nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "src/nn/CMakeFiles/rp_nn.dir/optim.cpp.o" "gcc" "src/nn/CMakeFiles/rp_nn.dir/optim.cpp.o.d"
+  "/root/repo/src/nn/summary.cpp" "src/nn/CMakeFiles/rp_nn.dir/summary.cpp.o" "gcc" "src/nn/CMakeFiles/rp_nn.dir/summary.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/rp_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/rp_nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/rp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rp_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

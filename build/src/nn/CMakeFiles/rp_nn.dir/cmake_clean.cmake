@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_nn.dir/blocks.cpp.o"
+  "CMakeFiles/rp_nn.dir/blocks.cpp.o.d"
+  "CMakeFiles/rp_nn.dir/layers.cpp.o"
+  "CMakeFiles/rp_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/rp_nn.dir/loss.cpp.o"
+  "CMakeFiles/rp_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/rp_nn.dir/metrics.cpp.o"
+  "CMakeFiles/rp_nn.dir/metrics.cpp.o.d"
+  "CMakeFiles/rp_nn.dir/models.cpp.o"
+  "CMakeFiles/rp_nn.dir/models.cpp.o.d"
+  "CMakeFiles/rp_nn.dir/network.cpp.o"
+  "CMakeFiles/rp_nn.dir/network.cpp.o.d"
+  "CMakeFiles/rp_nn.dir/optim.cpp.o"
+  "CMakeFiles/rp_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/rp_nn.dir/summary.cpp.o"
+  "CMakeFiles/rp_nn.dir/summary.cpp.o.d"
+  "CMakeFiles/rp_nn.dir/trainer.cpp.o"
+  "CMakeFiles/rp_nn.dir/trainer.cpp.o.d"
+  "librp_nn.a"
+  "librp_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

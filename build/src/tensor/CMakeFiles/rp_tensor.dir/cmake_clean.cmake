@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_tensor.dir/gemm.cpp.o"
+  "CMakeFiles/rp_tensor.dir/gemm.cpp.o.d"
+  "CMakeFiles/rp_tensor.dir/ops.cpp.o"
+  "CMakeFiles/rp_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/rp_tensor.dir/rng.cpp.o"
+  "CMakeFiles/rp_tensor.dir/rng.cpp.o.d"
+  "CMakeFiles/rp_tensor.dir/serialize.cpp.o"
+  "CMakeFiles/rp_tensor.dir/serialize.cpp.o.d"
+  "CMakeFiles/rp_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/rp_tensor.dir/tensor.cpp.o.d"
+  "librp_tensor.a"
+  "librp_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adversarial.cpp" "tests/CMakeFiles/rp_tests.dir/test_adversarial.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_adversarial.cpp.o.d"
+  "/root/repo/tests/test_augment.cpp" "tests/CMakeFiles/rp_tests.dir/test_augment.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_augment.cpp.o.d"
+  "/root/repo/tests/test_backselect.cpp" "tests/CMakeFiles/rp_tests.dir/test_backselect.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_backselect.cpp.o.d"
+  "/root/repo/tests/test_blocks.cpp" "tests/CMakeFiles/rp_tests.dir/test_blocks.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_blocks.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/rp_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_class_impact.cpp" "tests/CMakeFiles/rp_tests.dir/test_class_impact.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_class_impact.cpp.o.d"
+  "/root/repo/tests/test_corrupt.cpp" "tests/CMakeFiles/rp_tests.dir/test_corrupt.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_corrupt.cpp.o.d"
+  "/root/repo/tests/test_corrupt_semantics.cpp" "tests/CMakeFiles/rp_tests.dir/test_corrupt_semantics.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_corrupt_semantics.cpp.o.d"
+  "/root/repo/tests/test_data.cpp" "tests/CMakeFiles/rp_tests.dir/test_data.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_data.cpp.o.d"
+  "/root/repo/tests/test_function_distance.cpp" "tests/CMakeFiles/rp_tests.dir/test_function_distance.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_function_distance.cpp.o.d"
+  "/root/repo/tests/test_gemm.cpp" "tests/CMakeFiles/rp_tests.dir/test_gemm.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_gemm.cpp.o.d"
+  "/root/repo/tests/test_guidelines.cpp" "tests/CMakeFiles/rp_tests.dir/test_guidelines.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_guidelines.cpp.o.d"
+  "/root/repo/tests/test_image_io.cpp" "tests/CMakeFiles/rp_tests.dir/test_image_io.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_image_io.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/rp_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_layers.cpp" "tests/CMakeFiles/rp_tests.dir/test_layers.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_layers.cpp.o.d"
+  "/root/repo/tests/test_layers_edge.cpp" "tests/CMakeFiles/rp_tests.dir/test_layers_edge.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_layers_edge.cpp.o.d"
+  "/root/repo/tests/test_loss.cpp" "tests/CMakeFiles/rp_tests.dir/test_loss.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_loss.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/rp_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/rp_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_noise_similarity.cpp" "tests/CMakeFiles/rp_tests.dir/test_noise_similarity.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_noise_similarity.cpp.o.d"
+  "/root/repo/tests/test_ops.cpp" "tests/CMakeFiles/rp_tests.dir/test_ops.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_ops.cpp.o.d"
+  "/root/repo/tests/test_optim.cpp" "tests/CMakeFiles/rp_tests.dir/test_optim.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_optim.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/rp_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_prune_potential.cpp" "tests/CMakeFiles/rp_tests.dir/test_prune_potential.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_prune_potential.cpp.o.d"
+  "/root/repo/tests/test_prune_retrain.cpp" "tests/CMakeFiles/rp_tests.dir/test_prune_retrain.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_prune_retrain.cpp.o.d"
+  "/root/repo/tests/test_pruner.cpp" "tests/CMakeFiles/rp_tests.dir/test_pruner.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_pruner.cpp.o.d"
+  "/root/repo/tests/test_retrain_modes.cpp" "tests/CMakeFiles/rp_tests.dir/test_retrain_modes.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_retrain_modes.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/rp_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_robust.cpp" "tests/CMakeFiles/rp_tests.dir/test_robust.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_robust.cpp.o.d"
+  "/root/repo/tests/test_runner.cpp" "tests/CMakeFiles/rp_tests.dir/test_runner.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_runner.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/rp_tests.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_shape.cpp" "tests/CMakeFiles/rp_tests.dir/test_shape.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_shape.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/rp_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/rp_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/rp_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_trainer.cpp" "tests/CMakeFiles/rp_tests.dir/test_trainer.cpp.o" "gcc" "tests/CMakeFiles/rp_tests.dir/test_trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/rp_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/corrupt/CMakeFiles/rp_corrupt.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rp_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
