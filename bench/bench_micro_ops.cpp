@@ -8,6 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "core/backselect.hpp"
 #include "core/pruner.hpp"
 #include "corrupt/corruption.hpp"
@@ -17,10 +21,19 @@
 #include "nn/models.hpp"
 #include "nn/trainer.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/parallel.hpp"
 
 using namespace rp;
 
 namespace {
+
+/// Reports achieved arithmetic throughput; with kIs1000 the console shows
+/// G/s and the JSON carries the raw FLOP/s number for cross-PR tracking.
+void report_flops(benchmark::State& state, double flops_per_iter) {
+  state.counters["FLOPS"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * flops_per_iter, benchmark::Counter::kIsRate,
+      benchmark::Counter::kIs1000);
+}
 
 void BM_Gemm(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -33,8 +46,32 @@ void BM_Gemm(benchmark::State& state) {
     benchmark::DoNotOptimize(c.data().data());
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  report_flops(state, 2.0 * static_cast<double>(n * n * n));
 }
-BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+/// The acceptance benchmark for the threaded backend: 512^3 GEMM at an
+/// explicit lane count (1/2/4/8), bypassing RP_THREADS for the run.
+void BM_GemmThreads(benchmark::State& state) {
+  const int64_t n = 512;
+  const int threads = static_cast<int>(state.range(0));
+  parallel::set_num_threads(threads);
+  Rng rng(1);
+  Tensor a = Tensor::randn(Shape{n, n}, rng);
+  Tensor b = Tensor::randn(Shape{n, n}, rng);
+  Tensor c(Shape{n, n});
+  for (auto _ : state) {
+    gemm(a, b, c);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  parallel::set_num_threads(0);
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  report_flops(state, 2.0 * static_cast<double>(n * n * n));
+  state.SetLabel("512x512x512 @ " + std::to_string(threads) + " threads");
+}
+// UseRealTime: rates must come from wall-clock, not the main thread's CPU
+// time — otherwise multi-lane runs report inflated throughput.
+BENCHMARK(BM_GemmThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_Im2col(benchmark::State& state) {
   ConvGeom g{16, 16, 16, 3, 1, 1};
@@ -185,4 +222,25 @@ BENCHMARK(BM_BackselectStep)->Iterations(3);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+/// Like BENCHMARK_MAIN(), but defaults --benchmark_out to
+/// BENCH_micro_ops.json (JSON format) so every run leaves a machine-readable
+/// perf record for cross-PR trajectory tracking. An explicit --benchmark_out
+/// on the command line wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_micro_ops.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    has_out |= std::strncmp(argv[i], "--benchmark_out", 15) == 0;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

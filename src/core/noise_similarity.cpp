@@ -7,6 +7,7 @@
 #include "corrupt/corruption.hpp"
 #include "nn/trainer.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/parallel.hpp"
 
 namespace rp::core {
 
@@ -16,39 +17,67 @@ NoiseSimilarity noise_similarity(nn::Network& a, nn::Network& b, const data::Dat
   n_images = std::min<int64_t>(n_images, ds.size());
   if (n_images < 1) throw std::invalid_argument("noise_similarity: empty dataset");
 
-  Rng rng(seed);
+  // Each repetition draws its noise from an independent stream forked off
+  // the root seed by the repetition index, so the draws — and therefore the
+  // result — do not depend on how repetitions are sharded across lanes.
+  const Rng root(seed);
   const auto noise = corrupt::uniform_noise(eps);
 
-  int64_t matches = 0;
-  double l2_sum = 0.0;
-  int64_t total = 0;
+  struct RepOut {
+    int64_t matches = 0;
+    double l2_sum = 0.0;
+  };
+  std::vector<RepOut> partial(static_cast<size_t>(reps));
 
-  Tensor batch(Shape{n_images, ds.image(0).size(0), ds.image(0).size(1), ds.image(0).size(2)});
-  for (int rep = 0; rep < reps; ++rep) {
-    for (int64_t i = 0; i < n_images; ++i) {
-      Tensor img = ds.image(i);
-      if (eps > 0.0f) img = noise(img, rng);
-      batch.set_slice0(i, img);
-    }
-    const Tensor pa = softmax_rows(nn::predict(a, batch));
-    const Tensor pb = softmax_rows(nn::predict(b, batch));
-    const auto la = argmax_rows(pa);
-    const auto lb = argmax_rows(pb);
-    for (int64_t i = 0; i < n_images; ++i) {
-      matches += (la[static_cast<size_t>(i)] == lb[static_cast<size_t>(i)]);
-      double d2 = 0.0;
-      for (int64_t c = 0; c < pa.size(1); ++c) {
-        const double d = static_cast<double>(pa.at(i, c)) - pb.at(i, c);
-        d2 += d * d;
-      }
-      l2_sum += std::sqrt(d2);
-      ++total;
-    }
+  const int shards = parallel::shard_count(reps);
+  std::vector<nn::NetworkPtr> clones_a, clones_b;
+  for (int s = 1; s < shards; ++s) {
+    clones_a.push_back(a.clone());
+    clones_b.push_back(b.clone());
   }
 
+  parallel::run_shards(shards, reps, [&](int s, int64_t r0, int64_t r1) {
+    nn::Network& na = s == 0 ? a : *clones_a[static_cast<size_t>(s - 1)];
+    nn::Network& nb = s == 0 ? b : *clones_b[static_cast<size_t>(s - 1)];
+    Tensor batch(
+        Shape{n_images, ds.image(0).size(0), ds.image(0).size(1), ds.image(0).size(2)});
+    for (int64_t rep = r0; rep < r1; ++rep) {
+      Rng rep_rng = root.fork(static_cast<uint64_t>(rep));
+      for (int64_t i = 0; i < n_images; ++i) {
+        Tensor img = ds.image(i);
+        if (eps > 0.0f) img = noise(img, rep_rng);
+        batch.set_slice0(i, img);
+      }
+      const Tensor pa = softmax_rows(nn::predict(na, batch));
+      const Tensor pb = softmax_rows(nn::predict(nb, batch));
+      const auto la = argmax_rows(pa);
+      const auto lb = argmax_rows(pb);
+      RepOut& o = partial[static_cast<size_t>(rep)];
+      for (int64_t i = 0; i < n_images; ++i) {
+        o.matches += (la[static_cast<size_t>(i)] == lb[static_cast<size_t>(i)]);
+        double d2 = 0.0;
+        for (int64_t c = 0; c < pa.size(1); ++c) {
+          const double d = static_cast<double>(pa.at(i, c)) - pb.at(i, c);
+          d2 += d * d;
+        }
+        o.l2_sum += std::sqrt(d2);
+      }
+    }
+  });
+
+  // Reduce in repetition order: the double sum is bit-identical for any
+  // shard layout.
+  int64_t matches = 0;
+  double l2_sum = 0.0;
+  for (const RepOut& o : partial) {
+    matches += o.matches;
+    l2_sum += o.l2_sum;
+  }
+  const auto total = static_cast<double>(reps) * static_cast<double>(n_images);
+
   NoiseSimilarity r;
-  r.match_fraction = static_cast<double>(matches) / static_cast<double>(total);
-  r.softmax_l2 = l2_sum / static_cast<double>(total);
+  r.match_fraction = static_cast<double>(matches) / total;
+  r.softmax_l2 = l2_sum / total;
   return r;
 }
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "tensor/parallel.hpp"
 #include "tensor/rng.hpp"
 
 namespace rp::exp {
@@ -43,18 +44,24 @@ Interval bootstrap_slope_ci(std::span<const double> x, std::span<const double> y
   if (confidence <= 0.0 || confidence >= 1.0) {
     throw std::invalid_argument("bootstrap_slope_ci: confidence must be in (0, 1)");
   }
-  Rng rng(seed);
+  // Every resample draws from a stream forked off the root seed by its
+  // iteration index, and slopes[] is indexed by iteration, so the interval
+  // is bit-identical for any RP_THREADS value.
+  const Rng root(seed);
   const auto n = static_cast<int64_t>(x.size());
   std::vector<double> slopes(static_cast<size_t>(iters));
-  std::vector<double> bx(static_cast<size_t>(n)), by(static_cast<size_t>(n));
-  for (int it = 0; it < iters; ++it) {
-    for (int64_t i = 0; i < n; ++i) {
-      const auto j = static_cast<size_t>(rng.randint(n));
-      bx[static_cast<size_t>(i)] = x[j];
-      by[static_cast<size_t>(i)] = y[j];
+  parallel::parallel_for(0, iters, 16, [&](int64_t it0, int64_t it1) {
+    std::vector<double> bx(static_cast<size_t>(n)), by(static_cast<size_t>(n));
+    for (int64_t it = it0; it < it1; ++it) {
+      Rng rng = root.fork(static_cast<uint64_t>(it));
+      for (int64_t i = 0; i < n; ++i) {
+        const auto j = static_cast<size_t>(rng.randint(n));
+        bx[static_cast<size_t>(i)] = x[j];
+        by[static_cast<size_t>(i)] = y[j];
+      }
+      slopes[static_cast<size_t>(it)] = ols_slope_origin(bx, by);
     }
-    slopes[static_cast<size_t>(it)] = ols_slope_origin(bx, by);
-  }
+  });
   std::sort(slopes.begin(), slopes.end());
   const double alpha = (1.0 - confidence) / 2.0;
   const auto lo_idx = static_cast<size_t>(alpha * (iters - 1));

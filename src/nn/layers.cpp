@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "tensor/ops.hpp"
+#include "tensor/parallel.hpp"
 
 namespace rp::nn {
 
@@ -55,44 +56,59 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
                                 " does not match configured geometry");
   }
   cached_input_ = x;
+  const int64_t oplane = oh * ow;
   Tensor y(Shape{n, out_c_, oh, ow});
+  float* yd = y.data().data();
 
-  Tensor y_n(Shape{out_c_, oh * ow});
-  for (int64_t i = 0; i < n; ++i) {
-    const Tensor x_n = x.slice0(i);
-    im2col(x_n, geom_, cols_);
-    gemm(weight_.value, cols_, y_n);
-    if (use_bias_) {
-      float* yd = y_n.data().data();
-      for (int64_t c = 0; c < out_c_; ++c) {
-        const float b = bias_.value[c];
-        for (int64_t p = 0; p < oh * ow; ++p) yd[c * oh * ow + p] += b;
+  // Samples are independent (each writes its own output plane), so the
+  // im2col+GEMM loop is parallel over samples. Every lane owns one set of
+  // scratch tensors — nested parallel loops run inline, so a lane never
+  // shares these with another forward in flight.
+  parallel::parallel_for(0, n, 1, [&](int64_t i0, int64_t i1) {
+    thread_local Tensor cols;
+    thread_local Tensor y_n;
+    if (y_n.shape() != Shape{out_c_, oplane}) y_n = Tensor(Shape{out_c_, oplane});
+    for (int64_t i = i0; i < i1; ++i) {
+      im2col(x.slice0(i), geom_, cols);
+      gemm(weight_.value, cols, y_n);
+      const float* src = y_n.data().data();
+      float* dst = yd + i * out_c_ * oplane;
+      if (use_bias_) {
+        for (int64_t c = 0; c < out_c_; ++c) {
+          const float b = bias_.value[c];
+          for (int64_t p = 0; p < oplane; ++p) dst[c * oplane + p] = src[c * oplane + p] + b;
+        }
+      } else {
+        std::memcpy(dst, src, static_cast<size_t>(out_c_ * oplane) * sizeof(float));
       }
     }
-    y.set_slice0(i, y_n.reshape(Shape{out_c_, oh, ow}));
-  }
+  });
 
   if (profiling_) {
+    // Max-reduction per channel; each channel is owned by one lane, so the
+    // stat update is race-free and (max being exact) order-independent.
     const float* xd = x.data().data();
     const int64_t plane = geom_.in_h * geom_.in_w;
-    for (int64_t i = 0; i < n; ++i) {
-      for (int64_t c = 0; c < geom_.in_c; ++c) {
-        const float* p = xd + (i * geom_.in_c + c) * plane;
+    parallel::parallel_for(0, geom_.in_c, 1, [&](int64_t c0, int64_t c1) {
+      for (int64_t c = c0; c < c1; ++c) {
         float m = in_stat_[static_cast<size_t>(c)];
-        for (int64_t j = 0; j < plane; ++j) m = std::max(m, std::fabs(p[j]));
+        for (int64_t i = 0; i < n; ++i) {
+          const float* p = xd + (i * geom_.in_c + c) * plane;
+          for (int64_t j = 0; j < plane; ++j) m = std::max(m, std::fabs(p[j]));
+        }
         in_stat_[static_cast<size_t>(c)] = m;
       }
-    }
-    const float* yd = y.data().data();
-    const int64_t oplane = oh * ow;
-    for (int64_t i = 0; i < n; ++i) {
-      for (int64_t c = 0; c < out_c_; ++c) {
-        const float* p = yd + (i * out_c_ + c) * oplane;
+    });
+    parallel::parallel_for(0, out_c_, 1, [&](int64_t c0, int64_t c1) {
+      for (int64_t c = c0; c < c1; ++c) {
         float m = out_stat_[static_cast<size_t>(c)];
-        for (int64_t j = 0; j < oplane; ++j) m = std::max(m, std::fabs(p[j]));
+        for (int64_t i = 0; i < n; ++i) {
+          const float* p = yd + (i * out_c_ + c) * oplane;
+          for (int64_t j = 0; j < oplane; ++j) m = std::max(m, std::fabs(p[j]));
+        }
         out_stat_[static_cast<size_t>(c)] = m;
       }
-    }
+    });
   }
   return y;
 }
@@ -101,15 +117,23 @@ Tensor Conv2d::backward(const Tensor& dy) {
   const int64_t n = cached_input_.size(0);
   const int64_t oh = geom_.out_h(), ow = geom_.out_w();
   Tensor dx(cached_input_.shape());
-  Tensor dcols(Shape{geom_.patch(), oh * ow});
   Tensor dx_n;
+  // Serial over samples: dW accumulates sequentially, and keeping the seed's
+  // accumulation order preserves bit-reproducible training (a parallel
+  // backward is tracked as a ROADMAP follow-up). Scratch is per-lane so
+  // parallel callers above (if any) stay isolated.
+  thread_local Tensor cols;
+  thread_local Tensor dcols;
+  if (dcols.shape() != Shape{geom_.patch(), oh * ow}) {
+    dcols = Tensor(Shape{geom_.patch(), oh * ow});
+  }
 
   for (int64_t i = 0; i < n; ++i) {
     const Tensor dy_n = dy.slice0(i).reshape(Shape{out_c_, oh * ow});
     const Tensor x_n = cached_input_.slice0(i);
-    im2col(x_n, geom_, cols_);
+    im2col(x_n, geom_, cols);
     // dW += dy_n @ colsᵀ
-    gemm(dy_n, cols_, weight_.grad, /*trans_a=*/false, /*trans_b=*/true, 1.0f, 1.0f);
+    gemm(dy_n, cols, weight_.grad, /*trans_a=*/false, /*trans_b=*/true, 1.0f, 1.0f);
     // dcols = Wᵀ @ dy_n
     gemm(weight_.value, dy_n, dcols, /*trans_a=*/true);
     col2im(dcols, geom_, dx_n);

@@ -44,7 +44,6 @@ class Conv2d final : public Module {
   std::vector<Parameter*> out_coupled_;
 
   Tensor cached_input_;
-  Tensor cols_;  // scratch, reused across samples
 
   bool profiling_ = false;
   std::vector<float> in_stat_, out_stat_;

@@ -53,8 +53,10 @@ struct PrunableSpec {
   /// Activation statistics captured during a profiling pass (see
   /// Module::set_profiling): max |a| per input group / output unit over the
   /// profiled samples. Used by the data-informed pruners SiPP and PFP.
-  const std::vector<float>* in_act_stat = nullptr;
-  const std::vector<float>* out_act_stat = nullptr;
+  /// Mutable because a sharded profile_activations() max-merges the stats of
+  /// its per-lane network clones back through these pointers.
+  std::vector<float>* in_act_stat = nullptr;
+  std::vector<float>* out_act_stat = nullptr;
 
   /// Output spatial positions of this layer (1 for linear); used by the
   /// mask-aware FLOP model.

@@ -1,12 +1,37 @@
 #include "nn/trainer.hpp"
 
 #include <cstdio>
+#include <cstring>
+#include <numeric>
 
 #include "nn/loss.hpp"
 #include "nn/metrics.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/parallel.hpp"
 
 namespace rp::nn {
+
+namespace {
+
+/// Per-shard forward-pass workers. Forward mutates per-layer caches, so each
+/// shard beyond the caller's needs its own deep copy; clones rebuild from
+/// state() through the architecture registry and produce bit-identical
+/// logits. With one shard (RP_THREADS=1 or nested) no clone is made and the
+/// original network runs exactly the serial path.
+class ShardNets {
+ public:
+  ShardNets(Network& net, int shards) : net_(net) {
+    for (int s = 1; s < shards; ++s) clones_.push_back(net.clone());
+  }
+  Network& operator[](int shard) { return shard == 0 ? net_ : *clones_[shard - 1]; }
+  std::vector<NetworkPtr>& clones() { return clones_; }
+
+ private:
+  Network& net_;
+  std::vector<NetworkPtr> clones_;
+};
+
+}  // namespace
 
 void train(Network& net, const data::Dataset& ds, const TrainConfig& cfg) {
   Rng rng(cfg.seed);
@@ -46,39 +71,62 @@ void train(Network& net, const data::Dataset& ds, const TrainConfig& cfg) {
 EvalResult evaluate(Network& net, const data::Dataset& ds, int batch_size) {
   const int64_t n = ds.size();
   const bool seg = ds.segmentation();
+  const int64_t nbatches = (n + batch_size - 1) / batch_size;
+
+  // Per-batch partial results, indexed by batch so the final reduction runs
+  // in batch order regardless of how batches were sharded across lanes —
+  // the double-precision loss sum is bit-identical for any RP_THREADS.
+  struct BatchOut {
+    double loss = 0.0;
+    int64_t hits = 0, total = 0;
+    std::vector<int64_t> pred, truth;
+  };
+  std::vector<BatchOut> partial(static_cast<size_t>(nbatches));
+
+  const int shards = parallel::shard_count(nbatches);
+  ShardNets nets(net, shards);
+  parallel::run_shards(shards, nbatches, [&](int s, int64_t b0, int64_t b1) {
+    Network& worker = nets[s];
+    std::vector<int64_t> idx;
+    for (int64_t b = b0; b < b1; ++b) {
+      const int64_t start = b * batch_size;
+      const int64_t end = std::min<int64_t>(start + batch_size, n);
+      idx.resize(static_cast<size_t>(end - start));
+      std::iota(idx.begin(), idx.end(), start);
+      data::Batch batch = data::make_batch(ds, idx);
+
+      Tensor logits = worker.forward(batch.images, /*train=*/false);
+      BatchOut& o = partial[static_cast<size_t>(b)];
+      if (seg) {
+        const LossResult lr = pixel_cross_entropy(logits, batch.labels);
+        o.loss = lr.loss;
+        o.pred = pixel_argmax(logits);
+        for (size_t i = 0; i < o.pred.size(); ++i) o.hits += (o.pred[i] == batch.labels[i]);
+        o.total = static_cast<int64_t>(o.pred.size());
+        o.truth = std::move(batch.labels);
+      } else {
+        const LossResult lr = softmax_cross_entropy(logits, batch.labels);
+        o.loss = lr.loss;
+        const auto pred = argmax_rows(logits);
+        for (size_t i = 0; i < pred.size(); ++i) o.hits += (pred[i] == batch.labels[i]);
+        o.total = static_cast<int64_t>(pred.size());
+      }
+    }
+  });
+
   double loss_sum = 0.0;
-  int64_t loss_batches = 0;
   int64_t hits = 0, total = 0;
   std::vector<int64_t> all_pred, all_truth;
-
-  std::vector<int64_t> idx_buf(static_cast<size_t>(batch_size));
-  for (int64_t start = 0; start < n; start += batch_size) {
-    const int64_t end = std::min<int64_t>(start + batch_size, n);
-    idx_buf.resize(static_cast<size_t>(end - start));
-    for (int64_t i = start; i < end; ++i) idx_buf[static_cast<size_t>(i - start)] = i;
-    data::Batch batch = data::make_batch(ds, idx_buf);
-
-    Tensor logits = net.forward(batch.images, /*train=*/false);
-    if (seg) {
-      const LossResult lr = pixel_cross_entropy(logits, batch.labels);
-      loss_sum += lr.loss;
-      auto pred = pixel_argmax(logits);
-      for (size_t i = 0; i < pred.size(); ++i) hits += (pred[i] == batch.labels[i]);
-      total += static_cast<int64_t>(pred.size());
-      all_pred.insert(all_pred.end(), pred.begin(), pred.end());
-      all_truth.insert(all_truth.end(), batch.labels.begin(), batch.labels.end());
-    } else {
-      const LossResult lr = softmax_cross_entropy(logits, batch.labels);
-      loss_sum += lr.loss;
-      const auto pred = argmax_rows(logits);
-      for (size_t i = 0; i < pred.size(); ++i) hits += (pred[i] == batch.labels[i]);
-      total += static_cast<int64_t>(pred.size());
-    }
-    ++loss_batches;
+  for (const BatchOut& o : partial) {
+    loss_sum += o.loss;
+    hits += o.hits;
+    total += o.total;
+    all_pred.insert(all_pred.end(), o.pred.begin(), o.pred.end());
+    all_truth.insert(all_truth.end(), o.truth.begin(), o.truth.end());
   }
 
   EvalResult r;
-  r.loss = loss_sum / std::max<int64_t>(1, loss_batches);
+  r.loss = loss_sum / std::max<int64_t>(1, nbatches);
   r.accuracy = total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
   if (seg) {
     r.iou = mean_iou(all_pred, all_truth, net.task().num_classes);
@@ -89,33 +137,74 @@ EvalResult evaluate(Network& net, const data::Dataset& ds, int batch_size) {
 
 Tensor predict(Network& net, const Tensor& images, int batch_size) {
   const int64_t n = images.size(0);
-  Tensor out;
-  for (int64_t start = 0; start < n; start += batch_size) {
-    const int64_t end = std::min<int64_t>(start + batch_size, n);
-    Tensor chunk(Shape{end - start, images.size(1), images.size(2), images.size(3)});
-    for (int64_t i = start; i < end; ++i) chunk.set_slice0(i - start, images.slice0(i));
-    Tensor logits = net.forward(chunk, /*train=*/false);
-    if (out.empty()) {
-      std::vector<int64_t> dims = logits.shape().dims();
-      dims[0] = n;
-      out = Tensor(Shape(std::move(dims)));
+  const int64_t nbatches = (n + batch_size - 1) / batch_size;
+  if (nbatches == 0) return Tensor();
+
+  // Per-batch logits, stitched together in batch order afterwards.
+  std::vector<Tensor> logits_per_batch(static_cast<size_t>(nbatches));
+  const int shards = parallel::shard_count(nbatches);
+  ShardNets nets(net, shards);
+  parallel::run_shards(shards, nbatches, [&](int s, int64_t b0, int64_t b1) {
+    Network& worker = nets[s];
+    for (int64_t b = b0; b < b1; ++b) {
+      const int64_t start = b * batch_size;
+      const int64_t end = std::min<int64_t>(start + batch_size, n);
+      Tensor chunk(Shape{end - start, images.size(1), images.size(2), images.size(3)});
+      for (int64_t i = start; i < end; ++i) chunk.set_slice0(i - start, images.slice0(i));
+      logits_per_batch[static_cast<size_t>(b)] = worker.forward(chunk, /*train=*/false);
     }
-    for (int64_t i = start; i < end; ++i) out.set_slice0(i, logits.slice0(i - start));
+  });
+
+  std::vector<int64_t> dims = logits_per_batch[0].shape().dims();
+  const int64_t row = logits_per_batch[0].numel() / logits_per_batch[0].size(0);
+  dims[0] = n;
+  Tensor out(Shape(std::move(dims)));
+  float* od = out.data().data();
+  int64_t at = 0;
+  for (const Tensor& logits : logits_per_batch) {
+    std::memcpy(od + at * row, logits.data().data(),
+                static_cast<size_t>(logits.numel()) * sizeof(float));
+    at += logits.size(0);
   }
   return out;
 }
 
 void profile_activations(Network& net, const data::Dataset& ds, int64_t max_samples) {
   const int64_t n = std::min<int64_t>(ds.size(), max_samples);
-  net.set_profiling(true);
-  std::vector<int64_t> idx(static_cast<size_t>(n));
-  for (int64_t i = 0; i < n; ++i) idx[static_cast<size_t>(i)] = i;
   constexpr int64_t kChunk = 64;
-  for (int64_t start = 0; start < n; start += kChunk) {
-    const int64_t end = std::min(start + kChunk, n);
-    std::span<const int64_t> span(idx.data() + start, static_cast<size_t>(end - start));
-    data::Batch batch = data::make_batch(ds, span);
-    net.forward(batch.images, /*train=*/false);
+  const int64_t nchunks = (n + kChunk - 1) / kChunk;
+
+  const int shards = parallel::shard_count(nchunks);
+  ShardNets nets(net, shards);
+  net.set_profiling(true);
+  for (auto& c : nets.clones()) c->set_profiling(true);
+
+  parallel::run_shards(shards, nchunks, [&](int s, int64_t c0, int64_t c1) {
+    Network& worker = nets[s];
+    std::vector<int64_t> idx;
+    for (int64_t chunk = c0; chunk < c1; ++chunk) {
+      const int64_t start = chunk * kChunk;
+      const int64_t end = std::min(start + kChunk, n);
+      idx.resize(static_cast<size_t>(end - start));
+      std::iota(idx.begin(), idx.end(), start);
+      data::Batch batch = data::make_batch(ds, idx);
+      worker.forward(batch.images, /*train=*/false);
+    }
+  });
+
+  // Fold clone statistics back into `net`. The stats are per-channel maxima,
+  // and max is exact and order-independent, so the merged result equals a
+  // serial profiling pass bit-for-bit.
+  const auto& dst_specs = net.prunable();
+  for (auto& c : nets.clones()) {
+    const auto& src_specs = c->prunable();
+    for (size_t i = 0; i < dst_specs.size(); ++i) {
+      auto merge = [](std::vector<float>& dst, const std::vector<float>& src) {
+        for (size_t j = 0; j < dst.size(); ++j) dst[j] = std::max(dst[j], src[j]);
+      };
+      merge(*dst_specs[i].in_act_stat, *src_specs[i].in_act_stat);
+      merge(*dst_specs[i].out_act_stat, *src_specs[i].out_act_stat);
+    }
   }
   net.set_profiling(false);
 }

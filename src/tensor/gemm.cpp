@@ -1,24 +1,82 @@
 #include "tensor/gemm.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <vector>
+
+#include "tensor/parallel.hpp"
 
 namespace rp {
 
 namespace {
 
-// Plain row-major kernel: C[MxN] (+)= A[MxK] @ B[KxN]. The k-outer ordering
-// with a contiguous B row in the inner loop is what GCC vectorizes best.
-void kernel_nn(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
-               float alpha) {
-  for (int64_t i = 0; i < m; ++i) {
-    float* ci = c + i * n;
-    const float* ai = a + i * k;
-    for (int64_t p = 0; p < k; ++p) {
+// Cache blocking: B is consumed in KC x NC panels (128 KiB packed,
+// comfortably L2-resident) so every A element loaded is multiplied against a
+// hot panel instead of streaming the whole of B per output row.
+constexpr int64_t kKC = 256;
+constexpr int64_t kNC = 128;
+
+// Below this many multiply-adds the parallel dispatch overhead dominates;
+// small GEMMs (per-sample conv layers, classifier heads) run serial and are
+// instead parallelized by the loops above them.
+constexpr int64_t kParallelMinMacs = int64_t{1} << 18;
+
+// Scratch reused across gemm calls. Nested parallel loops run inline on the
+// current lane, so each lane owns exactly one set and the buffers stop being
+// reallocated per call.
+thread_local std::vector<float> tl_at_buf, tl_bt_buf, tl_pack_buf;
+
+// C[i0:i1, 0:nc] (+)= alpha * A[i0:i1, 0:kc] @ panel[0:kc, 0:nc], with A and
+// C offset to the current (pc, jc) block by the caller. Each output row is
+// owned by exactly one task and its k-accumulation order is fixed by the
+// (jc, pc) loop nest, so results are bit-identical for any thread count. The
+// k-outer ordering with a contiguous panel row innermost is what GCC
+// vectorizes best.
+void kernel_panel(const float* a, int64_t lda, const float* panel, int64_t ldp, float* c,
+                  int64_t ldc, int64_t i0, int64_t i1, int64_t kc, int64_t nc, float alpha) {
+  for (int64_t i = i0; i < i1; ++i) {
+    const float* ai = a + i * lda;
+    float* ci = c + i * ldc;
+    for (int64_t p = 0; p < kc; ++p) {
       const float av = alpha * ai[p];
       if (av == 0.0f) continue;  // masked / sparse rows are common after pruning
-      const float* bp = b + p * n;
-      for (int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+      const float* bp = panel + p * ldp;
+      for (int64_t j = 0; j < nc; ++j) ci[j] += av * bp[j];
+    }
+  }
+}
+
+void gemm_blocked(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
+                  float alpha) {
+  const bool threaded = 2 * m * n * k >= kParallelMinMacs;
+  const int64_t grain =
+      std::max<int64_t>(1, m / (4 * static_cast<int64_t>(parallel::num_threads())));
+  for (int64_t jc = 0; jc < n; jc += kNC) {
+    const int64_t nc = std::min(kNC, n - jc);
+    for (int64_t pc = 0; pc < k; pc += kKC) {
+      const int64_t kc = std::min(kKC, k - pc);
+      // Pack the panel only when its rows are strided (nc < n); a
+      // single-block B is already contiguous and used in place.
+      const float* panel = b + pc * n + jc;
+      int64_t ldp = n;
+      if (nc < n) {
+        tl_pack_buf.resize(static_cast<size_t>(kc * nc));
+        for (int64_t p = 0; p < kc; ++p) {
+          std::memcpy(tl_pack_buf.data() + p * nc, b + (pc + p) * n + jc,
+                      static_cast<size_t>(nc) * sizeof(float));
+        }
+        panel = tl_pack_buf.data();
+        ldp = nc;
+      }
+      auto rows = [&](int64_t i0, int64_t i1) {
+        kernel_panel(a + pc, k, panel, ldp, c + jc, n, i0, i1, kc, nc, alpha);
+      };
+      if (threaded) {
+        parallel::parallel_for(0, m, grain, rows);
+      } else {
+        rows(0, m);
+      }
     }
   }
 }
@@ -38,34 +96,40 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool trans_a, bool trans_
     throw std::invalid_argument("gemm: incompatible shapes " + a.shape().to_string() + " x " +
                                 b.shape().to_string() + " -> " + c.shape().to_string());
   }
+  if (m == 0 || n == 0) return;  // C is empty — nothing to scale or accumulate
 
+  // Single beta pre-pass for every beta value, chunked so large C matrices
+  // scale in parallel (disjoint ranges — bit-deterministic).
   float* cd = c.data().data();
-  if (beta == 0.0f) {
-    std::memset(cd, 0, static_cast<size_t>(m * n) * sizeof(float));
-  } else if (beta != 1.0f) {
-    for (int64_t i = 0; i < m * n; ++i) cd[i] *= beta;
+  if (beta != 1.0f) {
+    parallel::parallel_for(0, m * n, int64_t{1} << 16, [&](int64_t lo, int64_t hi) {
+      if (beta == 0.0f) {
+        std::memset(cd + lo, 0, static_cast<size_t>(hi - lo) * sizeof(float));
+      } else {
+        for (int64_t i = lo; i < hi; ++i) cd[i] *= beta;
+      }
+    });
   }
-  if (m == 0 || n == 0 || k == 0) return;
+  if (k == 0) return;
 
   // Materialize transposed operands once; at this repository's matrix sizes
   // (K, N <= a few thousand) the copy is cheaper than strided inner loops.
   const float* ad = a.data().data();
   const float* bd = b.data().data();
-  std::vector<float> at_buf, bt_buf;
   if (trans_a) {
-    at_buf.resize(static_cast<size_t>(m * k));
+    tl_at_buf.resize(static_cast<size_t>(m * k));
     for (int64_t p = 0; p < k; ++p)
-      for (int64_t i = 0; i < m; ++i) at_buf[static_cast<size_t>(i * k + p)] = ad[p * m + i];
-    ad = at_buf.data();
+      for (int64_t i = 0; i < m; ++i) tl_at_buf[static_cast<size_t>(i * k + p)] = ad[p * m + i];
+    ad = tl_at_buf.data();
   }
   if (trans_b) {
-    bt_buf.resize(static_cast<size_t>(k * n));
+    tl_bt_buf.resize(static_cast<size_t>(k * n));
     for (int64_t j = 0; j < n; ++j)
-      for (int64_t p = 0; p < k; ++p) bt_buf[static_cast<size_t>(p * n + j)] = bd[j * k + p];
-    bd = bt_buf.data();
+      for (int64_t p = 0; p < k; ++p) tl_bt_buf[static_cast<size_t>(p * n + j)] = bd[j * k + p];
+    bd = tl_bt_buf.data();
   }
 
-  kernel_nn(ad, bd, cd, m, n, k, alpha);
+  gemm_blocked(ad, bd, cd, m, n, k, alpha);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {

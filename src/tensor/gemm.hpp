@@ -9,9 +9,12 @@ namespace rp {
 /// C = alpha * op(A) @ op(B) + beta * C for row-major float matrices.
 ///
 /// `a` is [M, K] (or [K, M] when `trans_a`), `b` is [K, N] (or [N, K] when
-/// `trans_b`), `c` is [M, N]. The kernel is a register-blocked scalar loop
-/// that GCC auto-vectorizes; on the 1-core targets this repository runs on it
-/// is the throughput backbone of convolution and linear layers.
+/// `trans_b`), `c` is [M, N]. The kernel is cache-blocked (B packed into
+/// L2-sized panels) and parallelized over row blocks via the shared thread
+/// pool (see tensor/parallel.hpp); each output row is owned by exactly one
+/// lane and keeps the serial accumulation order, so results are bit-identical
+/// for any RP_THREADS value. Rows of op(A) that are entirely zero after
+/// masking are skipped, so structured pruning shows real wall-clock savings.
 void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool trans_a = false, bool trans_b = false,
           float alpha = 1.0f, float beta = 0.0f);
 

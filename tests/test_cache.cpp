@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <unistd.h>
 
 #include "tensor/rng.hpp"
 
@@ -12,7 +13,10 @@ namespace {
 class CacheTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (std::filesystem::temp_directory_path() / "rp_cache_test").string();
+    // Unique per process so parallel ctest workers cannot collide.
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("rp_cache_test_" + std::to_string(::getpid())))
+               .string();
     std::filesystem::remove_all(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <tuple>
 
 #include "tensor/ops.hpp"
+#include "tensor/parallel.hpp"
 
 namespace rp {
 namespace {
@@ -85,6 +87,81 @@ TEST(Gemm, IncompatibleShapesThrow) {
 TEST(Gemm, NonMatrixThrows) {
   Tensor a(Shape{2, 3, 4}), b(Shape{3, 2}), c(Shape{2, 2});
   EXPECT_THROW(gemm(a, b, c), std::invalid_argument);
+}
+
+// ----- thread-count determinism ---------------------------------------------------
+
+/// Restores the default lane count when a test exits, pass or fail.
+struct ThreadGuard {
+  ~ThreadGuard() { parallel::set_num_threads(0); }
+};
+
+/// The determinism contract (DESIGN.md "Threading model"): parallel GEMM must
+/// be bit-identical to serial for every transpose combination, including
+/// ragged sizes that do not divide the KC/NC block sizes and shapes large
+/// enough to cross the parallel-dispatch threshold.
+TEST(GemmDeterminism, ParallelMatchesSerialBitExact) {
+  ThreadGuard guard;
+  const std::tuple<int, int, int> shapes[] = {
+      {1, 1, 1},        // degenerate
+      {3, 5, 2},        // tiny, below the parallel threshold
+      {33, 129, 65},    // ragged, spans one KC/NC block boundary
+      {130, 257, 131},  // ragged, multiple K blocks
+      {96, 300, 260},   // multiple N panels (packed path)
+  };
+  for (const auto& [m, k, n] : shapes) {
+    for (const bool ta : {false, true}) {
+      for (const bool tb : {false, true}) {
+        Rng rng(static_cast<uint64_t>(m * 7919 + k * 131 + n * 17 + ta * 2 + tb));
+        Tensor a = Tensor::randn(ta ? Shape{k, m} : Shape{m, k}, rng);
+        Tensor b = Tensor::randn(tb ? Shape{n, k} : Shape{k, n}, rng);
+
+        parallel::set_num_threads(1);
+        const Tensor serial = matmul(a, b, ta, tb);
+        parallel::set_num_threads(8);
+        const Tensor threaded = matmul(a, b, ta, tb);
+
+        ASSERT_EQ(serial.shape(), threaded.shape());
+        ASSERT_EQ(std::memcmp(serial.data().data(), threaded.data().data(),
+                              static_cast<size_t>(serial.numel()) * sizeof(float)),
+                  0)
+            << "m=" << m << " k=" << k << " n=" << n << " ta=" << ta << " tb=" << tb;
+      }
+    }
+  }
+}
+
+/// The beta pre-pass is chunked across lanes too; scaling must stay
+/// bit-identical for accumulating (beta=1), scaling, and zeroing calls.
+TEST(GemmDeterminism, BetaPathsMatchSerialBitExact) {
+  ThreadGuard guard;
+  Rng rng(99);
+  Tensor a = Tensor::randn(Shape{130, 70}, rng);
+  Tensor b = Tensor::randn(Shape{70, 190}, rng);
+  for (const float beta : {0.0f, 0.5f, 1.0f}) {
+    Tensor c1 = Tensor::full(Shape{130, 190}, 0.25f);
+    Tensor c8 = c1;
+    parallel::set_num_threads(1);
+    gemm(a, b, c1, false, false, 1.5f, beta);
+    parallel::set_num_threads(8);
+    gemm(a, b, c8, false, false, 1.5f, beta);
+    ASSERT_EQ(std::memcmp(c1.data().data(), c8.data().data(),
+                          static_cast<size_t>(c1.numel()) * sizeof(float)),
+              0)
+        << "beta=" << beta;
+  }
+}
+
+/// k == 0 contributes nothing but must still apply the beta scale to C
+/// (BLAS semantics), and empty C must stay a no-op.
+TEST(Gemm, EmptyShapesKeepBetaSemantics) {
+  Tensor a(Shape{2, 0}), b(Shape{0, 3});
+  Tensor c = Tensor::full(Shape{2, 3}, 2.0f);
+  gemm(a, b, c, false, false, 1.0f, 0.5f);
+  for (int64_t i = 0; i < c.numel(); ++i) EXPECT_EQ(c[i], 1.0f);
+
+  Tensor a0(Shape{0, 4}), b0(Shape{4, 3}), c0(Shape{0, 3});
+  EXPECT_NO_THROW(gemm(a0, b0, c0));
 }
 
 // ----- im2col / col2im ----------------------------------------------------------

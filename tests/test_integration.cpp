@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <unistd.h>
 
 #include "core/guidelines.hpp"
 #include "core/noise_similarity.hpp"
@@ -33,7 +34,11 @@ exp::ExperimentScale mini_scale() {
 class PipelineTest : public ::testing::Test {
  protected:
   PipelineTest()
-      : dir_((std::filesystem::temp_directory_path() / "rp_integration_test").string()),
+      // Unique per process: ctest -j runs each test case as its own process,
+      // and a shared directory would let one case delete another's cache.
+      : dir_((std::filesystem::temp_directory_path() /
+              ("rp_integration_test_" + std::to_string(::getpid())))
+                 .string()),
         cache_((std::filesystem::remove_all(dir_), dir_)),
         runner_(mini_scale(), cache_) {}
   ~PipelineTest() override { std::filesystem::remove_all(dir_); }

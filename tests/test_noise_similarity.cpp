@@ -5,6 +5,7 @@
 #include "data/synth.hpp"
 #include "nn/models.hpp"
 #include "nn/trainer.hpp"
+#include "tensor/parallel.hpp"
 
 namespace rp::core {
 namespace {
@@ -82,6 +83,21 @@ TEST(NoiseSimilarity, ZeroEpsComparesCleanData) {
   auto ds = test_ds();
   const auto r1 = noise_similarity(*a, *a, *ds, 0.0f, 8, 3, 1);
   EXPECT_EQ(r1.match_fraction, 1.0);
+}
+
+/// Noise repetitions draw from per-rep forked RNG streams and reduce in rep
+/// order, so the metrics are bit-identical for any lane count.
+TEST(NoiseSimilarity, ParallelMatchesSerialBitExact) {
+  auto a = nn::build_network("resnet8", nn::synth_cifar_task(), 1);
+  auto b = nn::build_network("resnet8", nn::synth_cifar_task(), 2);
+  auto ds = test_ds();
+  rp::parallel::set_num_threads(1);
+  const auto serial = noise_similarity(*a, *b, *ds, 0.08f, 8, 4, 21);
+  rp::parallel::set_num_threads(4);
+  const auto threaded = noise_similarity(*a, *b, *ds, 0.08f, 8, 4, 21);
+  rp::parallel::set_num_threads(0);
+  EXPECT_EQ(serial.match_fraction, threaded.match_fraction);
+  EXPECT_EQ(serial.softmax_l2, threaded.softmax_l2);
 }
 
 TEST(NoiseSimilarity, RejectsBadArguments) {

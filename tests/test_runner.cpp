@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <unistd.h>
 
 #include "tensor/ops.hpp"
 
@@ -26,7 +27,11 @@ ExperimentScale tiny_scale() {
 class RunnerTest : public ::testing::Test {
  protected:
   RunnerTest()
-      : dir_((std::filesystem::temp_directory_path() / "rp_runner_test").string()),
+      // Unique per process: ctest -j runs each test case as its own process,
+      // and a shared directory would let one case delete another's cache.
+      : dir_((std::filesystem::temp_directory_path() /
+              ("rp_runner_test_" + std::to_string(::getpid())))
+                 .string()),
         cache_((std::filesystem::remove_all(dir_), dir_)),
         runner_(tiny_scale(), cache_) {}
   ~RunnerTest() override { std::filesystem::remove_all(dir_); }

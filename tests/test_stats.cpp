@@ -5,6 +5,7 @@
 #include <cmath>
 #include <vector>
 
+#include "tensor/parallel.hpp"
 #include "tensor/rng.hpp"
 
 namespace rp::exp {
@@ -91,6 +92,25 @@ TEST(BootstrapSlopeCi, WiderConfidenceGivesWiderInterval) {
   const Interval wide = bootstrap_slope_ci(x, y, 1000, 0.99, 3);
   EXPECT_LE(wide.lo, narrow.lo);
   EXPECT_GE(wide.hi, narrow.hi);
+}
+
+/// Resamples run on per-iteration forked RNG streams, so the interval is
+/// bit-identical no matter how many lanes execute the bootstrap.
+TEST(BootstrapSlopeCi, ParallelMatchesSerialBitExact) {
+  std::vector<double> x, y;
+  Rng rng(5);
+  for (int i = 0; i < 40; ++i) {
+    const double xv = rng.uniform(0.1f, 1.0f);
+    x.push_back(xv);
+    y.push_back(1.5 * xv + 0.1 * rng.normal());
+  }
+  parallel::set_num_threads(1);
+  const Interval serial = bootstrap_slope_ci(x, y, 400, 0.9, 11);
+  parallel::set_num_threads(4);
+  const Interval threaded = bootstrap_slope_ci(x, y, 400, 0.9, 11);
+  parallel::set_num_threads(0);
+  EXPECT_EQ(serial.lo, threaded.lo);
+  EXPECT_EQ(serial.hi, threaded.hi);
 }
 
 TEST(BootstrapSlopeCi, RejectsBadInput) {

@@ -5,6 +5,7 @@
 #include "data/synth.hpp"
 #include "nn/models.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/parallel.hpp"
 
 namespace rp::nn {
 namespace {
@@ -98,6 +99,72 @@ TEST(Trainer, ProfileActivationsPopulatesStats) {
     for (float v : *spec.in_act_stat) any_nonzero |= (v > 0.0f);
   }
   EXPECT_TRUE(any_nonzero);
+}
+
+/// Restores the default lane count when a test exits, pass or fail.
+struct ThreadGuard {
+  ~ThreadGuard() { rp::parallel::set_num_threads(0); }
+};
+
+/// The determinism contract: evaluate() shards batches across lanes (each
+/// shard forwarding through its own network clone) and must produce results
+/// bit-identical to the serial path.
+TEST(Trainer, EvaluateParallelMatchesSerialBitExact) {
+  ThreadGuard guard;
+  auto ds = tiny_train();
+  auto net = build_network("resnet8", synth_cifar_task(), 1);
+  train(*net, *ds, tiny_config(1));
+
+  rp::parallel::set_num_threads(1);
+  const EvalResult serial = evaluate(*net, *ds, 32);
+  rp::parallel::set_num_threads(4);
+  const EvalResult threaded = evaluate(*net, *ds, 32);
+
+  EXPECT_EQ(serial.loss, threaded.loss);
+  EXPECT_EQ(serial.accuracy, threaded.accuracy);
+  EXPECT_EQ(serial.iou, threaded.iou);
+}
+
+TEST(Trainer, PredictParallelMatchesSerialBitExact) {
+  ThreadGuard guard;
+  auto ds = tiny_train();
+  auto net = build_network("resnet8", synth_cifar_task(), 1);
+  Tensor stack(Shape{20, 3, 16, 16});
+  for (int64_t i = 0; i < 20; ++i) stack.set_slice0(i, ds->image(i));
+
+  rp::parallel::set_num_threads(1);
+  const Tensor serial = predict(*net, stack, 4);
+  rp::parallel::set_num_threads(4);
+  const Tensor threaded = predict(*net, stack, 4);
+
+  ASSERT_EQ(serial.shape(), threaded.shape());
+  for (int64_t i = 0; i < serial.numel(); ++i) {
+    ASSERT_EQ(serial[i], threaded[i]) << "at " << i;
+  }
+}
+
+TEST(Trainer, ProfileActivationsParallelMatchesSerial) {
+  ThreadGuard guard;
+  auto ds = tiny_train();
+  auto serial_net = build_network("resnet8", synth_cifar_task(), 1);
+  auto threaded_net = build_network("resnet8", synth_cifar_task(), 1);
+
+  rp::parallel::set_num_threads(1);
+  profile_activations(*serial_net, *ds, 120);
+  rp::parallel::set_num_threads(4);
+  profile_activations(*threaded_net, *ds, 120);
+
+  const auto& sa = serial_net->prunable();
+  const auto& sb = threaded_net->prunable();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (size_t i = 0; i < sa.size(); ++i) {
+    for (size_t j = 0; j < sa[i].in_act_stat->size(); ++j) {
+      ASSERT_EQ((*sa[i].in_act_stat)[j], (*sb[i].in_act_stat)[j]);
+    }
+    for (size_t j = 0; j < sa[i].out_act_stat->size(); ++j) {
+      ASSERT_EQ((*sa[i].out_act_stat)[j], (*sb[i].out_act_stat)[j]);
+    }
+  }
 }
 
 TEST(Trainer, SegmentationTrainingImprovesIou) {
