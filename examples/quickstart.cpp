@@ -22,8 +22,8 @@ using namespace rp;
 int main() {
   // --- task & data -----------------------------------------------------------
   const nn::TaskSpec task = nn::synth_cifar_task();
-  data::SynthConfig train_cfg{.n = 1024, .num_classes = task.num_classes, .seed = 1};
-  data::SynthConfig test_cfg{.n = 512, .num_classes = task.num_classes, .seed = 2};
+  data::SynthConfig train_cfg{.n = 1024, .num_classes = task.num_classes, .seed = 1, .params = {}};
+  data::SynthConfig test_cfg{.n = 512, .num_classes = task.num_classes, .seed = 2, .params = {}};
   auto train_ds = data::make_synth_classification(train_cfg);
   auto test_ds = data::make_synth_classification(test_cfg);
 

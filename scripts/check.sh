@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# One-shot verification gate: Release build + full test suite (which includes
+# the rp-lint tree scan and its fixture self-test), then the ASan+UBSan build
+# and the same suite under it. Exits non-zero on the first failure.
+#
+#   scripts/check.sh             # everything
+#   RP_CHECK_SKIP_ASAN=1 scripts/check.sh   # skip the sanitizer pass (quick)
+#
+# The ThreadSanitizer config is kept out of the default gate (TSan and ASan
+# cannot be combined, and the TSan pass roughly doubles runtime); run it the
+# same way with -DRP_SANITIZE=thread when touching src/tensor/parallel.*.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== [1/2] Release build + tests (warnings are errors) =="
+cmake -B build -S . -DRP_WERROR=ON
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "${RP_CHECK_SKIP_ASAN:-0}" != "1" ]]; then
+  echo "== [2/2] ASan+UBSan build + tests =="
+  cmake -B build-asan -S . -DRP_SANITIZE=address,undefined -DRP_WERROR=ON
+  cmake --build build-asan -j "$JOBS"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+fi
+
+echo "check.sh: all gates passed"

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# clang-tidy over the production sources, driven by the compilation database
+# (CMAKE_EXPORT_COMPILE_COMMANDS is ON by default, so any configured build
+# directory provides one). No make/ninja integration needed:
+#
+#   scripts/tidy.sh                 # lint src/ using ./build
+#   BUILD_DIR=build-asan scripts/tidy.sh src/tensor src/core
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+
+if ! command -v clang-tidy > /dev/null 2>&1; then
+  echo "tidy.sh: clang-tidy not found on PATH; install clang-tools to use this gate" >&2
+  exit 2
+fi
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "tidy.sh: $BUILD_DIR/compile_commands.json missing; configure first:" >&2
+  echo "  cmake -B $BUILD_DIR -S ." >&2
+  exit 2
+fi
+
+ROOTS=("$@")
+[[ ${#ROOTS[@]} -eq 0 ]] && ROOTS=(src)
+
+mapfile -t FILES < <(find "${ROOTS[@]}" -name '*.cpp' | sort)
+echo "tidy.sh: checking ${#FILES[@]} files against $BUILD_DIR/compile_commands.json"
+clang-tidy -p "$BUILD_DIR" --quiet "${FILES[@]}"

@@ -14,6 +14,7 @@ ArtifactCache::ArtifactCache(std::string dir) : dir_(std::move(dir)) {
 }
 
 ArtifactCache& ArtifactCache::global() {
+  // rp-lint: allow(R3) process-wide cache singleton, initialized once from RP_CACHE_DIR
   static ArtifactCache cache = [] {
     const char* env = std::getenv("RP_CACHE_DIR");
     return ArtifactCache(env ? env : "rp_cache");

@@ -77,6 +77,7 @@ namespace {
 /// In-process dataset memoization: generation is deterministic but not free,
 /// and several benches request the same sets.
 data::DatasetPtr memoized(const std::string& key, const std::function<data::DatasetPtr()>& make) {
+  // rp-lint: allow(R3) in-process memo of deterministic datasets; keyed by seed-bearing name
   static std::map<std::string, data::DatasetPtr> cache;
   auto it = cache.find(key);
   if (it != cache.end()) return it->second;

@@ -65,8 +65,8 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
   // scratch tensors — nested parallel loops run inline, so a lane never
   // shares these with another forward in flight.
   parallel::parallel_for(0, n, 1, [&](int64_t i0, int64_t i1) {
-    thread_local Tensor cols;
-    thread_local Tensor y_n;
+    thread_local Tensor cols;  // rp-lint: allow(R3) per-lane im2col scratch
+    thread_local Tensor y_n;   // rp-lint: allow(R3) per-lane output scratch
     if (y_n.shape() != Shape{out_c_, oplane}) y_n = Tensor(Shape{out_c_, oplane});
     for (int64_t i = i0; i < i1; ++i) {
       im2col(x.slice0(i), geom_, cols);
@@ -122,8 +122,8 @@ Tensor Conv2d::backward(const Tensor& dy) {
   // accumulation order preserves bit-reproducible training (a parallel
   // backward is tracked as a ROADMAP follow-up). Scratch is per-lane so
   // parallel callers above (if any) stay isolated.
-  thread_local Tensor cols;
-  thread_local Tensor dcols;
+  thread_local Tensor cols;   // rp-lint: allow(R3) per-lane im2col scratch
+  thread_local Tensor dcols;  // rp-lint: allow(R3) per-lane col-gradient scratch
   if (dcols.shape() != Shape{geom_.patch(), oh * ow}) {
     dcols = Tensor(Shape{geom_.patch(), oh * ow});
   }

@@ -25,6 +25,7 @@ constexpr int64_t kParallelMinMacs = int64_t{1} << 18;
 // Scratch reused across gemm calls. Nested parallel loops run inline on the
 // current lane, so each lane owns exactly one set and the buffers stop being
 // reallocated per call.
+// rp-lint: allow(R3) per-lane GEMM scratch; never aliased across lanes
 thread_local std::vector<float> tl_at_buf, tl_bt_buf, tl_pack_buf;
 
 // C[i0:i1, 0:nc] (+)= alpha * A[i0:i1, 0:kc] @ panel[0:kc, 0:nc], with A and

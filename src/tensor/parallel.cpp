@@ -16,7 +16,7 @@ namespace rp::parallel {
 namespace {
 
 /// > 0 while the current thread is executing chunks of some parallel loop.
-thread_local int tl_depth = 0;
+thread_local int tl_depth = 0;  // rp-lint: allow(R3) per-lane nesting depth, pool-internal
 
 int env_default_threads() {
   if (const char* env = std::getenv("RP_THREADS")) {
@@ -33,7 +33,7 @@ int env_default_threads() {
 class Pool {
  public:
   static Pool& instance() {
-    static Pool pool;
+    static Pool pool;  // rp-lint: allow(R3) the one allowlisted pool singleton (DESIGN §6)
     return pool;
   }
 

@@ -11,9 +11,18 @@ namespace {
 constexpr uint32_t kTensorMagic = 0x52505431;  // "RPT1"
 constexpr uint32_t kBundleMagic = 0x52504231;  // "RPB1"
 
+// Bounds on what a well-formed artifact can contain. A corrupted or
+// truncated cache file must fail loudly here, before any allocation is
+// sized from garbage bytes.
+constexpr uint32_t kMaxRank = 8;
+constexpr int64_t kMaxElements = int64_t{1} << 31;  // 8 GiB of float32
+constexpr uint32_t kMaxNameLen = 1u << 16;
+constexpr uint32_t kMaxBundleEntries = 1u << 20;
+
 template <typename T>
 void write_pod(std::ostream& os, const T& v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+  if (!os) throw std::runtime_error("serialize: write failed");
 }
 
 template <typename T>
@@ -27,10 +36,14 @@ T read_pod(std::istream& is) {
 void write_string(std::ostream& os, const std::string& s) {
   write_pod<uint32_t>(os, static_cast<uint32_t>(s.size()));
   os.write(s.data(), static_cast<std::streamsize>(s.size()));
+  if (!os) throw std::runtime_error("serialize: write failed");
 }
 
 std::string read_string(std::istream& is) {
   const auto n = read_pod<uint32_t>(is);
+  if (n > kMaxNameLen) {
+    throw std::runtime_error("serialize: implausible name length " + std::to_string(n));
+  }
   std::string s(n, '\0');
   is.read(s.data(), n);
   if (!is) throw std::runtime_error("serialize: truncated string");
@@ -43,8 +56,11 @@ void save_tensor(std::ostream& os, const Tensor& t) {
   write_pod(os, kTensorMagic);
   write_pod<uint32_t>(os, static_cast<uint32_t>(t.ndim()));
   for (int64_t d : t.shape().dims()) write_pod<int64_t>(os, d);
-  os.write(reinterpret_cast<const char*>(t.data().data()),
-           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (t.numel() > 0) {
+    os.write(reinterpret_cast<const char*>(t.data().data()),
+             static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  }
+  if (!os) throw std::runtime_error("serialize: write failed");
 }
 
 Tensor load_tensor(std::istream& is) {
@@ -52,13 +68,29 @@ Tensor load_tensor(std::istream& is) {
     throw std::runtime_error("serialize: bad tensor magic");
   }
   const auto ndim = read_pod<uint32_t>(is);
-  if (ndim > 8) throw std::runtime_error("serialize: implausible rank");
+  if (ndim > kMaxRank) {
+    throw std::runtime_error("serialize: implausible rank " + std::to_string(ndim));
+  }
+  // Validate every dimension and the running element count *before* the
+  // Shape/Tensor allocation — a corrupted header must not size an allocation.
   std::vector<int64_t> dims(ndim);
-  for (auto& d : dims) d = read_pod<int64_t>(is);
+  int64_t numel = 1;
+  for (auto& d : dims) {
+    d = read_pod<int64_t>(is);
+    if (d < 0 || d > kMaxElements) {
+      throw std::runtime_error("serialize: implausible dimension " + std::to_string(d));
+    }
+    if (d > 0 && numel > kMaxElements / d) {
+      throw std::runtime_error("serialize: implausible tensor size");
+    }
+    numel *= d;
+  }
   Tensor t{Shape(std::move(dims))};
-  is.read(reinterpret_cast<char*>(t.data().data()),
-          static_cast<std::streamsize>(t.numel() * sizeof(float)));
-  if (!is) throw std::runtime_error("serialize: truncated payload");
+  if (t.numel() > 0) {
+    is.read(reinterpret_cast<char*>(t.data().data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    if (!is) throw std::runtime_error("serialize: truncated payload");
+  }
   return t;
 }
 
@@ -76,6 +108,9 @@ std::vector<std::pair<std::string, Tensor>> load_tensors(std::istream& is) {
     throw std::runtime_error("serialize: bad bundle magic");
   }
   const auto n = read_pod<uint32_t>(is);
+  if (n > kMaxBundleEntries) {
+    throw std::runtime_error("serialize: implausible bundle entry count " + std::to_string(n));
+  }
   std::vector<std::pair<std::string, Tensor>> items;
   items.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
@@ -89,14 +124,24 @@ void save_tensors_file(const std::string& path,
                        const std::vector<std::pair<std::string, Tensor>>& items) {
   std::ofstream os(path, std::ios::binary);
   if (!os) throw std::runtime_error("serialize: cannot open " + path + " for writing");
-  save_tensors(os, items);
+  try {
+    save_tensors(os, items);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(std::string(e.what()) + " [" + path + "]");
+  }
+  os.flush();
   if (!os) throw std::runtime_error("serialize: write failed for " + path);
 }
 
 std::vector<std::pair<std::string, Tensor>> load_tensors_file(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("serialize: cannot open " + path);
-  return load_tensors(is);
+  try {
+    return load_tensors(is);
+  } catch (const std::runtime_error& e) {
+    // Re-throw with the offending path so a corrupted cache file names itself.
+    throw std::runtime_error(std::string(e.what()) + " [" + path + "]");
+  }
 }
 
 }  // namespace rp

@@ -1,0 +1,5 @@
+// R1 fixture: banned nondeterminism APIs. Never compiled, only linted.
+#include <cstdlib>
+
+int bad_seed() { return rand(); }
+int ok_seed() { return rand(); }  // rp-lint: allow(R1) fixture: suppression must silence this line

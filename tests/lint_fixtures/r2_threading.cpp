@@ -1,0 +1,4 @@
+// R2 fixture: raw threading primitives. Never compiled, only linted.
+
+void bad_spawn() { std::thread* t = nullptr; (void)t; }
+void ok_spawn() { std::thread* t = nullptr; (void)t; }  // rp-lint: allow(R2) fixture: suppression must silence this line

@@ -1,0 +1,12 @@
+// R3 fixture: mutable static/global state. Never compiled, only linted.
+namespace fx {
+
+int mutable_global = 0;
+
+inline int bump() {
+  // rp-lint: allow(R3) fixture: own-line suppression must cover the next line
+  static int counter = 0;
+  return ++counter;
+}
+
+}  // namespace fx

@@ -1,0 +1,4 @@
+// R4 fixture: unordered containers in result-producing code. Never compiled.
+
+void bad_table(std::unordered_map<int, int>* m) { (void)m; }
+void ok_table(std::unordered_map<int, int>* m) { (void)m; }  // rp-lint: allow(R4) fixture: suppression must silence this line

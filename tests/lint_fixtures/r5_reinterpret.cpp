@@ -1,0 +1,4 @@
+// R5 fixture: reinterpret_cast outside the I/O layer. Never compiled.
+
+float bad_bits(unsigned* u) { return *reinterpret_cast<float*>(u); }
+float ok_bits(unsigned* u) { return *reinterpret_cast<float*>(u); }  // rp-lint: allow(R5) fixture: suppression must silence this line

@@ -1,0 +1,4 @@
+// R6 fixture: C-style float->int narrowing in stats code. Never compiled.
+
+int bad_trunc(float f) { return (int)f; }
+int ok_trunc(float f) { return (int)f; }  // rp-lint: allow(R6) fixture: suppression must silence this line

@@ -24,6 +24,7 @@ data::DatasetPtr small_ds() {
 }
 
 nn::NetworkPtr trained_net() {
+  // rp-lint: allow(R3) memoized train-once state shared by the tests in this file
   static std::vector<std::pair<std::string, Tensor>> state;
   auto net = nn::build_network("resnet8", nn::synth_cifar_task(), 2);
   if (state.empty()) {

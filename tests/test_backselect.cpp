@@ -13,6 +13,7 @@ namespace rp::core {
 namespace {
 
 nn::NetworkPtr small_trained_net() {
+  // rp-lint: allow(R3) memoized train-once state shared by the tests in this file
   static std::vector<std::pair<std::string, Tensor>> state;
   auto net = nn::build_network("resnet8", nn::synth_cifar_task(), 1);
   if (state.empty()) {

@@ -69,8 +69,8 @@ TEST_P(CorruptionTest, InvalidSeverityThrows) {
 
 INSTANTIATE_TEST_SUITE_P(AllCorruptions, CorruptionTest,
                          ::testing::ValuesIn(all_names()),
-                         [](const ::testing::TestParamInfo<std::string>& info) {
-                           return info.param;
+                         [](const ::testing::TestParamInfo<std::string>& pinfo) {
+                           return pinfo.param;
                          });
 
 TEST(CorruptionRegistry, HasSixteenEntries) { EXPECT_EQ(registry().size(), 16u); }

@@ -70,7 +70,7 @@ TEST_P(PruneRetrainMethodTest, ObserverSeesMonotoneRatios) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Methods, PruneRetrainMethodTest, ::testing::ValuesIn(kAllMethods),
-                         [](const auto& info) { return to_string(info.param); });
+                         [](const auto& pinfo) { return to_string(pinfo.param); });
 
 TEST(PruneRetrain, RetrainingRecoversAccuracyOnEasyTask) {
   // Train to convergence, prune 45%, and check retraining recovers within a

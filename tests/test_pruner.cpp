@@ -99,7 +99,7 @@ TEST_P(UnstructuredTest, PrunedWeightsAreZero) {
 
 INSTANTIATE_TEST_SUITE_P(Methods, UnstructuredTest,
                          ::testing::Values(PruneMethod::WT, PruneMethod::SiPP),
-                         [](const auto& info) { return to_string(info.param); });
+                         [](const auto& pinfo) { return to_string(pinfo.param); });
 
 TEST(WeightThresholding, RemovesSmallestMagnitudes) {
   auto net = build_network("resnet8", synth_cifar_task(), 1);
@@ -216,7 +216,7 @@ TEST_P(StructuredTest, KeepsAtLeastOneFilterPerLayer) {
 
 INSTANTIATE_TEST_SUITE_P(Methods, StructuredTest,
                          ::testing::Values(PruneMethod::FT, PruneMethod::PFP),
-                         [](const auto& info) { return to_string(info.param); });
+                         [](const auto& pinfo) { return to_string(pinfo.param); });
 
 TEST(FilterThresholding, RemovesLowestNormFiltersPerLayer) {
   auto net = build_network("resnet8", synth_cifar_task(), 1);
@@ -260,12 +260,16 @@ TEST(Pruner, MasksSurviveOptimizerSteps) {
   for (const auto& spec : net->prunable()) {
     const auto& w = *spec.weight;
     for (int64_t i = 0; i < w.value.numel(); ++i) {
-      if (w.mask[i] == 0.0f) ASSERT_EQ(w.value[i], 0.0f);
+      if (w.mask[i] == 0.0f) {
+        ASSERT_EQ(w.value[i], 0.0f);
+      }
     }
     for (nn::Parameter* p : spec.out_coupled) {
       if (p->mask.empty()) continue;
       for (int64_t i = 0; i < p->value.numel(); ++i) {
-        if (p->mask[i] == 0.0f) ASSERT_EQ(p->value[i], 0.0f);
+        if (p->mask[i] == 0.0f) {
+          ASSERT_EQ(p->value[i], 0.0f);
+        }
       }
     }
   }

@@ -57,8 +57,8 @@ TEST_P(RetrainModeTest, ReachesTargetRatioAndKeepsMasks) {
 INSTANTIATE_TEST_SUITE_P(Modes, RetrainModeTest,
                          ::testing::Values(RetrainMode::LrRewind, RetrainMode::FineTune,
                                            RetrainMode::WeightRewind),
-                         [](const auto& info) {
-                           std::string n = to_string(info.param);
+                         [](const auto& pinfo) {
+                           std::string n = to_string(pinfo.param);
                            std::erase(n, '-');
                            return n;
                          });

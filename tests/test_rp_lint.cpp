@@ -1,0 +1,105 @@
+// Self-test of the rp-lint static analyzer: runs the real binary against the
+// fixture files under tests/lint_fixtures/ and asserts exact rule IDs and
+// line numbers. Each fixture holds one violation and one suppressed
+// violation of the same rule, proving both that the rule fires and that
+// `// rp-lint: allow(Rn)` silences it.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+const std::string kBinary = RP_LINT_BINARY;
+const std::string kFixtures = RP_LINT_FIXTURES;
+
+LintRun run_lint(const std::string& args) {
+  LintRun r;
+  const std::string cmd = kBinary + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return r;
+  std::array<char, 512> buf{};
+  while (fgets(buf.data(), buf.size(), pipe) != nullptr) r.output += buf.data();
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+struct Expected {
+  const char* file;
+  const char* rule;
+  int line;
+};
+
+constexpr std::array<Expected, 6> kExpected = {{
+    {"r1_nondeterminism.cpp", "R1", 4},
+    {"r2_threading.cpp", "R2", 3},
+    {"r3_mutable_static.cpp", "R3", 4},
+    {"r4_unordered.cpp", "R4", 3},
+    {"r5_reinterpret.cpp", "R5", 3},
+    {"r6_cstyle_cast.cpp", "R6", 3},
+}};
+
+TEST(RpLint, EachRuleFiresAtExactlyTheExpectedLine) {
+  for (const Expected& e : kExpected) {
+    SCOPED_TRACE(e.file);
+    const LintRun r = run_lint("--force-all-rules " + kFixtures + "/" + e.file);
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    // Exactly one finding: the violation line, tagged with the right rule.
+    const std::string tag = ":" + std::to_string(e.line) + ": [" + e.rule + "]";
+    EXPECT_NE(r.output.find(tag), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("rp-lint: 1 violation(s)"), std::string::npos) << r.output;
+  }
+}
+
+TEST(RpLint, SuppressedLinesStaySilent) {
+  // The suppressed copy of each violation sits on a later line; no finding
+  // may reference any line past the expected one.
+  for (const Expected& e : kExpected) {
+    SCOPED_TRACE(e.file);
+    const LintRun r = run_lint("--force-all-rules " + kFixtures + "/" + e.file);
+    for (int line = e.line + 1; line < e.line + 8; ++line) {
+      EXPECT_EQ(r.output.find(":" + std::to_string(line) + ":"), std::string::npos)
+          << r.output;
+    }
+  }
+}
+
+TEST(RpLint, AllFixturesTogetherReportSixViolations) {
+  std::string args = "--force-all-rules";
+  for (const Expected& e : kExpected) args += " " + kFixtures + "/" + e.file;
+  const LintRun r = run_lint(args);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("rp-lint: 6 violation(s)"), std::string::npos) << r.output;
+}
+
+TEST(RpLint, CleanFileExitsZero) {
+  // The linter's own source must be clean under full-tree rules scoping.
+  const LintRun r = run_lint("--list-rules");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* id : {"R1", "R2", "R3", "R4", "R5", "R6"}) {
+    EXPECT_NE(r.output.find(id), std::string::npos) << r.output;
+  }
+}
+
+TEST(RpLint, PathScopingExemptsAllowlistedFiles) {
+  // Without --force-all-rules a fixture path is outside src/core//src/exp, so
+  // the path-scoped rules R4/R6 must not fire at all.
+  for (const char* file : {"r4_unordered.cpp", "r6_cstyle_cast.cpp"}) {
+    SCOPED_TRACE(file);
+    const LintRun r = run_lint(kFixtures + std::string("/") + file);
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+  }
+}
+
+}  // namespace

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 namespace rp {
@@ -80,6 +81,84 @@ TEST(Serialize, FileRoundTrip) {
 
 TEST(Serialize, MissingFileThrows) {
   EXPECT_THROW(load_tensors_file("/nonexistent/dir/file.bin"), std::runtime_error);
+}
+
+TEST(Serialize, ZeroElementBundleRoundTrip) {
+  // Empty tensors show up as all-pruned masks; they must survive the cache.
+  std::vector<std::pair<std::string, Tensor>> items;
+  items.emplace_back("empty.1d", Tensor(Shape{0}));
+  items.emplace_back("empty.3d", Tensor(Shape{2, 0, 3}));
+  items.emplace_back("scalarish", Tensor::ones(Shape{1}));
+  std::stringstream ss;
+  save_tensors(ss, items);
+  const auto loaded = load_tensors(ss);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded[0].second.shape(), (Shape{0}));
+  EXPECT_EQ(loaded[1].second.shape(), (Shape{2, 0, 3}));
+  EXPECT_EQ(loaded[2].second[0], 1.0f);
+}
+
+TEST(Serialize, TruncationAtEveryByteThrowsNeverCrashes) {
+  // A cache file cut anywhere must throw, never deserialize into garbage.
+  Rng rng(5);
+  std::vector<std::pair<std::string, Tensor>> items;
+  items.emplace_back("w", Tensor::randn(Shape{3, 4}, rng));
+  std::stringstream ss;
+  save_tensors(ss, items);
+  const std::string bytes = ss.str();
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    EXPECT_THROW(load_tensors(truncated), std::runtime_error) << "cut at " << cut;
+  }
+}
+
+// Writes a little-endian POD into a hand-built (and deliberately bogus)
+// header stream.
+template <typename T>
+void put_raw(std::ostream& os, const T& v) {
+  // rp-lint: allow(R5) test forges raw headers to attack the loader
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+TEST(Serialize, ImplausibleHeaderRejectedBeforeAllocation) {
+  // Hand-build a tensor header claiming a gigantic dimension; the loader
+  // must reject it from the bounds check, not attempt the allocation.
+  constexpr uint32_t kMagic = 0x52505431;
+  std::stringstream ss;
+  put_raw<uint32_t>(ss, kMagic);
+  put_raw<uint32_t>(ss, 2);
+  put_raw<int64_t>(ss, int64_t{1} << 40);
+  put_raw<int64_t>(ss, int64_t{1} << 40);
+  EXPECT_THROW(load_tensor(ss), std::runtime_error);
+
+  // Negative dimension.
+  std::stringstream ss2;
+  put_raw<uint32_t>(ss2, kMagic);
+  put_raw<uint32_t>(ss2, 1);
+  put_raw<int64_t>(ss2, -4);
+  EXPECT_THROW(load_tensor(ss2), std::runtime_error);
+
+  // Implausible rank.
+  std::stringstream ss3;
+  put_raw<uint32_t>(ss3, kMagic);
+  put_raw<uint32_t>(ss3, 99);
+  EXPECT_THROW(load_tensor(ss3), std::runtime_error);
+}
+
+TEST(Serialize, CorruptedFileErrorNamesThePath) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rp_serialize_corrupt.bin").string();
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "definitely not a bundle";
+  }
+  try {
+    load_tensors_file(path);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos) << e.what();
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace
