@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common.hpp"
 #include "core/backselect.hpp"
 #include "core/pruner.hpp"
 #include "corrupt/corruption.hpp"
@@ -22,6 +23,7 @@
 #include "nn/trainer.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/parallel.hpp"
+#include "tensor/simd.hpp"
 
 using namespace rp;
 
@@ -72,6 +74,88 @@ void BM_GemmThreads(benchmark::State& state) {
 // UseRealTime: rates must come from wall-clock, not the main thread's CPU
 // time — otherwise multi-lane runs report inflated throughput.
 BENCHMARK(BM_GemmThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+/// The acceptance benchmark for the SIMD microkernel: 512^3 GEMM at one
+/// thread, forced-scalar vs dispatched ISA. The two variants are bit-identical
+/// in output (tests/test_simd.cpp); this measures what the dispatch buys.
+void BM_GemmSimd(benchmark::State& state) {
+  const bool dispatched = state.range(0) != 0;
+  const int64_t n = 512;
+  parallel::set_num_threads(1);
+  if (dispatched) {
+    simd::reset();
+  } else {
+    simd::force(simd::Isa::kScalar);
+  }
+  Rng rng(1);
+  Tensor a = Tensor::randn(Shape{n, n}, rng);
+  Tensor b = Tensor::randn(Shape{n, n}, rng);
+  Tensor c(Shape{n, n});
+  for (auto _ : state) {
+    gemm(a, b, c);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetLabel(std::string("512x512x512 @ 1 thread, ") + simd::isa_name(simd::active()));
+  simd::reset();
+  parallel::set_num_threads(0);
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  report_flops(state, 2.0 * static_cast<double>(n * n * n));
+}
+BENCHMARK(BM_GemmSimd)->Arg(0)->Arg(1)->UseRealTime();
+
+/// Conv forward at one thread, forced-scalar vs dispatched ISA. FLOPs count
+/// the im2col GEMM only (2 * out_c * patch * out_hw per sample).
+void BM_ConvForwardSimd(benchmark::State& state) {
+  const bool dispatched = state.range(0) != 0;
+  parallel::set_num_threads(1);
+  if (dispatched) {
+    simd::reset();
+  } else {
+    simd::force(simd::Isa::kScalar);
+  }
+  Rng rng(3);
+  nn::Conv2d conv("c", 8, 16, 3, 1, 1, 16, 16, false, rng);
+  Tensor x = Tensor::randn(Shape{8, 8, 16, 16}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+  state.SetLabel(std::string("n8 c8->16 k3 16x16 @ 1 thread, ") +
+                 simd::isa_name(simd::active()));
+  simd::reset();
+  parallel::set_num_threads(0);
+  const double flops = 2.0 * 8 * 16 * (8 * 9) * (16 * 16);
+  report_flops(state, flops);
+}
+BENCHMARK(BM_ConvForwardSimd)->Arg(0)->Arg(1)->UseRealTime();
+
+/// Conv backward at one thread, forced-scalar vs dispatched ISA. FLOPs count
+/// the dW and dx GEMMs (2x the forward GEMM work).
+void BM_ConvBackwardSimd(benchmark::State& state) {
+  const bool dispatched = state.range(0) != 0;
+  parallel::set_num_threads(1);
+  if (dispatched) {
+    simd::reset();
+  } else {
+    simd::force(simd::Isa::kScalar);
+  }
+  Rng rng(4);
+  nn::Conv2d conv("c", 8, 16, 3, 1, 1, 16, 16, false, rng);
+  Tensor x = Tensor::randn(Shape{8, 8, 16, 16}, rng);
+  Tensor y = conv.forward(x, true);
+  Tensor dy = Tensor::randn(y.shape(), rng);
+  for (auto _ : state) {
+    Tensor dx = conv.backward(dy);
+    benchmark::DoNotOptimize(dx.data().data());
+  }
+  state.SetLabel(std::string("n8 c8->16 k3 16x16 @ 1 thread, ") +
+                 simd::isa_name(simd::active()));
+  simd::reset();
+  parallel::set_num_threads(0);
+  const double flops = 2.0 * 2.0 * 8 * 16 * (8 * 9) * (16 * 16);
+  report_flops(state, flops);
+}
+BENCHMARK(BM_ConvBackwardSimd)->Arg(0)->Arg(1)->UseRealTime();
 
 void BM_Im2col(benchmark::State& state) {
   ConvGeom g{16, 16, 16, 3, 1, 1};
@@ -222,25 +306,9 @@ BENCHMARK(BM_BackselectStep)->Iterations(3);
 
 }  // namespace
 
-/// Like BENCHMARK_MAIN(), but defaults --benchmark_out to
-/// BENCH_micro_ops.json (JSON format) so every run leaves a machine-readable
-/// perf record for cross-PR trajectory tracking. An explicit --benchmark_out
-/// on the command line wins.
+/// Shared micro-bench main (bench/common.hpp): median-of-5 repetitions,
+/// aggregates-only reporting, JSON record in BENCH_micro_ops.json for
+/// cross-PR trajectory tracking. Explicit command-line flags win.
 int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
-  std::string out_flag = "--benchmark_out=BENCH_micro_ops.json";
-  std::string fmt_flag = "--benchmark_out_format=json";
-  bool has_out = false;
-  for (int i = 1; i < argc; ++i) {
-    has_out |= std::strncmp(argv[i], "--benchmark_out", 15) == 0;
-  }
-  if (!has_out) {
-    args.push_back(out_flag.data());
-    args.push_back(fmt_flag.data());
-  }
-  int n = static_cast<int>(args.size());
-  benchmark::Initialize(&n, args.data());
-  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return rp::bench::run_micro_bench_main(argc, argv, "BENCH_micro_ops.json");
 }

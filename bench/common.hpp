@@ -7,6 +7,7 @@
 // reports. Run with --paper to scale toward the paper's protocol.
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -133,3 +134,47 @@ int run_bench(int argc, char** argv, const Body& body) {
 }
 
 }  // namespace rp::bench
+
+// google-benchmark integration — visible only to TUs that include
+// <benchmark/benchmark.h> before this header, so the table/figure benches
+// (plain binaries) never grow a dependency on the benchmark library.
+#ifdef BENCHMARK_BENCHMARK_H_
+namespace rp::bench {
+
+/// Shared main for micro-benchmark binaries: like BENCHMARK_MAIN(), but
+/// defaults
+///   --benchmark_out=<default_out> --benchmark_out_format=json
+///   --benchmark_repetitions=5 --benchmark_report_aggregates_only=true
+/// so every timing in the committed record is a median-of-5 (plus mean/
+/// stddev/cv aggregates), robust to one-off scheduler noise, and every run
+/// leaves a machine-readable perf record for cross-PR trajectory tracking.
+/// Explicit command-line flags win over all of these defaults.
+inline int run_micro_bench_main(int argc, char** argv, const char* default_out) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = std::string("--benchmark_out=") + default_out;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  std::string rep_flag = "--benchmark_repetitions=5";
+  std::string agg_flag = "--benchmark_report_aggregates_only=true";
+  bool has_out = false;
+  bool has_rep = false;
+  bool has_agg = false;
+  for (int i = 1; i < argc; ++i) {
+    has_out |= std::strncmp(argv[i], "--benchmark_out", 15) == 0;
+    has_rep |= std::strncmp(argv[i], "--benchmark_repetitions", 23) == 0;
+    has_agg |= std::strncmp(argv[i], "--benchmark_report_aggregates_only", 34) == 0;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  if (!has_rep) args.push_back(rep_flag.data());
+  if (!has_agg) args.push_back(agg_flag.data());
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}
+
+}  // namespace rp::bench
+#endif  // BENCHMARK_BENCHMARK_H_

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # One-shot verification gate: Release build + full test suite (which includes
-# the rp-lint tree scan and its fixture self-test), then the ASan+UBSan build
-# and the same suite under it. Exits non-zero on the first failure.
+# the rp-lint tree scan and its fixture self-test) run twice — once with the
+# dispatched SIMD kernels and once with RP_SIMD=off forcing the scalar
+# fallback — then the ASan+UBSan build and the same suite under it (also with
+# SIMD dispatched, so the sanitizers cover the intrinsic kernels). Exits
+# non-zero on the first failure.
 #
 #   scripts/check.sh             # everything
 #   RP_CHECK_SKIP_ASAN=1 scripts/check.sh   # skip the sanitizer pass (quick)
@@ -14,13 +17,16 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
-echo "== [1/2] Release build + tests (warnings are errors) =="
+echo "== [1/3] Release build + tests (warnings are errors, SIMD dispatched) =="
 cmake -B build -S . -DRP_WERROR=ON
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "== [2/3] Same suite with RP_SIMD=off (scalar kernel fallback) =="
+RP_SIMD=off ctest --test-dir build --output-on-failure -j "$JOBS"
+
 if [[ "${RP_CHECK_SKIP_ASAN:-0}" != "1" ]]; then
-  echo "== [2/2] ASan+UBSan build + tests =="
+  echo "== [3/3] ASan+UBSan build + tests =="
   cmake -B build-asan -S . -DRP_SANITIZE=address,undefined -DRP_WERROR=ON
   cmake --build build-asan -j "$JOBS"
   ctest --test-dir build-asan --output-on-failure -j "$JOBS"

@@ -6,6 +6,7 @@
 
 #include "tensor/ops.hpp"
 #include "tensor/parallel.hpp"
+#include "tensor/simd.hpp"
 
 namespace rp::nn {
 
@@ -64,6 +65,7 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
   // im2col+GEMM loop is parallel over samples. Every lane owns one set of
   // scratch tensors — nested parallel loops run inline, so a lane never
   // shares these with another forward in flight.
+  // rp-lint: allow(R7) per-sample loop: each iteration is an im2col + GEMM
   parallel::parallel_for(0, n, 1, [&](int64_t i0, int64_t i1) {
     thread_local Tensor cols;  // rp-lint: allow(R3) per-lane im2col scratch
     thread_local Tensor y_n;   // rp-lint: allow(R3) per-lane output scratch
@@ -75,8 +77,7 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
       float* dst = yd + i * out_c_ * oplane;
       if (use_bias_) {
         for (int64_t c = 0; c < out_c_; ++c) {
-          const float b = bias_.value[c];
-          for (int64_t p = 0; p < oplane; ++p) dst[c * oplane + p] = src[c * oplane + p] + b;
+          simd::bias_add(dst + c * oplane, src + c * oplane, bias_.value[c], oplane);
         }
       } else {
         std::memcpy(dst, src, static_cast<size_t>(out_c_ * oplane) * sizeof(float));
@@ -89,22 +90,24 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
     // stat update is race-free and (max being exact) order-independent.
     const float* xd = x.data().data();
     const int64_t plane = geom_.in_h * geom_.in_w;
+    // rp-lint: allow(R7) per-channel loop: each iteration reduces n planes
     parallel::parallel_for(0, geom_.in_c, 1, [&](int64_t c0, int64_t c1) {
       for (int64_t c = c0; c < c1; ++c) {
         float m = in_stat_[static_cast<size_t>(c)];
         for (int64_t i = 0; i < n; ++i) {
           const float* p = xd + (i * geom_.in_c + c) * plane;
-          for (int64_t j = 0; j < plane; ++j) m = std::max(m, std::fabs(p[j]));
+          m = std::max(m, simd::reduce_abs_max(p, plane));
         }
         in_stat_[static_cast<size_t>(c)] = m;
       }
     });
+    // rp-lint: allow(R7) per-channel loop: each iteration reduces n planes
     parallel::parallel_for(0, out_c_, 1, [&](int64_t c0, int64_t c1) {
       for (int64_t c = c0; c < c1; ++c) {
         float m = out_stat_[static_cast<size_t>(c)];
         for (int64_t i = 0; i < n; ++i) {
           const float* p = yd + (i * out_c_ + c) * oplane;
-          for (int64_t j = 0; j < oplane; ++j) m = std::max(m, std::fabs(p[j]));
+          m = std::max(m, simd::reduce_abs_max(p, oplane));
         }
         out_stat_[static_cast<size_t>(c)] = m;
       }
@@ -116,36 +119,63 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
 Tensor Conv2d::backward(const Tensor& dy) {
   const int64_t n = cached_input_.size(0);
   const int64_t oh = geom_.out_h(), ow = geom_.out_w();
+  const int64_t oplane = oh * ow;
+  const int64_t wsize = out_c_ * geom_.patch();
   Tensor dx(cached_input_.shape());
-  Tensor dx_n;
-  // Serial over samples: dW accumulates sequentially, and keeping the seed's
-  // accumulation order preserves bit-reproducible training (a parallel
-  // backward is tracked as a ROADMAP follow-up). Scratch is per-lane so
-  // parallel callers above (if any) stay isolated.
-  thread_local Tensor cols;   // rp-lint: allow(R3) per-lane im2col scratch
-  thread_local Tensor dcols;  // rp-lint: allow(R3) per-lane col-gradient scratch
-  if (dcols.shape() != Shape{geom_.patch(), oh * ow}) {
-    dcols = Tensor(Shape{geom_.patch(), oh * ow});
-  }
 
-  for (int64_t i = 0; i < n; ++i) {
-    const Tensor dy_n = dy.slice0(i).reshape(Shape{out_c_, oh * ow});
-    const Tensor x_n = cached_input_.slice0(i);
-    im2col(x_n, geom_, cols);
-    // dW += dy_n @ colsᵀ
-    gemm(dy_n, cols, weight_.grad, /*trans_a=*/false, /*trans_b=*/true, 1.0f, 1.0f);
-    // dcols = Wᵀ @ dy_n
-    gemm(weight_.value, dy_n, dcols, /*trans_a=*/true);
-    col2im(dcols, geom_, dx_n);
-    dx.set_slice0(i, dx_n);
+  // Parallel over samples (same recipe as evaluate()): each sample's dW and
+  // db contribution is computed independently — a beta=0 GEMM into per-lane
+  // scratch — and stored at its sample index; the fold into the parameter
+  // gradients below runs in fixed sample order. Partial values depend only
+  // on the sample, never on chunking, so gradients are bit-identical for any
+  // RP_THREADS. dx slices are disjoint per sample and written in place.
+  std::vector<float> dw_partial(static_cast<size_t>(n * wsize));
+  std::vector<float> db_partial(use_bias_ ? static_cast<size_t>(n * out_c_) : size_t{0});
 
-    if (use_bias_) {
-      const float* d = dy_n.data().data();
-      for (int64_t c = 0; c < out_c_; ++c) {
-        float s = 0.0f;
-        for (int64_t p = 0; p < oh * ow; ++p) s += d[c * oh * ow + p];
-        bias_.grad[c] += s;
+  // rp-lint: allow(R7) per-sample loop: each iteration is an im2col + two GEMMs
+  parallel::parallel_for(0, n, 1, [&](int64_t i0, int64_t i1) {
+    thread_local Tensor cols;   // rp-lint: allow(R3) per-lane im2col scratch
+    thread_local Tensor dcols;  // rp-lint: allow(R3) per-lane col-gradient scratch
+    thread_local Tensor dw_n;   // rp-lint: allow(R3) per-lane dW scratch
+    thread_local Tensor dx_n;   // rp-lint: allow(R3) per-lane dx scratch
+    if (dcols.shape() != Shape{geom_.patch(), oplane}) {
+      dcols = Tensor(Shape{geom_.patch(), oplane});
+    }
+    if (dw_n.shape() != Shape{out_c_, geom_.patch()}) {
+      dw_n = Tensor(Shape{out_c_, geom_.patch()});
+    }
+    for (int64_t i = i0; i < i1; ++i) {
+      const Tensor dy_n = dy.slice0(i).reshape(Shape{out_c_, oplane});
+      const Tensor x_n = cached_input_.slice0(i);
+      im2col(x_n, geom_, cols);
+      // dW_i = dy_n @ colsᵀ
+      gemm(dy_n, cols, dw_n, /*trans_a=*/false, /*trans_b=*/true, 1.0f, 0.0f);
+      std::memcpy(dw_partial.data() + i * wsize, dw_n.data().data(),
+                  static_cast<size_t>(wsize) * sizeof(float));
+      // dcols = Wᵀ @ dy_n
+      gemm(weight_.value, dy_n, dcols, /*trans_a=*/true);
+      col2im(dcols, geom_, dx_n);
+      dx.set_slice0(i, dx_n);
+
+      if (use_bias_) {
+        const float* d = dy_n.data().data();
+        for (int64_t c = 0; c < out_c_; ++c) {
+          float s = 0.0f;
+          for (int64_t p = 0; p < oplane; ++p) s += d[c * oplane + p];
+          db_partial[static_cast<size_t>(i * out_c_ + c)] = s;
+        }
       }
+    }
+  });
+
+  float* wg = weight_.grad.data().data();
+  for (int64_t i = 0; i < n; ++i) {
+    simd::add(wg, dw_partial.data() + i * wsize, wsize);
+  }
+  if (use_bias_) {
+    float* bg = bias_.grad.data().data();
+    for (int64_t i = 0; i < n; ++i) {
+      simd::add(bg, db_partial.data() + i * out_c_, out_c_);
     }
   }
   return dx;
@@ -206,8 +236,9 @@ Tensor Linear::forward(const Tensor& x, bool /*train*/) {
   Tensor y(Shape{n, out_});
   gemm(x, weight_.value, y, /*trans_a=*/false, /*trans_b=*/true);
   if (use_bias_) {
-    for (int64_t i = 0; i < n; ++i)
-      for (int64_t j = 0; j < out_; ++j) y.at(i, j) += bias_.value[j];
+    float* yd = y.data().data();
+    const float* bd = bias_.value.data().data();
+    for (int64_t i = 0; i < n; ++i) simd::add(yd + i * out_, bd, out_);
   }
   if (profiling_) {
     for (int64_t i = 0; i < n; ++i) {
@@ -229,8 +260,9 @@ Tensor Linear::backward(const Tensor& dy) {
   // dW += dyᵀ @ x
   gemm(dy, cached_input_, weight_.grad, /*trans_a=*/true, /*trans_b=*/false, 1.0f, 1.0f);
   if (use_bias_) {
-    for (int64_t i = 0; i < n; ++i)
-      for (int64_t j = 0; j < out_; ++j) bias_.grad[j] += dy.at(i, j);
+    float* bg = bias_.grad.data().data();
+    const float* dyd = dy.data().data();
+    for (int64_t i = 0; i < n; ++i) simd::add(bg, dyd + i * out_, out_);
   }
   Tensor dx(Shape{n, in_});
   gemm(dy, weight_.value, dx);
@@ -386,17 +418,13 @@ void BatchNorm2d::collect_buffers(std::vector<std::pair<std::string, Tensor*>>& 
 Tensor ReLU::forward(const Tensor& x, bool /*train*/) {
   cached_input_ = x;
   Tensor y = x;
-  for (float& v : y.data()) v = std::max(v, 0.0f);
+  simd::relu(y.data().data(), y.numel());
   return y;
 }
 
 Tensor ReLU::backward(const Tensor& dy) {
   Tensor dx = dy;
-  const auto xd = cached_input_.data();
-  auto dd = dx.data();
-  for (size_t i = 0; i < dd.size(); ++i) {
-    if (xd[i] <= 0.0f) dd[i] = 0.0f;
-  }
+  simd::relu_grad(cached_input_.data().data(), dx.data().data(), dx.numel());
   return dx;
 }
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "tensor/ops.hpp"
+#include "tensor/simd.hpp"
 
 namespace rp::nn {
 
@@ -54,12 +55,15 @@ LossResult pixel_cross_entropy(const Tensor& logits, std::span<const int64_t> la
       const int64_t y = labels[static_cast<size_t>(i * plane + p)];
       if (y == ignore_label) continue;
       if (y < 0 || y >= c) throw std::out_of_range("pixel_cross_entropy: bad label");
-      // Channel-strided softmax at pixel p.
-      float m = ld[(i * c) * plane + p];
-      for (int64_t ch = 1; ch < c; ++ch) m = std::max(m, ld[(i * c + ch) * plane + p]);
+      // Channel-strided softmax at pixel p: gather the channel column into
+      // the contiguous scratch first so the max reduction runs vectorized.
+      for (int64_t ch = 0; ch < c; ++ch) {
+        probs[static_cast<size_t>(ch)] = ld[(i * c + ch) * plane + p];
+      }
+      const float m = simd::reduce_max(probs.data(), c);
       float denom = 0.0f;
       for (int64_t ch = 0; ch < c; ++ch) {
-        probs[static_cast<size_t>(ch)] = std::exp(ld[(i * c + ch) * plane + p] - m);
+        probs[static_cast<size_t>(ch)] = std::exp(probs[static_cast<size_t>(ch)] - m);
         denom += probs[static_cast<size_t>(ch)];
       }
       for (int64_t ch = 0; ch < c; ++ch) {

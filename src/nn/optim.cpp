@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/simd.hpp"
+
 namespace rp::nn {
 
 float LrSchedule::lr_at(int epoch) const {
@@ -30,15 +32,11 @@ void Sgd::step(float lr) {
   for (size_t i = 0; i < params_.size(); ++i) {
     Parameter& p = *params_[i];
     Tensor& v = velocity_[i];
-    auto pv = p.value.data();
-    auto pg = p.grad.data();
-    auto vd = v.data();
-    const float mu = cfg_.momentum, wd = cfg_.weight_decay;
-    for (size_t j = 0; j < pv.size(); ++j) {
-      const float g = pg[j] + wd * pv[j];
-      vd[j] = mu * vd[j] + g;
-      pv[j] -= lr * (cfg_.nesterov ? g + mu * vd[j] : vd[j]);
-    }
+    // Fused update (g = grad + wd*p; v = mu*v + g; p -= lr*(nesterov ? g +
+    // mu*v : v)) with every multiply-add single-rounded, identical across
+    // scalar/SIMD dispatch.
+    simd::sgd_step(p.value.data().data(), p.grad.data().data(), v.data().data(), lr,
+                   cfg_.momentum, cfg_.weight_decay, cfg_.nesterov, p.value.numel());
     p.enforce_mask();
   }
 }

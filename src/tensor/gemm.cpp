@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "tensor/parallel.hpp"
+#include "tensor/simd.hpp"
 
 namespace rp {
 
@@ -28,28 +29,15 @@ constexpr int64_t kParallelMinMacs = int64_t{1} << 18;
 // rp-lint: allow(R3) per-lane GEMM scratch; never aliased across lanes
 thread_local std::vector<float> tl_at_buf, tl_bt_buf, tl_pack_buf;
 
-// C[i0:i1, 0:nc] (+)= alpha * A[i0:i1, 0:kc] @ panel[0:kc, 0:nc], with A and
-// C offset to the current (pc, jc) block by the caller. Each output row is
-// owned by exactly one task and its k-accumulation order is fixed by the
-// (jc, pc) loop nest, so results are bit-identical for any thread count. The
-// k-outer ordering with a contiguous panel row innermost is what GCC
-// vectorizes best.
-void kernel_panel(const float* a, int64_t lda, const float* panel, int64_t ldp, float* c,
-                  int64_t ldc, int64_t i0, int64_t i1, int64_t kc, int64_t nc, float alpha) {
-  for (int64_t i = i0; i < i1; ++i) {
-    const float* ai = a + i * lda;
-    float* ci = c + i * ldc;
-    for (int64_t p = 0; p < kc; ++p) {
-      const float av = alpha * ai[p];
-      if (av == 0.0f) continue;  // masked / sparse rows are common after pruning
-      const float* bp = panel + p * ldp;
-      for (int64_t j = 0; j < nc; ++j) ci[j] += av * bp[j];
-    }
-  }
-}
-
 void gemm_blocked(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
                   float alpha) {
+  // The panel microkernel — C[i0:i1, 0:nc] += alpha * A[i0:i1, 0:kc] @
+  // panel[0:kc, 0:nc] — is ISA-dispatched (simd.hpp). Each output row is
+  // owned by exactly one task and its k-accumulation order is fixed by the
+  // (jc, pc) loop nest and unchanged by vectorization (lanes run across
+  // columns only), so results are bit-identical for any thread count AND any
+  // RP_SIMD setting.
+  const auto kernel_panel = simd::kernels().gemm_panel;
   const bool threaded = 2 * m * n * k >= kParallelMinMacs;
   const int64_t grain =
       std::max<int64_t>(1, m / (4 * static_cast<int64_t>(parallel::num_threads())));
@@ -107,7 +95,7 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool trans_a, bool trans_
       if (beta == 0.0f) {
         std::memset(cd + lo, 0, static_cast<size_t>(hi - lo) * sizeof(float));
       } else {
-        for (int64_t i = lo; i < hi; ++i) cd[i] *= beta;
+        simd::scale(cd + lo, beta, hi - lo);
       }
     });
   }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/simd.hpp"
+
 namespace rp {
 
 float sum(const Tensor& t) {
@@ -54,9 +56,7 @@ float l2_norm(const Tensor& t) {
 }
 
 float linf_norm(const Tensor& t) {
-  float m = 0.0f;
-  for (float v : t.data()) m = std::max(m, std::fabs(v));
-  return m;
+  return simd::reduce_abs_max(t.data().data(), t.numel());
 }
 
 float l2_distance(const Tensor& a, const Tensor& b) {
@@ -75,16 +75,19 @@ Tensor softmax_rows(const Tensor& logits) {
   if (logits.ndim() != 2) throw std::invalid_argument("softmax_rows expects a [N, C] matrix");
   const int64_t n = logits.size(0), c = logits.size(1);
   Tensor out(logits.shape());
+  const float* ld = logits.data().data();
+  float* od = out.data().data();
   for (int64_t i = 0; i < n; ++i) {
-    float m = logits.at(i, 0);
-    for (int64_t j = 1; j < c; ++j) m = std::max(m, logits.at(i, j));
+    const float* row = ld + i * c;
+    float* orow = od + i * c;
+    const float m = simd::reduce_max(row, c);
     float denom = 0.0f;
     for (int64_t j = 0; j < c; ++j) {
-      const float e = std::exp(logits.at(i, j) - m);
-      out.at(i, j) = e;
+      const float e = std::exp(row[j] - m);
+      orow[j] = e;
       denom += e;
     }
-    for (int64_t j = 0; j < c; ++j) out.at(i, j) /= denom;
+    simd::div_scalar(orow, denom, c);
   }
   return out;
 }
@@ -118,12 +121,12 @@ std::vector<float> logsumexp_rows(const Tensor& m) {
 }
 
 Tensor clamp(Tensor t, float lo, float hi) {
-  for (float& v : t.data()) v = std::clamp(v, lo, hi);
+  simd::clamp(t.data().data(), lo, hi, t.numel());
   return t;
 }
 
 Tensor relu(Tensor t) {
-  for (float& v : t.data()) v = std::max(v, 0.0f);
+  simd::relu(t.data().data(), t.numel());
   return t;
 }
 

@@ -180,6 +180,7 @@ void run_shards(int shards, int64_t items,
                 const std::function<void(int, int64_t, int64_t)>& fn) {
   if (items <= 0 || shards < 1) return;
   const int64_t s_total = shards;
+  // rp-lint: allow(R7) per-shard dispatch: one chunk per shard is the point
   parallel_for(0, s_total, 1, [&](int64_t s0, int64_t s1) {
     for (int64_t s = s0; s < s1; ++s) {
       const int64_t lo = s * items / s_total;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "tensor/simd.hpp"
+
 namespace rp {
 
 namespace {
@@ -77,9 +79,7 @@ void Tensor::set_slice0(int64_t i, const Tensor& row) {
 
 Tensor& Tensor::operator+=(const Tensor& o) {
   check_same_shape(*this, o, "operator+=");
-  const float* ob = o.data().data();
-  float* tb = data_.data();
-  for (size_t i = 0; i < data_.size(); ++i) tb[i] += ob[i];
+  simd::add(data_.data(), o.data().data(), numel());
   return *this;
 }
 
@@ -93,19 +93,17 @@ Tensor& Tensor::operator-=(const Tensor& o) {
 
 Tensor& Tensor::operator*=(const Tensor& o) {
   check_same_shape(*this, o, "operator*=");
-  const float* ob = o.data().data();
-  float* tb = data_.data();
-  for (size_t i = 0; i < data_.size(); ++i) tb[i] *= ob[i];
+  simd::mul(data_.data(), o.data().data(), numel());
   return *this;
 }
 
 Tensor& Tensor::operator+=(float v) {
-  for (float& x : data_) x += v;
+  simd::add_scalar(data_.data(), v, numel());
   return *this;
 }
 
 Tensor& Tensor::operator*=(float v) {
-  for (float& x : data_) x *= v;
+  simd::scale(data_.data(), v, numel());
   return *this;
 }
 

@@ -1,0 +1,4 @@
+// R7 fixture: unit-grain pool dispatch on an elementwise body. Never compiled.
+void parallel_for(long begin, long end, long grain, int fn);
+void bad(int fn) { parallel_for(0, 1 << 20, 1, fn); }
+void ok(int fn) { parallel_for(0, 1 << 20, 1, fn); }  // rp-lint: allow(R7) fixture: per-sample loop

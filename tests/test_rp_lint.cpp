@@ -41,13 +41,14 @@ struct Expected {
   int line;
 };
 
-constexpr std::array<Expected, 6> kExpected = {{
+constexpr std::array<Expected, 7> kExpected = {{
     {"r1_nondeterminism.cpp", "R1", 4},
     {"r2_threading.cpp", "R2", 3},
     {"r3_mutable_static.cpp", "R3", 4},
     {"r4_unordered.cpp", "R4", 3},
     {"r5_reinterpret.cpp", "R5", 3},
     {"r6_cstyle_cast.cpp", "R6", 3},
+    {"r7_grain.cpp", "R7", 3},
 }};
 
 TEST(RpLint, EachRuleFiresAtExactlyTheExpectedLine) {
@@ -75,19 +76,19 @@ TEST(RpLint, SuppressedLinesStaySilent) {
   }
 }
 
-TEST(RpLint, AllFixturesTogetherReportSixViolations) {
+TEST(RpLint, AllFixturesTogetherReportSevenViolations) {
   std::string args = "--force-all-rules";
   for (const Expected& e : kExpected) args += " " + kFixtures + "/" + e.file;
   const LintRun r = run_lint(args);
   EXPECT_EQ(r.exit_code, 1);
-  EXPECT_NE(r.output.find("rp-lint: 6 violation(s)"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("rp-lint: 7 violation(s)"), std::string::npos) << r.output;
 }
 
 TEST(RpLint, CleanFileExitsZero) {
   // The linter's own source must be clean under full-tree rules scoping.
   const LintRun r = run_lint("--list-rules");
   EXPECT_EQ(r.exit_code, 0);
-  for (const char* id : {"R1", "R2", "R3", "R4", "R5", "R6"}) {
+  for (const char* id : {"R1", "R2", "R3", "R4", "R5", "R6", "R7"}) {
     EXPECT_NE(r.output.find(id), std::string::npos) << r.output;
   }
 }

@@ -210,6 +210,7 @@ class Linter {
     rule_r4();
     rule_r5();
     rule_r6();
+    rule_r7();
     apply_suppressions();
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
@@ -459,6 +460,53 @@ class Linter {
     }
   }
 
+  /// R7: unit-grain pool dispatch. A `parallel_for` whose grain is the
+  /// literal 1 (or a `run_shards` asked for exactly 1 shard) pays one chunk
+  /// claim per element and drowns in dispatch overhead on elementwise
+  /// bodies. Legitimate unit-grain sites — per-sample loops where each
+  /// iteration is itself a GEMM-sized unit of work, and the pool's own
+  /// per-shard dispatch — carry an allow(R7) with that rationale.
+  void rule_r7() {
+    const auto& t = toks();
+    for (size_t i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].kind != Tok::Ident) continue;
+      const bool is_pfor = t[i].text == "parallel_for";
+      const bool is_shards = t[i].text == "run_shards";
+      if ((!is_pfor && !is_shards) || t[i + 1].text != "(") continue;
+      // Split the call's top-level arguments by walking the bracket depth.
+      // Declarations never trip this: their "arguments" carry type tokens,
+      // so no argument is a lone `1` literal.
+      std::vector<std::pair<size_t, size_t>> args;  // [first, last] token of each arg
+      size_t depth = 0;
+      size_t arg_start = i + 2;
+      size_t j = i + 1;
+      for (; j < t.size(); ++j) {
+        const std::string& s = t[j].text;
+        if (s == "(" || s == "[" || s == "{") {
+          ++depth;
+        } else if (s == ")" || s == "]" || s == "}") {
+          if (depth == 1 && s == ")") break;
+          if (depth > 0) --depth;
+        } else if (s == "," && depth == 1) {
+          args.emplace_back(arg_start, j - 1);
+          arg_start = j + 1;
+        }
+      }
+      if (j >= t.size()) continue;  // unterminated — header fragment, ignore
+      if (arg_start <= j - 1) args.emplace_back(arg_start, j - 1);
+      const size_t grain_idx = is_pfor ? 2 : 0;  // parallel_for grain / run_shards shard count
+      if (args.size() <= grain_idx) continue;
+      const auto [lo, hi] = args[grain_idx];
+      if (lo != hi) continue;  // expressions like int64_t{1} << 16 are fine
+      if (t[lo].kind == Tok::Number && t[lo].text == "1") {
+        add(t[lo].line, "R7",
+            std::string(is_pfor ? "parallel_for grain" : "run_shards shard count") +
+                " of literal 1 drowns in per-chunk dispatch overhead; size the grain to the "
+                "body or allow(R7) a genuine per-sample/per-shard loop");
+      }
+    }
+  }
+
   void apply_suppressions() {
     std::vector<Finding> kept;
     for (const Finding& f : findings_) {
@@ -522,7 +570,8 @@ void list_rules() {
       << "R3  mutable function-local static / non-const namespace-scope globals\n"
       << "R4  std::unordered_{map,set} in result-producing code (src/core, src/exp)\n"
       << "R5  reinterpret_cast outside src/tensor/serialize.cpp and src/data/image_io.cpp\n"
-      << "R6  C-style casts to integer types in stats code (src/core, src/exp)\n";
+      << "R6  C-style casts to integer types in stats code (src/core, src/exp)\n"
+      << "R7  unit-grain parallel_for/run_shards dispatch outside per-sample/per-shard loops\n";
 }
 
 }  // namespace
