@@ -157,6 +157,34 @@ void BM_ConvBackwardSimd(benchmark::State& state) {
 }
 BENCHMARK(BM_ConvBackwardSimd)->Arg(0)->Arg(1)->UseRealTime();
 
+/// The acceptance benchmark for the observability layer: counter increments
+/// and span construction with obs disabled must collapse to one predicted
+/// branch each — this pins that cost in the committed record. Arg(1)
+/// measures the enabled path for contrast (metrics only, no trace buffer).
+void BM_ObsDisabled(benchmark::State& state) {
+  const bool on = state.range(0) != 0;
+  obs::Config cfg;
+  cfg.metrics = on;
+  obs::configure(cfg);
+  for (auto _ : state) {
+    obs::count(obs::Counter::kGemmCalls);
+    benchmark::DoNotOptimize(obs::enabled());
+  }
+  state.SetLabel(on ? "counters enabled" : "counters disabled");
+  obs::init_from_env();
+}
+BENCHMARK(BM_ObsDisabled)->Arg(0)->Arg(1);
+
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  obs::configure(obs::Config{});
+  for (auto _ : state) {
+    const obs::Span span("bench.noop");
+    benchmark::DoNotOptimize(obs::enabled());
+  }
+  obs::init_from_env();
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
 void BM_Im2col(benchmark::State& state) {
   ConvGeom g{16, 16, 16, 3, 1, 1};
   Rng rng(2);

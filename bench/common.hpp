@@ -15,6 +15,7 @@
 #include "corrupt/corruption.hpp"
 #include "exp/runner.hpp"
 #include "exp/table.hpp"
+#include "obs/obs.hpp"
 
 namespace rp::bench {
 
@@ -119,16 +120,24 @@ inline double flop_reduction(exp::Runner& runner, const std::string& arch,
   return 1.0 - static_cast<double>(net->flops()) / static_cast<double>(dense_flops);
 }
 
-/// Standard bench main wrapper: parses scale args, runs `body`, reports
+/// Standard bench main wrapper: parses scale args, runs `body` under a
+/// top-level trace span, and flushes observability output (the RP_TRACE
+/// chrome://tracing file plus the counter / per-phase timer summary) before
+/// returning — every bench gets spans and the summary for free. Reports
 /// errors with a non-zero exit.
 template <typename Body>
 int run_bench(int argc, char** argv, const Body& body) {
   try {
     exp::Runner runner(exp::scale_from_args(argc, argv));
-    body(runner);
+    {
+      const obs::Span span("bench.body");
+      body(runner);
+    }
+    obs::finish();
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench failed: %s\n", e.what());
+    obs::finish();
     return 1;
   }
 }

@@ -2,9 +2,10 @@
 # One-shot verification gate: Release build + full test suite (which includes
 # the rp-lint tree scan and its fixture self-test) run twice — once with the
 # dispatched SIMD kernels and once with RP_SIMD=off forcing the scalar
-# fallback — then the ASan+UBSan build and the same suite under it (also with
-# SIMD dispatched, so the sanitizers cover the intrinsic kernels). Exits
-# non-zero on the first failure.
+# fallback — then a fast smoke pass with RP_TRACE active (the trace file must
+# come out as valid JSON), then the ASan+UBSan build and the same suite under
+# it (also with SIMD dispatched, so the sanitizers cover the intrinsic
+# kernels). Exits non-zero on the first failure.
 #
 #   scripts/check.sh             # everything
 #   RP_CHECK_SKIP_ASAN=1 scripts/check.sh   # skip the sanitizer pass (quick)
@@ -17,16 +18,27 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
-echo "== [1/3] Release build + tests (warnings are errors, SIMD dispatched) =="
+echo "== [1/4] Release build + tests (warnings are errors, SIMD dispatched) =="
 cmake -B build -S . -DRP_WERROR=ON
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [2/3] Same suite with RP_SIMD=off (scalar kernel fallback) =="
+echo "== [2/4] Same suite with RP_SIMD=off (scalar kernel fallback) =="
 RP_SIMD=off ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "== [3/4] Observability smoke: tracing on, results unchanged, trace is JSON =="
+# One serial pass over a results-bearing slice of the suite with RP_TRACE
+# set. Each test process rewrites the shared path tmp-then-rename, so the
+# final file is a whole trace from the last process — check it parses.
+RP_TRACE_FILE="$(mktemp /tmp/rp_check_trace.XXXXXX.json)"
+RP_TRACE="$RP_TRACE_FILE" ctest --test-dir build --output-on-failure \
+  -R 'Serialize|CacheTest|BootstrapSlopeCi|ObsTest' -j 1
+python3 -c "import json,sys; json.load(open(sys.argv[1])); print('trace OK:', sys.argv[1])" \
+  "$RP_TRACE_FILE"
+rm -f "$RP_TRACE_FILE"
+
 if [[ "${RP_CHECK_SKIP_ASAN:-0}" != "1" ]]; then
-  echo "== [3/3] ASan+UBSan build + tests =="
+  echo "== [4/4] ASan+UBSan build + tests =="
   cmake -B build-asan -S . -DRP_SANITIZE=address,undefined -DRP_WERROR=ON
   cmake --build build-asan -j "$JOBS"
   ctest --test-dir build-asan --output-on-failure -j "$JOBS"

@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "obs/obs.hpp"
 
 namespace rp::core {
 
@@ -46,10 +49,14 @@ void prune_retrain(nn::Network& net, const data::Dataset& train_ds,
   if (cfg.mode == RetrainMode::WeightRewind) rewind_state = net.state();
 
   for (int cycle = 1; cycle <= cfg.cycles; ++cycle) {
+    const obs::Span cycle_span("prune_retrain.cycle" + std::to_string(cycle));
     if (is_data_informed(cfg.method)) {
       nn::profile_activations(net, train_ds, cfg.profile_samples);
     }
-    prune_to_ratio(net, cfg.method, cycle_target_ratio(cfg.keep_per_cycle, cycle));
+    {
+      const obs::Span prune_span("prune_retrain.prune");
+      prune_to_ratio(net, cfg.method, cycle_target_ratio(cfg.keep_per_cycle, cycle));
+    }
 
     if (cfg.mode == RetrainMode::WeightRewind) {
       // Restore surviving weights (values only — the freshly updated masks
@@ -62,7 +69,10 @@ void prune_retrain(nn::Network& net, const data::Dataset& train_ds,
       net.enforce_masks();
     }
 
-    nn::train(net, train_ds, retrain);
+    {
+      const obs::Span retrain_span("prune_retrain.retrain");
+      nn::train(net, train_ds, retrain);
+    }
     if (on_cycle) on_cycle(cycle, net.prune_ratio());
   }
 }

@@ -1,13 +1,27 @@
 #include "exp/cache.hpp"
 
+#include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 
+#include "obs/obs.hpp"
 #include "tensor/serialize.hpp"
 
 namespace rp::exp {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// Best-effort size of an artifact for the cache byte counters; never fails.
+int64_t file_bytes(const std::string& path) {
+  std::error_code ec;
+  const auto sz = fs::file_size(path, ec);
+  return ec ? 0 : static_cast<int64_t>(sz);
+}
+
+}  // namespace
 
 ArtifactCache::ArtifactCache(std::string dir) : dir_(std::move(dir)) {
   fs::create_directories(dir_);
@@ -23,9 +37,23 @@ ArtifactCache& ArtifactCache::global() {
 }
 
 std::string ArtifactCache::path_for(const std::string& key) const {
-  std::string name = key;
-  for (char& c : name) {
-    if (c == '/' || c == ' ' || c == ':') c = '_';
+  // Collision-free escape encoding. The old scheme mapped '/', ' ', and ':'
+  // all to '_', which aliased distinct keys ("a/b" and "a_b") onto one file —
+  // a silent cross-contamination of artifacts. Here every byte outside
+  // [A-Za-z0-9._-] (plus '%' itself) becomes %XX; escapes always start with
+  // '%' and '%' is always escaped, so the mapping is injective and distinct
+  // keys can never share a path.
+  std::string name;
+  name.reserve(key.size());
+  for (const char c : key) {
+    const auto u = static_cast<unsigned char>(c);
+    if (std::isalnum(u) != 0 || c == '.' || c == '_' || c == '-') {
+      name += c;
+    } else {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X", u);
+      name += buf;
+    }
   }
   return dir_ + "/" + name + ".bin";
 }
@@ -34,31 +62,47 @@ bool ArtifactCache::has(const std::string& key) const { return fs::exists(path_f
 
 void ArtifactCache::put_state(const std::string& key,
                               const std::vector<std::pair<std::string, Tensor>>& state) const {
+  const obs::Span span("cache.put_state");
   // Write-then-rename so a crash mid-write never leaves a truncated artifact.
-  const std::string tmp = path_for(key) + ".tmp";
+  const std::string path = path_for(key);
+  const std::string tmp = path + ".tmp";
   save_tensors_file(tmp, state);
-  fs::rename(tmp, path_for(key));
+  obs::count(obs::Counter::kCacheBytesWritten, file_bytes(tmp));
+  fs::rename(tmp, path);
 }
 
 std::optional<std::vector<std::pair<std::string, Tensor>>> ArtifactCache::get_state(
     const std::string& key) const {
-  if (!has(key)) return std::nullopt;
-  return load_tensors_file(path_for(key));
+  const std::string path = path_for(key);
+  if (!fs::exists(path)) {
+    obs::count(obs::Counter::kCacheMisses);
+    return std::nullopt;
+  }
+  const obs::Span span("cache.get_state");
+  obs::count(obs::Counter::kCacheHits);
+  obs::count(obs::Counter::kCacheBytesRead, file_bytes(path));
+  return load_tensors_file(path);
 }
 
 void ArtifactCache::put_values(const std::string& key, const std::vector<double>& values) const {
-  Tensor t(Shape{static_cast<int64_t>(values.size())});
-  for (size_t i = 0; i < values.size(); ++i) t[static_cast<int64_t>(i)] = static_cast<float>(values[i]);
-  put_state(key, {{"values", t}});
+  // Full float64 round-trip (serialize.hpp): errors, ratios, and scale
+  // fingerprints must come back bit-exact, not through a float32 funnel.
+  const std::string path = path_for(key);
+  const std::string tmp = path + ".tmp";
+  save_values_file(tmp, values);
+  obs::count(obs::Counter::kCacheBytesWritten, file_bytes(tmp));
+  fs::rename(tmp, path);
 }
 
 std::optional<std::vector<double>> ArtifactCache::get_values(const std::string& key) const {
-  auto state = get_state(key);
-  if (!state || state->size() != 1 || (*state)[0].first != "values") return std::nullopt;
-  const Tensor& t = (*state)[0].second;
-  std::vector<double> out(static_cast<size_t>(t.numel()));
-  for (int64_t i = 0; i < t.numel(); ++i) out[static_cast<size_t>(i)] = t[i];
-  return out;
+  const std::string path = path_for(key);
+  if (!fs::exists(path)) {
+    obs::count(obs::Counter::kCacheMisses);
+    return std::nullopt;
+  }
+  obs::count(obs::Counter::kCacheHits);
+  obs::count(obs::Counter::kCacheBytesRead, file_bytes(path));
+  return load_values_file(path);
 }
 
 }  // namespace rp::exp

@@ -1,11 +1,13 @@
 #include "exp/runner.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cstring>
 #include <map>
 #include <stdexcept>
 
 #include "data/augment.hpp"
+#include "obs/obs.hpp"
 
 namespace rp::exp {
 
@@ -38,8 +40,29 @@ ExperimentScale scale_from_args(int argc, char** argv) {
       s = paper_scale();
     } else if (arg == "--fast") {
       s = fast_scale();
-    } else if (arg == "--reps" && i + 1 < argc) {
-      s.reps = std::stoi(argv[++i]);
+    } else if (arg == "--reps") {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("--reps requires a value (expected --reps N with N >= 1)");
+      }
+      // std::stoi alone accepts trailing junk ("3x") and leading whitespace
+      // and throws raw std::invalid_argument / out_of_range on garbage;
+      // validate fully and report a usage error instead.
+      const std::string value = argv[++i];
+      const bool starts_ok =
+          !value.empty() && (std::isdigit(static_cast<unsigned char>(value[0])) != 0 ||
+                             value[0] == '-');
+      int reps = 0;
+      size_t consumed = 0;
+      try {
+        reps = std::stoi(value, &consumed);
+      } catch (const std::exception&) {
+        consumed = 0;
+      }
+      if (!starts_ok || consumed != value.size() || reps < 1) {
+        throw std::invalid_argument("invalid --reps value '" + value +
+                                    "' (expected an integer >= 1)");
+      }
+      s.reps = reps;
     } else {
       throw std::invalid_argument("unknown argument '" + arg +
                                   "' (expected --fast | --paper | --reps N)");
@@ -53,12 +76,12 @@ Runner::Runner(ExperimentScale scale, ArtifactCache& cache)
   // Artifacts depend on these knobs but their values are not part of the
   // cache keys; a fingerprint guards against silently mixing artifacts from
   // different scales in one directory.
+  // Values round-trip through float64 storage, so doubles compare exactly.
   const std::vector<double> fingerprint{
       static_cast<double>(scale_.train_n),  static_cast<double>(scale_.test_n),
       static_cast<double>(scale_.epochs),   static_cast<double>(scale_.retrain_epochs),
       static_cast<double>(scale_.batch_size), static_cast<double>(scale_.cycles),
-      // Values round-trip through float32 storage; cast for stable equality.
-      static_cast<double>(static_cast<float>(scale_.keep_per_cycle)),
+      scale_.keep_per_cycle,
       static_cast<double>(scale_.profile_samples)};
   if (auto existing = cache_.get_values("_scale")) {
     if (*existing != fingerprint) {
@@ -182,6 +205,7 @@ nn::NetworkPtr Runner::trained(const std::string& arch, const nn::TaskSpec& task
     net->load_state(*state);
     return net;
   }
+  const obs::Span span("runner.train/" + arch);
   nn::train(*net, *train_set(task), train_config(arch, rep, extra_augment));
   cache_.put_state(key, net->state());
   return net;
@@ -218,6 +242,7 @@ std::vector<Checkpoint> Runner::sweep(const std::string& arch, const nn::TaskSpe
   if (all_cached) return family;
   family.clear();
 
+  const obs::Span span("runner.sweep/" + arch + "/" + core::to_string(method));
   auto net = trained(arch, task, rep, extra_augment, tag);
   core::PruneRetrainConfig cfg;
   cfg.method = method;
@@ -262,6 +287,7 @@ double Runner::dense_error(const std::string& arch, const nn::TaskSpec& task, in
   const std::string key = task.name + "/" + arch + (tag.empty() ? "" : "/" + tag) + "/rep" +
                           std::to_string(rep) + "/dense/eval/" + dataset_id(ds);
   if (auto v = cache_.get_values(key)) return (*v)[0];
+  const obs::Span span("runner.eval/" + arch);
   auto net = trained(arch, task, rep, extra_augment, tag);
   const double err = nn::evaluate(*net, ds).error();
   cache_.put_values(key, {err});
@@ -293,6 +319,7 @@ std::vector<core::CurvePoint> Runner::curve_cached(const std::string& arch,
   if (all_cached) return points;
   points.clear();
 
+  const obs::Span span("runner.eval/" + arch + "/" + core::to_string(method));
   const auto family = sweep(arch, task, method, rep, extra_augment, tag);
   for (size_t i = 0; i < family.size(); ++i) {
     const std::string key =

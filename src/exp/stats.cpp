@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "tensor/parallel.hpp"
 #include "tensor/rng.hpp"
 
@@ -44,6 +45,7 @@ Interval bootstrap_slope_ci(std::span<const double> x, std::span<const double> y
   if (confidence <= 0.0 || confidence >= 1.0) {
     throw std::invalid_argument("bootstrap_slope_ci: confidence must be in (0, 1)");
   }
+  const obs::Span span("stats.bootstrap");
   // Every resample draws from a stream forked off the root seed by its
   // iteration index, and slopes[] is indexed by iteration, so the interval
   // is bit-identical for any RP_THREADS value.
@@ -64,8 +66,15 @@ Interval bootstrap_slope_ci(std::span<const double> x, std::span<const double> y
   });
   std::sort(slopes.begin(), slopes.end());
   const double alpha = (1.0 - confidence) / 2.0;
-  const auto lo_idx = static_cast<size_t>(alpha * (iters - 1));
-  const auto hi_idx = static_cast<size_t>((1.0 - alpha) * (iters - 1));
+  // Symmetric nearest-rank quantiles. Truncating both products biased both
+  // ranks low: the lower rank was too small (interval too wide below) and
+  // the upper rank missed its nearest order statistic (interval too narrow
+  // above). Rounding treats the two tails identically.
+  const auto lo_idx = static_cast<size_t>(std::llround(alpha * (iters - 1)));
+  const auto hi_idx = static_cast<size_t>(std::llround((1.0 - alpha) * (iters - 1)));
+  if (lo_idx > hi_idx || hi_idx >= slopes.size()) {
+    throw std::logic_error("bootstrap_slope_ci: quantile ranks out of order");
+  }
   return {slopes[lo_idx], slopes[hi_idx]};
 }
 

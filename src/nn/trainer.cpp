@@ -6,6 +6,7 @@
 
 #include "nn/loss.hpp"
 #include "nn/metrics.hpp"
+#include "obs/obs.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/parallel.hpp"
 
@@ -34,10 +35,12 @@ class ShardNets {
 }  // namespace
 
 void train(Network& net, const data::Dataset& ds, const TrainConfig& cfg) {
+  const obs::Span span("nn.train");
   Rng rng(cfg.seed);
   Sgd opt(net.params(), cfg.sgd);
   const int64_t n = ds.size();
   const bool seg = ds.segmentation();
+  obs::count(obs::Counter::kTrainSamples, n * cfg.epochs);
 
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
     const float lr = cfg.schedule.lr_at(epoch);
@@ -69,7 +72,9 @@ void train(Network& net, const data::Dataset& ds, const TrainConfig& cfg) {
 }
 
 EvalResult evaluate(Network& net, const data::Dataset& ds, int batch_size) {
+  const obs::Span span("nn.evaluate");
   const int64_t n = ds.size();
+  obs::count(obs::Counter::kEvalSamples, n);
   const bool seg = ds.segmentation();
   const int64_t nbatches = (n + batch_size - 1) / batch_size;
 
@@ -136,7 +141,9 @@ EvalResult evaluate(Network& net, const data::Dataset& ds, int batch_size) {
 }
 
 Tensor predict(Network& net, const Tensor& images, int batch_size) {
+  const obs::Span span("nn.predict");
   const int64_t n = images.size(0);
+  obs::count(obs::Counter::kEvalSamples, n);
   const int64_t nbatches = (n + batch_size - 1) / batch_size;
   if (nbatches == 0) return Tensor();
 
@@ -170,6 +177,7 @@ Tensor predict(Network& net, const Tensor& images, int batch_size) {
 }
 
 void profile_activations(Network& net, const data::Dataset& ds, int64_t max_samples) {
+  const obs::Span span("nn.profile_activations");
   const int64_t n = std::min<int64_t>(ds.size(), max_samples);
   constexpr int64_t kChunk = 64;
   const int64_t nchunks = (n + kChunk - 1) / kChunk;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "tensor/parallel.hpp"
 #include "tensor/simd.hpp"
 
@@ -77,6 +78,7 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool trans_a, bool trans_
   if (a.ndim() != 2 || b.ndim() != 2 || c.ndim() != 2) {
     throw std::invalid_argument("gemm expects 2-D tensors");
   }
+  obs::count(obs::Counter::kGemmCalls);
   const int64_t m = trans_a ? a.size(1) : a.size(0);
   const int64_t k = trans_a ? a.size(0) : a.size(1);
   const int64_t kb = trans_b ? b.size(1) : b.size(0);

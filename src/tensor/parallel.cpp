@@ -1,6 +1,8 @@
 #include "tensor/parallel.hpp"
 
 #include <algorithm>
+
+#include "obs/obs.hpp"
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
@@ -70,7 +72,13 @@ class Pool {
 
   void ensure_workers_locked(int want) {
     while (static_cast<int>(workers_.size()) < want) {
-      workers_.emplace_back([this] { worker_loop(); });
+      // Lane ids double as trace thread ids (caller = 0, workers = 1..N), so
+      // chrome://tracing rows line up with the pool's lane numbering.
+      const int lane = static_cast<int>(workers_.size()) + 1;
+      workers_.emplace_back([this, lane] {
+        obs::set_thread_id(lane);
+        worker_loop();
+      });
     }
   }
 
@@ -117,6 +125,7 @@ struct ForJob {
     for (;;) {
       const int64_t c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= nchunks) break;
+      obs::count(obs::Counter::kPoolChunks);
       const int64_t lo = begin + c * grain;
       const int64_t hi = std::min(end, lo + grain);
       try {
@@ -166,6 +175,7 @@ void parallel_for(int64_t begin, int64_t end, int64_t grain,
   job->grain = grain;
   job->nchunks = nchunks;
   job->fn = &fn;
+  obs::count(obs::Counter::kPoolTasks, lanes - 1);
   for (int h = 0; h < lanes - 1; ++h) {
     Pool::instance().submit([job] { job->run_chunks(); });
   }

@@ -10,6 +10,7 @@ namespace {
 
 constexpr uint32_t kTensorMagic = 0x52505431;  // "RPT1"
 constexpr uint32_t kBundleMagic = 0x52504231;  // "RPB1"
+constexpr uint32_t kValuesMagic = 0x52505631;  // "RPV1" — float64 value vector
 
 // Bounds on what a well-formed artifact can contain. A corrupted or
 // truncated cache file must fail loudly here, before any allocation is
@@ -118,6 +119,66 @@ std::vector<std::pair<std::string, Tensor>> load_tensors(std::istream& is) {
     items.emplace_back(std::move(name), load_tensor(is));
   }
   return items;
+}
+
+void save_values(std::ostream& os, const std::vector<double>& values) {
+  write_pod(os, kValuesMagic);
+  write_pod<int64_t>(os, static_cast<int64_t>(values.size()));
+  if (!values.empty()) {
+    os.write(reinterpret_cast<const char*>(values.data()),
+             static_cast<std::streamsize>(values.size() * sizeof(double)));
+  }
+  if (!os) throw std::runtime_error("serialize: write failed");
+}
+
+std::vector<double> load_values(std::istream& is) {
+  if (read_pod<uint32_t>(is) != kValuesMagic) {
+    throw std::runtime_error("serialize: bad values magic");
+  }
+  const auto n = read_pod<int64_t>(is);
+  if (n < 0 || n > kMaxElements) {
+    throw std::runtime_error("serialize: implausible value count " + std::to_string(n));
+  }
+  std::vector<double> values(static_cast<size_t>(n));
+  if (n > 0) {
+    is.read(reinterpret_cast<char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(double)));
+    if (!is) throw std::runtime_error("serialize: truncated values payload");
+  }
+  return values;
+}
+
+void save_values_file(const std::string& path, const std::vector<double>& values) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("serialize: cannot open " + path + " for writing");
+  try {
+    save_values(os, values);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(std::string(e.what()) + " [" + path + "]");
+  }
+  os.flush();
+  if (!os) throw std::runtime_error("serialize: write failed for " + path);
+}
+
+std::optional<std::vector<double>> load_values_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("serialize: cannot open " + path);
+  try {
+    // Sniff the magic: native float64 vector, or a legacy float32 bundle
+    // holding a single "values" tensor (caches written before RPV1).
+    const auto magic = read_pod<uint32_t>(is);
+    is.seekg(0);
+    if (magic == kValuesMagic) return load_values(is);
+    if (magic != kBundleMagic) throw std::runtime_error("serialize: bad values magic");
+    const auto items = load_tensors(is);
+    if (items.size() != 1 || items[0].first != "values") return std::nullopt;
+    const Tensor& t = items[0].second;
+    std::vector<double> values(static_cast<size_t>(t.numel()));
+    for (int64_t i = 0; i < t.numel(); ++i) values[static_cast<size_t>(i)] = t[i];
+    return values;
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(std::string(e.what()) + " [" + path + "]");
+  }
 }
 
 void save_tensors_file(const std::string& path,

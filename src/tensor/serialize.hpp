@@ -1,6 +1,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,5 +25,20 @@ std::vector<std::pair<std::string, Tensor>> load_tensors(std::istream& is);
 void save_tensors_file(const std::string& path,
                        const std::vector<std::pair<std::string, Tensor>>& items);
 std::vector<std::pair<std::string, Tensor>> load_tensors_file(const std::string& path);
+
+/// Scalar-vector artifacts (errors, ratios, fingerprints) stored at full
+/// float64 precision: magic, count, raw doubles. The float32 tensor bundle
+/// format narrows these values, which corrupts fingerprint equality checks
+/// and loses precision in cached statistics.
+void save_values(std::ostream& os, const std::vector<double>& values);
+std::vector<double> load_values(std::istream& is);
+void save_values_file(const std::string& path, const std::vector<double>& values);
+
+/// Loads a value vector: the native float64 format, or — for caches written
+/// before the format existed — a legacy float32 bundle holding one tensor
+/// named "values" (widened to double). Returns nullopt if the file is a
+/// well-formed bundle that is not a values artifact (e.g. a model state);
+/// throws on I/O errors and corruption.
+std::optional<std::vector<double>> load_values_file(const std::string& path);
 
 }  // namespace rp

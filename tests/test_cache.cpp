@@ -65,13 +65,31 @@ TEST_F(CacheTest, KeysWithSlashesAndSpacesAreSanitized) {
 
 TEST_F(CacheTest, ValuesRoundTripPreservesOrder) {
   ArtifactCache cache(dir_);
+  // Values stored natively as float64: the round-trip is exact, including
+  // decimals (0.45, 0.83) that a float32 funnel would perturb.
   const std::vector<double> vals{0.45, 0.7, 0.83};
   cache.put_values("ratios", vals);
   const auto v = cache.get_values("ratios");
   ASSERT_TRUE(v.has_value());
   ASSERT_EQ(v->size(), 3u);
-  for (size_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(static_cast<float>((*v)[i]),
-                                                 static_cast<float>(vals[i]));
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ((*v)[i], vals[i]);
+}
+
+TEST_F(CacheTest, LegacyFloat32ValuesArtifactStillReadable) {
+  ArtifactCache cache(dir_);
+  // Pre-RPV1 caches stored values as a single-tensor float32 bundle named
+  // "values". Forge one through put_state and read it back as values.
+  Tensor t(Shape{2});
+  t[0] = 0.5f;
+  t[1] = 0.75f;
+  std::vector<std::pair<std::string, Tensor>> legacy;
+  legacy.emplace_back("values", t);
+  cache.put_state("old-curve", legacy);
+  const auto v = cache.get_values("old-curve");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_EQ(v->size(), 2u);
+  EXPECT_EQ((*v)[0], 0.5);
+  EXPECT_EQ((*v)[1], 0.75);
 }
 
 TEST_F(CacheTest, OverwriteReplacesValue) {
@@ -87,6 +105,37 @@ TEST_F(CacheTest, DistinctKeysDoNotCollide) {
   cache.put_values("a_b2", {2.0});
   EXPECT_EQ((*cache.get_values("a/b"))[0], 1.0);
   EXPECT_EQ((*cache.get_values("a_b2"))[0], 2.0);
+}
+
+TEST_F(CacheTest, FormerlyAliasingKeysNowMapToDistinctArtifacts) {
+  // Regression: the old sanitizer mapped '/', ' ', and ':' all to '_', so
+  // these four keys shared one file and silently overwrote each other.
+  ArtifactCache cache(dir_);
+  const std::vector<std::string> keys{"a/b", "a_b", "a b", "a:b"};
+  for (size_t i = 0; i < keys.size(); ++i) {
+    cache.put_values(keys[i], {static_cast<double>(i) + 1.0});
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const auto v = cache.get_values(keys[i]);
+    ASSERT_TRUE(v.has_value()) << keys[i];
+    EXPECT_EQ((*v)[0], static_cast<double>(i) + 1.0) << keys[i];
+  }
+  // One artifact per key on disk — nothing aliased.
+  size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    files += entry.is_regular_file() ? 1u : 0u;
+  }
+  EXPECT_EQ(files, keys.size());
+}
+
+TEST_F(CacheTest, EscapeCharacterItselfDoesNotAlias) {
+  // '%' is the escape introducer; a literal '%' in a key must be escaped
+  // too, or "a%2Fb" would alias "a/b".
+  ArtifactCache cache(dir_);
+  cache.put_values("a/b", {1.0});
+  cache.put_values("a%2Fb", {2.0});
+  EXPECT_EQ((*cache.get_values("a/b"))[0], 1.0);
+  EXPECT_EQ((*cache.get_values("a%2Fb"))[0], 2.0);
 }
 
 }  // namespace

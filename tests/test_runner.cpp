@@ -100,12 +100,12 @@ TEST_F(RunnerTest, SweepProducesMonotoneCheckpoints) {
   ASSERT_EQ(family.size(), 2u);
   EXPECT_GT(family[0].ratio, 0.3);
   EXPECT_GT(family[1].ratio, family[0].ratio);
-  // Cached: a second call reproduces the same ratios.
+  // Cached: a second call reproduces the same ratios, exactly — values are
+  // stored as float64, no narrowing round-trip.
   const auto again = runner_.sweep("resnet8", task, core::PruneMethod::WT, 0);
   ASSERT_EQ(again.size(), 2u);
-  // Cached ratios round-trip through float32 storage.
-  EXPECT_NEAR(again[0].ratio, family[0].ratio, 1e-6);
-  EXPECT_NEAR(again[1].ratio, family[1].ratio, 1e-6);
+  EXPECT_EQ(again[0].ratio, family[0].ratio);
+  EXPECT_EQ(again[1].ratio, family[1].ratio);
 }
 
 TEST_F(RunnerTest, InstantiateRestoresPruneRatio) {
@@ -144,6 +144,20 @@ TEST(ScaleFromArgs, ParsesFlags) {
   EXPECT_EQ(scale_from_args(3, const_cast<char**>(argv_reps)).reps, 5);
   const char* argv_bad[] = {"bench", "--frobnicate"};
   EXPECT_THROW(scale_from_args(2, const_cast<char**>(argv_bad)), std::invalid_argument);
+}
+
+TEST(ScaleFromArgs, RejectsInvalidReps) {
+  // Zero and negative rep counts produced empty or nonsensical sweeps; any
+  // non-numeric value either crashed (uncaught std::stoi) or was silently
+  // prefix-parsed. All must now raise a clear usage error.
+  for (const char* bad : {"0", "-1", "abc", "3x", "", " 5", "2.5"}) {
+    const char* argv_reps[] = {"bench", "--reps", bad};
+    EXPECT_THROW(scale_from_args(3, const_cast<char**>(argv_reps)), std::invalid_argument)
+        << "--reps " << bad;
+  }
+  // A trailing --reps with no value is a usage error, not a crash.
+  const char* argv_missing[] = {"bench", "--reps"};
+  EXPECT_THROW(scale_from_args(2, const_cast<char**>(argv_missing)), std::invalid_argument);
 }
 
 TEST(Scales, PaperScaleIsLarger) {

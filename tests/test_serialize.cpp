@@ -98,6 +98,76 @@ TEST(Serialize, ZeroElementBundleRoundTrip) {
   EXPECT_EQ(loaded[2].second[0], 1.0f);
 }
 
+TEST(Serialize, ValuesRoundTripIsBitExactFloat64) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rp_serialize_values.bin").string();
+  // Values chosen to NOT survive a float32 round-trip: 0.62 (the paper
+  // profile's keep_per_cycle), a long decimal, and a tiny offset.
+  const std::vector<double> vals{0.62, 0.123456789012345678, 1.0 + 1e-12, -3.5, 0.0};
+  save_values_file(path, vals);
+  const auto loaded = load_values_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), vals.size());
+  for (size_t i = 0; i < vals.size(); ++i) EXPECT_EQ((*loaded)[i], vals[i]);
+  // The float32 funnel really would have lost these:
+  EXPECT_NE(static_cast<double>(static_cast<float>(vals[0])), vals[0]);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, ValuesEmptyRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rp_serialize_values_empty.bin").string();
+  save_values_file(path, {});
+  const auto loaded = load_values_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->empty());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, LegacyFloat32ValuesBundleStillLoads) {
+  // Caches written before the RPV1 format stored values as a single-tensor
+  // float32 bundle named "values"; those artifacts must keep loading.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rp_serialize_values_legacy.bin").string();
+  Tensor t(Shape{3});
+  t[0] = 0.25f;
+  t[1] = 0.5f;
+  t[2] = 0.75f;
+  save_tensors_file(path, {{"values", t}});
+  const auto loaded = load_values_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_EQ((*loaded)[0], 0.25);
+  EXPECT_EQ((*loaded)[2], 0.75);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, NonValuesBundleIsNulloptNotError) {
+  // A model-state bundle is a well-formed file that simply isn't a values
+  // artifact; loading it as values reports "not values", not corruption.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rp_serialize_values_state.bin").string();
+  Rng rng(6);
+  save_tensors_file(path, {{"conv.weight", Tensor::randn(Shape{2, 2}, rng)}});
+  EXPECT_FALSE(load_values_file(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, TruncatedValuesFileThrows) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rp_serialize_values_trunc.bin").string();
+  save_values_file(path, {1.0, 2.0, 3.0});
+  std::ifstream is(path, std::ios::binary);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  const std::string bytes = ss.str();
+  for (size_t cut = 0; cut + 1 < bytes.size(); ++cut) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    EXPECT_THROW(load_values(truncated), std::runtime_error) << "cut at " << cut;
+  }
+  std::remove(path.c_str());
+}
+
 TEST(Serialize, TruncationAtEveryByteThrowsNeverCrashes) {
   // A cache file cut anywhere must throw, never deserialize into garbage.
   Rng rng(5);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -111,6 +112,43 @@ TEST(BootstrapSlopeCi, ParallelMatchesSerialBitExact) {
   parallel::set_num_threads(0);
   EXPECT_EQ(serial.lo, threaded.lo);
   EXPECT_EQ(serial.hi, threaded.hi);
+}
+
+/// Pins the percentile ranks on a small-iters case. With iters = 20 and 90%
+/// confidence, alpha = 0.05, so the symmetric nearest-rank indices are
+/// round(0.05 * 19) = 1 and round(0.95 * 19) = 18. The old truncating
+/// arithmetic gave lo rank 0 — the sample minimum — for every iters < 40.
+TEST(BootstrapSlopeCi, SmallItersUsesSymmetricNearestRanks) {
+  std::vector<double> x, y;
+  Rng data_rng(9);
+  for (int i = 0; i < 25; ++i) {
+    const double xv = data_rng.uniform(0.1f, 1.0f);
+    x.push_back(xv);
+    y.push_back(2.0 * xv + 0.2 * data_rng.normal());
+  }
+  constexpr int kIters = 20;
+  constexpr uint64_t kSeed = 13;
+  const Interval ci = bootstrap_slope_ci(x, y, kIters, 0.9, kSeed);
+
+  // Replicate the resampling through the same public Rng API and take the
+  // order statistics directly.
+  const Rng root(kSeed);
+  const auto n = static_cast<int64_t>(x.size());
+  std::vector<double> slopes;
+  for (int it = 0; it < kIters; ++it) {
+    Rng rng = root.fork(static_cast<uint64_t>(it));
+    std::vector<double> bx, by;
+    for (int64_t i = 0; i < n; ++i) {
+      const auto j = static_cast<size_t>(rng.randint(n));
+      bx.push_back(x[j]);
+      by.push_back(y[j]);
+    }
+    slopes.push_back(ols_slope_origin(bx, by));
+  }
+  std::sort(slopes.begin(), slopes.end());
+  EXPECT_EQ(ci.lo, slopes[1]);   // not slopes[0], the truncation bug
+  EXPECT_EQ(ci.hi, slopes[18]);
+  EXPECT_LE(ci.lo, ci.hi);
 }
 
 TEST(BootstrapSlopeCi, RejectsBadInput) {
