@@ -3,8 +3,10 @@
 # the rp-lint tree scan and its fixture self-test) run twice — once with the
 # dispatched SIMD kernels and once with RP_SIMD=off forcing the scalar
 # fallback — then a fast smoke pass with RP_TRACE active (the trace file must
-# come out as valid JSON), then the ASan+UBSan build and the same suite under
-# it (also with SIMD dispatched, so the sanitizers cover the intrinsic
+# come out as valid JSON), then a fault-injection pass (RP_FAULTS periodic
+# transient write/read faults over the storage-heavy suite slice, plus the
+# SIGKILL crash-matrix tests), then the ASan+UBSan build and the same suite
+# under it (also with SIMD dispatched, so the sanitizers cover the intrinsic
 # kernels). Exits non-zero on the first failure.
 #
 #   scripts/check.sh             # everything
@@ -18,15 +20,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
-echo "== [1/4] Release build + tests (warnings are errors, SIMD dispatched) =="
+echo "== [1/5] Release build + tests (warnings are errors, SIMD dispatched) =="
 cmake -B build -S . -DRP_WERROR=ON
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [2/4] Same suite with RP_SIMD=off (scalar kernel fallback) =="
+echo "== [2/5] Same suite with RP_SIMD=off (scalar kernel fallback) =="
 RP_SIMD=off ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [3/4] Observability smoke: tracing on, results unchanged, trace is JSON =="
+echo "== [3/5] Observability smoke: tracing on, results unchanged, trace is JSON =="
 # One serial pass over a results-bearing slice of the suite with RP_TRACE
 # set. Each test process rewrites the shared path tmp-then-rename, so the
 # final file is a whole trace from the last process — check it parses.
@@ -37,8 +39,19 @@ python3 -c "import json,sys; json.load(open(sys.argv[1])); print('trace OK:', sy
   "$RP_TRACE_FILE"
 rm -f "$RP_TRACE_FILE"
 
+echo "== [4/5] Fault injection: transient faults absorbed, crashes recovered =="
+# Storage-heavy slice under a periodic transient-fault schedule: every third
+# write and every fifth read raises an injected fault that durable_write /
+# read_file must absorb by retrying. Serial, so the counter-indexed schedule
+# stays deterministic per process.
+RP_FAULTS='write:every=3,read:every=5' ctest --test-dir build --output-on-failure \
+  -R 'FaultTest|CacheTest|Serialize|RunnerTest' -j 1
+# Crash matrix runs without an ambient schedule: it arms RP_FAULTS itself in
+# the SIGKILLed child processes it spawns.
+ctest --test-dir build --output-on-failure -R 'FaultMatrix' -j 1
+
 if [[ "${RP_CHECK_SKIP_ASAN:-0}" != "1" ]]; then
-  echo "== [4/4] ASan+UBSan build + tests =="
+  echo "== [5/5] ASan+UBSan build + tests =="
   cmake -B build-asan -S . -DRP_SANITIZE=address,undefined -DRP_WERROR=ON
   cmake --build build-asan -j "$JOBS"
   ctest --test-dir build-asan --output-on-failure -j "$JOBS"

@@ -30,6 +30,11 @@ std::string to_string(RetrainMode m) {
 void prune_retrain(nn::Network& net, const data::Dataset& train_ds,
                    const PruneRetrainConfig& cfg, const CycleObserver& on_cycle) {
   if (cfg.cycles < 1) throw std::invalid_argument("prune_retrain: need at least one cycle");
+  if (cfg.start_cycle < 1) {
+    throw std::invalid_argument("prune_retrain: start_cycle must be >= 1, got " +
+                                std::to_string(cfg.start_cycle));
+  }
+  if (cfg.start_cycle > cfg.cycles) return;  // nothing left to do — a full resume
 
   nn::TrainConfig retrain = cfg.retrain;
   if (cfg.mode == RetrainMode::FineTune) {
@@ -44,11 +49,21 @@ void prune_retrain(nn::Network& net, const data::Dataset& train_ds,
   }
 
   // Weight-rewind target: the state right after initial training (before
-  // any pruning). Masks are re-applied after restoring.
-  std::vector<std::pair<std::string, Tensor>> rewind_state;
-  if (cfg.mode == RetrainMode::WeightRewind) rewind_state = net.state();
+  // any pruning). Masks are re-applied after restoring. A resumed run
+  // (start_cycle > 1) enters with an already-pruned network, so the caller
+  // must supply the dense target via cfg.rewind_state.
+  std::vector<std::pair<std::string, Tensor>> rewind_state = cfg.rewind_state;
+  if (cfg.mode == RetrainMode::WeightRewind && rewind_state.empty()) {
+    if (cfg.start_cycle > 1) {
+      throw std::invalid_argument(
+          "prune_retrain: resuming a WeightRewind run (start_cycle > 1) requires "
+          "cfg.rewind_state — the entry network is already pruned and cannot serve as "
+          "the rewind target");
+    }
+    rewind_state = net.state();
+  }
 
-  for (int cycle = 1; cycle <= cfg.cycles; ++cycle) {
+  for (int cycle = cfg.start_cycle; cycle <= cfg.cycles; ++cycle) {
     const obs::Span cycle_span("prune_retrain.cycle" + std::to_string(cycle));
     if (is_data_informed(cfg.method)) {
       nn::profile_activations(net, train_ds, cfg.profile_samples);

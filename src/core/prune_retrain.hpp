@@ -35,6 +35,20 @@ struct PruneRetrainConfig {
   RetrainMode mode = RetrainMode::LrRewind;
   /// Samples used for the activation-profiling pass of SiPP/PFP.
   int64_t profile_samples = 128;
+  /// First cycle to execute (1-based). Raising it resumes an interrupted
+  /// run: pass a network restored to the end-of-cycle-(start_cycle-1)
+  /// checkpoint and the remaining cycles replay bit-identically to an
+  /// uninterrupted run. That invariant holds *by construction*: each cycle
+  /// retrains with a fresh Rng(cfg.retrain.seed) and a fresh SGD instance
+  /// (nn::train), the cycle's target ratio depends only on the cycle index,
+  /// and the data-informed profiling pass reads only the restored network
+  /// and dataset — so no RNG/optimizer state crosses cycle boundaries and
+  /// the checkpoint *is* the complete resume state.
+  int start_cycle = 1;
+  /// End-of-initial-training state for resuming a WeightRewind run — the
+  /// rewind target is captured before cycle 1, so a resume with
+  /// start_cycle > 1 must supply it explicitly (from the dense checkpoint).
+  std::vector<std::pair<std::string, Tensor>> rewind_state;
 };
 
 /// Observer invoked after each prune+retrain cycle with the 1-based cycle

@@ -12,6 +12,7 @@ void write_ppm(const std::string& path, const Tensor& image) {
     throw std::invalid_argument("write_ppm: expected [3, H, W], got " +
                                 image.shape().to_string());
   }
+  // rp-lint: allow(R8) PPM export is a human-facing dump, not a cache artifact
   std::ofstream os(path, std::ios::binary);
   if (!os) throw std::runtime_error("write_ppm: cannot open " + path);
   const int64_t h = image.size(1), w = image.size(2);

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "fault/durable.hpp"
 #include "obs/obs.hpp"
 #include "tensor/serialize.hpp"
 
@@ -21,10 +22,26 @@ int64_t file_bytes(const std::string& path) {
   return ec ? 0 : static_cast<int64_t>(sz);
 }
 
+/// Moves a damaged artifact out of the key space so the recompute can
+/// publish a fresh one; the `.corrupt` copy is kept for forensics. Falls
+/// back to deletion if the rename itself fails — a corrupt file must never
+/// stay load-able under its original name.
+void quarantine(const std::string& path) {
+  std::error_code ec;
+  // rp-lint: allow(R8) quarantine rename moves a *broken* file out of the way; durability is moot
+  fs::rename(path, path + ".corrupt", ec);
+  if (ec) fs::remove(path, ec);
+  obs::count(obs::Counter::kCacheCorrupt);
+}
+
 }  // namespace
 
 ArtifactCache::ArtifactCache(std::string dir) : dir_(std::move(dir)) {
   fs::create_directories(dir_);
+  // Crashed writers leave pid-marked tmp files behind; sweeping them here
+  // (only those whose owner is gone) keeps the directory bounded without
+  // racing live runners that share it.
+  fault::clean_stale_tmp(dir_);
 }
 
 ArtifactCache& ArtifactCache::global() {
@@ -63,12 +80,11 @@ bool ArtifactCache::has(const std::string& key) const { return fs::exists(path_f
 void ArtifactCache::put_state(const std::string& key,
                               const std::vector<std::pair<std::string, Tensor>>& state) const {
   const obs::Span span("cache.put_state");
-  // Write-then-rename so a crash mid-write never leaves a truncated artifact.
+  // save_tensors_file publishes via fault::durable_write: pid-unique tmp,
+  // fsync, atomic rename — crash-safe and safe under concurrent runners.
   const std::string path = path_for(key);
-  const std::string tmp = path + ".tmp";
-  save_tensors_file(tmp, state);
-  obs::count(obs::Counter::kCacheBytesWritten, file_bytes(tmp));
-  fs::rename(tmp, path);
+  save_tensors_file(path, state);
+  obs::count(obs::Counter::kCacheBytesWritten, file_bytes(path));
 }
 
 std::optional<std::vector<std::pair<std::string, Tensor>>> ArtifactCache::get_state(
@@ -79,19 +95,28 @@ std::optional<std::vector<std::pair<std::string, Tensor>>> ArtifactCache::get_st
     return std::nullopt;
   }
   const obs::Span span("cache.get_state");
-  obs::count(obs::Counter::kCacheHits);
-  obs::count(obs::Counter::kCacheBytesRead, file_bytes(path));
-  return load_tensors_file(path);
+  // Hit/miss is decided by the load *outcome*, not the exists() probe — the
+  // file can be damaged, or vanish between the check and the read.
+  try {
+    auto state = load_tensors_file(path);
+    obs::count(obs::Counter::kCacheHits);
+    obs::count(obs::Counter::kCacheBytesRead, file_bytes(path));
+    return state;
+  } catch (const CorruptArtifact&) {
+    quarantine(path);
+  } catch (const std::runtime_error&) {
+    obs::count(obs::Counter::kCacheReadErrors);
+  }
+  obs::count(obs::Counter::kCacheMisses);
+  return std::nullopt;
 }
 
 void ArtifactCache::put_values(const std::string& key, const std::vector<double>& values) const {
   // Full float64 round-trip (serialize.hpp): errors, ratios, and scale
   // fingerprints must come back bit-exact, not through a float32 funnel.
   const std::string path = path_for(key);
-  const std::string tmp = path + ".tmp";
-  save_values_file(tmp, values);
-  obs::count(obs::Counter::kCacheBytesWritten, file_bytes(tmp));
-  fs::rename(tmp, path);
+  save_values_file(path, values);
+  obs::count(obs::Counter::kCacheBytesWritten, file_bytes(path));
 }
 
 std::optional<std::vector<double>> ArtifactCache::get_values(const std::string& key) const {
@@ -100,9 +125,22 @@ std::optional<std::vector<double>> ArtifactCache::get_values(const std::string& 
     obs::count(obs::Counter::kCacheMisses);
     return std::nullopt;
   }
-  obs::count(obs::Counter::kCacheHits);
-  obs::count(obs::Counter::kCacheBytesRead, file_bytes(path));
-  return load_values_file(path);
+  try {
+    auto values = load_values_file(path);
+    // nullopt here means a well-formed bundle that is not a values artifact
+    // (serialize.hpp) — a key-space mixup, reported as a miss, not a hit.
+    if (values) {
+      obs::count(obs::Counter::kCacheHits);
+      obs::count(obs::Counter::kCacheBytesRead, file_bytes(path));
+      return values;
+    }
+  } catch (const CorruptArtifact&) {
+    quarantine(path);
+  } catch (const std::runtime_error&) {
+    obs::count(obs::Counter::kCacheReadErrors);
+  }
+  obs::count(obs::Counter::kCacheMisses);
+  return std::nullopt;
 }
 
 }  // namespace rp::exp

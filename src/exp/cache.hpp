@@ -21,9 +21,18 @@ namespace rp::exp {
 /// named tensor bundles (tensor/serialize.hpp). The cache is purely an
 /// optimization — deleting the directory reproduces everything bit-for-bit
 /// because all training is deterministic.
+///
+/// Durability: writes publish through fault::durable_write (pid-unique tmp
+/// file, fsync, atomic rename), so concurrent runner processes may share a
+/// directory and a kill mid-write never leaves a partial artifact visible.
+/// Reads verify the checked-artifact footer; a damaged file is *quarantined*
+/// — renamed to `<name>.corrupt` (kept for forensics), counted under
+/// obs Counter::kCacheCorrupt — and reported as a miss, so the caller
+/// recomputes instead of crashing or consuming garbage.
 class ArtifactCache {
  public:
-  /// Creates `dir` if needed.
+  /// Creates `dir` if needed and sweeps out stale tmp files left by dead
+  /// writer processes (fault::clean_stale_tmp — live writers are kept).
   explicit ArtifactCache(std::string dir);
 
   /// Process-wide instance rooted at $RP_CACHE_DIR (default "rp_cache").

@@ -227,27 +227,31 @@ std::vector<Checkpoint> Runner::sweep(const std::string& arch, const nn::TaskSpe
   std::vector<Checkpoint> family;
   family.reserve(static_cast<size_t>(scale_.cycles));
 
-  // Fast path: all cycles already cached.
-  bool all_cached = true;
+  // Longest-prefix resume: collect complete cached cycles until the first
+  // gap. Cycles 1..k fully determine the cycle-k network (weights + masks +
+  // BN statistics), and prune_retrain's per-cycle state is exactly that
+  // checkpoint (PruneRetrainConfig::start_cycle), so a sweep interrupted at
+  // cycle k+1 restarts there and reproduces the uninterrupted run
+  // bit-for-bit instead of discarding k cycles of work. A cached-but-empty
+  // ratio artifact counts as the gap, not as cycle data.
   for (int c = 1; c <= scale_.cycles; ++c) {
     const std::string key = base + "/cycle" + std::to_string(c);
     auto state = cache_.get_state(key);
     auto ratio = cache_.get_values(key + "/ratio");
-    if (!state || !ratio) {
-      all_cached = false;
-      break;
-    }
+    if (!state || state->empty() || !ratio || ratio->empty()) break;
     family.push_back({(*ratio)[0], std::move(*state)});
   }
-  if (all_cached) return family;
-  family.clear();
+  const int cached_prefix = static_cast<int>(family.size());
+  if (cached_prefix == scale_.cycles) return family;
 
   const obs::Span span("runner.sweep/" + arch + "/" + core::to_string(method));
   auto net = trained(arch, task, rep, extra_augment, tag);
+  if (cached_prefix > 0) net->load_state(family.back().state);
   core::PruneRetrainConfig cfg;
   cfg.method = method;
   cfg.keep_per_cycle = scale_.keep_per_cycle;
   cfg.cycles = scale_.cycles;
+  cfg.start_cycle = cached_prefix + 1;
   cfg.retrain = train_config(arch, rep, extra_augment);
   cfg.retrain.epochs = scale_.retrain_epochs;
   // Retraining re-uses the schedule *shape* compressed to the retrain
@@ -286,7 +290,9 @@ double Runner::dense_error(const std::string& arch, const nn::TaskSpec& task, in
                            const data::ImageTransform& extra_augment) {
   const std::string key = task.name + "/" + arch + (tag.empty() ? "" : "/" + tag) + "/rep" +
                           std::to_string(rep) + "/dense/eval/" + dataset_id(ds);
-  if (auto v = cache_.get_values(key)) return (*v)[0];
+  // An empty cached vector (e.g. a forged or half-migrated artifact) must
+  // be a miss, not an out-of-bounds read.
+  if (auto v = cache_.get_values(key); v && !v->empty()) return (*v)[0];
   const obs::Span span("runner.eval/" + arch);
   auto net = trained(arch, task, rep, extra_augment, tag);
   const double err = nn::evaluate(*net, ds).error();
@@ -310,7 +316,8 @@ std::vector<core::CurvePoint> Runner::curve_cached(const std::string& arch,
         base + "/cycle" + std::to_string(c) + "/eval/" + dataset_id(ds);
     auto err = cache_.get_values(key);
     auto ratio = cache_.get_values(base + "/cycle" + std::to_string(c) + "/ratio");
-    if (!err || !ratio) {
+    // Empty cached vectors are treated as misses — never indexed.
+    if (!err || err->empty() || !ratio || ratio->empty()) {
       all_cached = false;
       break;
     }
@@ -325,7 +332,7 @@ std::vector<core::CurvePoint> Runner::curve_cached(const std::string& arch,
     const std::string key =
         base + "/cycle" + std::to_string(i + 1) + "/eval/" + dataset_id(ds);
     double err;
-    if (auto v = cache_.get_values(key)) {
+    if (auto v = cache_.get_values(key); v && !v->empty()) {
       err = (*v)[0];
     } else {
       auto net = instantiate(arch, task, family[i]);

@@ -83,7 +83,10 @@ class Runner {
                           const std::string& tag = "");
 
   /// Full PRUNERETRAIN sweep from the trained dense model: one checkpoint
-  /// per cycle, each individually cached.
+  /// per cycle, each individually cached. An interrupted sweep resumes from
+  /// the longest complete cached cycle prefix and replays the remaining
+  /// cycles bit-identically to an uninterrupted run (each cycle's retrain
+  /// state resets from the seed, so the checkpoint is the whole state).
   std::vector<Checkpoint> sweep(const std::string& arch, const nn::TaskSpec& task,
                                 core::PruneMethod method, int rep,
                                 const data::ImageTransform& extra_augment = {},

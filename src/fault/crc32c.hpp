@@ -1,0 +1,17 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rp::fault {
+
+/// CRC32C (Castagnoli, reflected polynomial 0x82F63B78) — the checksum of
+/// the checked-artifact footer (tensor/serialize.cpp). Table-driven software
+/// implementation; artifact files are small relative to the train/eval work
+/// they cache, so portability beats the hardware instruction here.
+///
+/// `crc` chains partial computations: crc32c(b, n2, crc32c(a, n1)) equals
+/// crc32c over a‖b. Pass 0 (the default) to start a fresh checksum.
+uint32_t crc32c(const char* data, size_t n, uint32_t crc = 0);
+
+}  // namespace rp::fault

@@ -1,0 +1,211 @@
+#include "fault/durable.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "fault/fault.hpp"
+#include "obs/obs.hpp"
+
+namespace rp::fault {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Retry budget for transient faults: first try + 3 retries.
+constexpr int kMaxAttempts = 4;
+
+/// Exponential backoff between retries: 1ms, 4ms, 16ms. ::nanosleep keeps
+/// the threading layer (rp-lint R2) out of this low-level library.
+void backoff_sleep(int attempt) {
+  const long us = 1000L << (2 * attempt);
+  ::timespec ts{us / 1000000, (us % 1000000) * 1000};
+  ::nanosleep(&ts, nullptr);
+}
+
+/// The crash injection points model a power cut / OOM kill: no stack
+/// unwinding, no atexit — the process is simply gone.
+[[noreturn]] void crash_now() {
+  ::raise(SIGKILL);
+  ::_exit(128 + SIGKILL);  // unreachable unless SIGKILL is somehow blocked
+}
+
+std::string errno_text() { return std::strerror(errno); }
+
+void write_all(int fd, const char* data, size_t n, const std::string& path) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("durable_write: write failed for " + path + ": " + errno_text());
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+}
+
+/// Best-effort fsync of the directory holding `path`, so the publish rename
+/// itself survives power loss. Some filesystems reject directory fsync;
+/// that downgrade is not an error the caller can act on.
+void sync_parent_dir(const std::string& path) {
+  const std::string dir = fs::path(path).parent_path().string();
+  const int fd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+/// One tmp-write-fsync-rename attempt. Throws InjectedFault on a firing
+/// transient injection point and std::runtime_error on real I/O failure;
+/// the caller owns cleanup of the tmp file.
+void attempt_publish(const std::string& tmp, const std::string& path, const std::string& bytes) {
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("durable_write: cannot open " + tmp + ": " + errno_text());
+  }
+
+  try {
+    if (should_fire(Point::kCrashWrite)) {
+      // The torn prefix a power cut would leave; only ever in the tmp file.
+      write_all(fd, bytes.data(), bytes.size() / 2, tmp);
+      crash_now();
+    }
+
+    // The silent-corruption points damage the payload but let the write
+    // "succeed" — the checked-artifact footer is what must catch them.
+    std::string damaged;
+    const std::string* payload = &bytes;
+    if (should_fire(Point::kTornWrite)) {
+      damaged = bytes.substr(0, bytes.size() / 2);
+      payload = &damaged;
+    }
+    if (should_fire(Point::kBitflip) && !payload->empty()) {
+      if (payload != &damaged) damaged = bytes;
+      const uint64_t bit =
+          mix64(static_cast<uint64_t>(arrival_count(Point::kBitflip))) % (damaged.size() * 8);
+      damaged[bit / 8] = static_cast<char>(
+          static_cast<unsigned char>(damaged[bit / 8]) ^ (1u << (bit % 8)));
+      payload = &damaged;
+    }
+
+    if (should_fire(Point::kWrite)) {
+      write_all(fd, payload->data(), payload->size() / 2, tmp);
+      throw InjectedFault("injected write fault [" + tmp + "]");
+    }
+    write_all(fd, payload->data(), payload->size(), tmp);
+
+    if (should_fire(Point::kFsync)) throw InjectedFault("injected fsync fault [" + tmp + "]");
+    if (::fsync(fd) != 0) {
+      throw std::runtime_error("durable_write: fsync failed for " + tmp + ": " + errno_text());
+    }
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  if (::close(fd) != 0) {
+    throw std::runtime_error("durable_write: close failed for " + tmp + ": " + errno_text());
+  }
+
+  if (should_fire(Point::kCrashRename)) crash_now();
+  if (should_fire(Point::kRename)) throw InjectedFault("injected rename fault [" + path + "]");
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("durable_write: rename to " + path + " failed: " + errno_text());
+  }
+  sync_parent_dir(path);
+}
+
+void remove_quiet(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+}
+
+}  // namespace
+
+void durable_write(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  for (int attempt = 0;; ++attempt) {
+    try {
+      attempt_publish(tmp, path, bytes);
+      return;
+    } catch (const InjectedFault& e) {
+      remove_quiet(tmp);
+      if (attempt + 1 >= kMaxAttempts) {
+        throw std::runtime_error("durable_write: retries exhausted for " + path + ": " +
+                                 e.what());
+      }
+      obs::count(obs::Counter::kIoRetries);
+      backoff_sleep(attempt);
+    } catch (const std::runtime_error&) {
+      remove_quiet(tmp);
+      throw;
+    }
+  }
+}
+
+std::string read_file(const std::string& path) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (should_fire(Point::kRead)) throw InjectedFault("injected read fault [" + path + "]");
+      std::ifstream is(path, std::ios::binary);
+      if (!is) throw std::runtime_error("serialize: cannot open " + path);
+      std::ostringstream buf;
+      buf << is.rdbuf();
+      // failbit alone just means zero bytes were inserted (an empty file —
+      // the loader's problem); badbit is a real read error.
+      if (is.bad() || buf.bad()) {
+        throw std::runtime_error("serialize: read failed for " + path);
+      }
+      return std::move(buf).str();
+    } catch (const InjectedFault& e) {
+      if (attempt + 1 >= kMaxAttempts) {
+        throw std::runtime_error(std::string("read_file: retries exhausted: ") + e.what());
+      }
+      obs::count(obs::Counter::kIoRetries);
+      backoff_sleep(attempt);
+    }
+  }
+}
+
+int clean_stale_tmp(const std::string& dir) {
+  int removed = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    std::error_code entry_ec;
+    if (!entry.is_regular_file(entry_ec)) continue;
+    const std::string name = entry.path().filename().string();
+    bool stale = false;
+    if (name.ends_with(".tmp")) {
+      // Legacy shared tmp suffix: no owner marker, so it can only be the
+      // leftover of a crashed pre-durable writer.
+      stale = true;
+    } else if (const auto marker = name.rfind(".tmp."); marker != std::string::npos) {
+      const std::string pid_text = name.substr(marker + 5);
+      int64_t pid = 0;
+      bool digits = !pid_text.empty();
+      for (const char c : pid_text) {
+        digits = digits && std::isdigit(static_cast<unsigned char>(c)) != 0;
+        if (digits) pid = pid * 10 + (c - '0');
+      }
+      // A malformed owner marker is stale by definition; a well-formed one
+      // is stale only once its process is gone (never EPERM-alive writers).
+      stale = !digits || (::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH);
+    }
+    if (stale) {
+      std::error_code rm_ec;
+      if (fs::remove(entry.path(), rm_ec)) ++removed;
+    }
+  }
+  return removed;
+}
+
+}  // namespace rp::fault

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+
+namespace rp::fault {
+
+/// Durable-storage primitives shared by every artifact write in the tree
+/// (rp-lint R8 flags raw ofstream / filesystem::rename artifact I/O in src/
+/// that bypasses them).
+
+/// Crash-safe, concurrency-safe whole-file publish:
+///
+///   1. write `bytes` to `path + ".tmp.<pid>"` — pid-unique, so concurrent
+///      runner processes sharing one cache directory never clobber each
+///      other's in-flight writes;
+///   2. fsync the tmp file (the payload is on disk before it is visible);
+///   3. atomically ::rename it to `path` (readers see the old file or the
+///      whole new one, never a prefix);
+///   4. fsync the parent directory (best-effort), so the rename itself
+///      survives power loss.
+///
+/// Transient failures (as modeled by the fault-injection points
+/// fault.hpp arms on steps 1-3) are retried with bounded exponential
+/// backoff, counting obs Counter::kIoRetries per retry; the tmp file is
+/// unlinked on every failure. Non-injected I/O errors (ENOSPC, EACCES, a
+/// missing parent directory) propagate immediately as std::runtime_error
+/// naming the path — retrying a full disk only delays the loud failure.
+void durable_write(const std::string& path, const std::string& bytes);
+
+/// Whole-file read with the matching `read` injection point: an injected
+/// transient read fault is retried like a transient write fault; real open
+/// or read errors throw std::runtime_error naming the path immediately.
+std::string read_file(const std::string& path);
+
+/// Removes stale in-flight tmp files from `dir` (non-recursive): any
+/// `*.tmp` (the legacy shared tmp suffix, which has no owner marker) and
+/// any `*.tmp.<pid>` whose owning process is gone (kill(pid, 0) == ESRCH).
+/// Live writers keep their files — safe to call while concurrent runners
+/// share the directory. Returns the number of files removed.
+int clean_stale_tmp(const std::string& dir);
+
+}  // namespace rp::fault

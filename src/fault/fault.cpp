@@ -1,0 +1,179 @@
+#include "fault/fault.hpp"
+
+#include <atomic>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/obs.hpp"
+
+namespace rp::fault {
+
+namespace {
+
+constexpr int kPointCount = static_cast<int>(Point::kCount);
+
+/// One armed clause. `every` distinguishes once=N (fire at arrival N only)
+/// from every=N (fire at arrivals N, 2N, 3N, ...); `always` is every=1.
+struct Clause {
+  bool armed = false;
+  bool every = false;
+  int64_t n = 1;
+};
+
+// The schedule is written only by configure() (tests / process start) and
+// read on the durable I/O paths; per-point arrival counters advance
+// atomically so concurrent writers see a total order of arrivals.
+// rp-lint: allow(R3) fault schedule; written only by configure(), read-only on I/O paths
+Clause g_clauses[kPointCount];
+// rp-lint: allow(R3) master switch; one relaxed load on the disarmed fast path
+std::atomic<bool> g_armed{false};
+// rp-lint: allow(R3) per-point arrival counters; deterministic schedule state, never a result
+std::atomic<int64_t> g_arrivals[kPointCount];
+// rp-lint: allow(R3) per-point fire counters; test observability only
+std::atomic<int64_t> g_fired[kPointCount];
+
+Point parse_point(const std::string& name, const std::string& spec) {
+  for (int p = 0; p < kPointCount; ++p) {
+    if (name == point_name(static_cast<Point>(p))) return static_cast<Point>(p);
+  }
+  throw std::invalid_argument("RP_FAULTS: unknown injection point '" + name + "' in '" + spec +
+                              "' (points: write, fsync, rename, read, torn-write, bitflip, "
+                              "crash-write, crash-rename)");
+}
+
+int64_t parse_count(const std::string& text, const std::string& spec) {
+  int64_t n = 0;
+  const char* first = text.data();
+  const char* last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, n);
+  if (ec != std::errc{} || ptr != last || n < 1) {
+    throw std::invalid_argument("RP_FAULTS: bad count '" + text + "' in '" + spec +
+                                "' (expected an integer >= 1)");
+  }
+  return n;
+}
+
+Clause parse_trigger(const std::string& trigger, const std::string& spec) {
+  Clause c;
+  c.armed = true;
+  if (trigger.empty()) return c;  // default once=1
+  if (trigger == "always") {
+    c.every = true;
+    c.n = 1;
+    return c;
+  }
+  const auto eq = trigger.find('=');
+  const std::string kind = trigger.substr(0, eq);
+  if (eq == std::string::npos || (kind != "once" && kind != "every")) {
+    throw std::invalid_argument("RP_FAULTS: bad trigger '" + trigger + "' in '" + spec +
+                                "' (expected once=N, every=N, or always)");
+  }
+  c.every = kind == "every";
+  c.n = parse_count(trigger.substr(eq + 1), spec);
+  return c;
+}
+
+}  // namespace
+
+const char* point_name(Point p) {
+  switch (p) {
+    case Point::kWrite: return "write";
+    case Point::kFsync: return "fsync";
+    case Point::kRename: return "rename";
+    case Point::kRead: return "read";
+    case Point::kTornWrite: return "torn-write";
+    case Point::kBitflip: return "bitflip";
+    case Point::kCrashWrite: return "crash-write";
+    case Point::kCrashRename: return "crash-rename";
+    case Point::kCount: break;
+  }
+  return "?";
+}
+
+bool armed() { return g_armed.load(std::memory_order_relaxed); }
+
+void configure(const std::string& spec) {
+  Clause parsed[kPointCount];
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    auto end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string clause = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (clause.empty()) {
+      throw std::invalid_argument("RP_FAULTS: empty clause in '" + spec + "'");
+    }
+    const auto colon = clause.find(':');
+    const Point p = parse_point(clause.substr(0, colon), spec);
+    if (parsed[static_cast<int>(p)].armed) {
+      throw std::invalid_argument("RP_FAULTS: duplicate point '" +
+                                  std::string(point_name(p)) + "' in '" + spec + "'");
+    }
+    parsed[static_cast<int>(p)] =
+        parse_trigger(colon == std::string::npos ? "" : clause.substr(colon + 1), spec);
+  }
+
+  bool any = false;
+  for (int p = 0; p < kPointCount; ++p) {
+    g_clauses[p] = parsed[p];
+    g_arrivals[p].store(0, std::memory_order_relaxed);
+    g_fired[p].store(0, std::memory_order_relaxed);
+    any = any || parsed[p].armed;
+  }
+  g_armed.store(any, std::memory_order_relaxed);
+}
+
+void init_from_env() {
+  const char* spec = std::getenv("RP_FAULTS");
+  if (spec == nullptr) return;
+  try {
+    configure(spec);
+  } catch (const std::invalid_argument& e) {
+    // A half-armed fault schedule must never run silently; this is a usage
+    // error on the level of a bad command line.
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(2);
+  }
+}
+
+bool should_fire(Point p) {
+  if (!armed()) return false;
+  const Clause& c = g_clauses[static_cast<int>(p)];
+  if (!c.armed) return false;
+  const int64_t arrival =
+      g_arrivals[static_cast<int>(p)].fetch_add(1, std::memory_order_relaxed) + 1;
+  const bool fire = c.every ? (arrival % c.n == 0) : (arrival == c.n);
+  if (fire) {
+    g_fired[static_cast<int>(p)].fetch_add(1, std::memory_order_relaxed);
+    obs::count(obs::Counter::kFaultsInjected);
+  }
+  return fire;
+}
+
+int64_t arrival_count(Point p) {
+  return g_arrivals[static_cast<int>(p)].load(std::memory_order_relaxed);
+}
+
+int64_t fired_count(Point p) {
+  return g_fired[static_cast<int>(p)].load(std::memory_order_relaxed);
+}
+
+uint64_t mix64(uint64_t x) {
+  // splitmix64 finalizer (Steele et al.) — full-avalanche, constant-time.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+namespace {
+// Arm the schedule before any artifact I/O can happen.
+// rp-lint: allow(R3) one-time environment hookup at load
+const bool g_env_init = [] {
+  init_from_env();
+  return true;
+}();
+}  // namespace
+
+}  // namespace rp::fault

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace rp::fault {
+
+/// rp::fault — deterministic fault injection for the durable-storage layer.
+///
+/// The experiment pipeline must survive kills, torn writes, disk errors, and
+/// concurrent runners; this header is how that claim is *proven* rather than
+/// assumed. Named injection points sit on every durable I/O edge
+/// (durable.hpp), and an `RP_FAULTS` spec arms them with a counter-indexed
+/// schedule, so each recovery path is exercisable from ctest the same way
+/// the determinism contract is exercised by bit-exactness tests.
+///
+/// Grammar (DESIGN.md "Fault tolerance & durability"):
+///
+///   RP_FAULTS = clause ("," clause)*
+///   clause    = point [":" trigger]
+///   point     = "write" | "fsync" | "rename" | "read"
+///             | "torn-write" | "bitflip" | "crash-write" | "crash-rename"
+///   trigger   = "once=N" | "every=N" | "always"      (default: once=1)
+///
+/// Triggers index the per-point *arrival counter*: `once=N` fires at the
+/// N-th arrival only, `every=N` at every N-th arrival, `always` at all of
+/// them. Arrivals are counted in program order on the durable I/O paths, so
+/// a given spec replays the exact same fault schedule on every run — the
+/// crash-matrix test depends on this to SIGKILL a sweep at a chosen write.
+enum class Point : int {
+  kWrite = 0,    ///< transient failure mid payload write (durable_write)
+  kFsync,        ///< transient fsync failure (durable_write)
+  kRename,       ///< transient failure of the publish rename (durable_write)
+  kRead,         ///< transient failure of fault::read_file
+  kTornWrite,    ///< silent: half the payload is written, call succeeds
+  kBitflip,      ///< silent: one payload bit flipped, call succeeds
+  kCrashWrite,   ///< SIGKILL mid payload write (tmp file left half-written)
+  kCrashRename,  ///< SIGKILL after fsync, before the publish rename
+  kCount
+};
+
+/// Spec-grammar name of a point ("write", "torn-write", ...).
+const char* point_name(Point p);
+
+/// Thrown by a firing *transient* injection point. The durable layer treats
+/// it exactly like a transient I/O error: bounded retry with backoff.
+struct InjectedFault : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// True when any injection clause is armed (one relaxed atomic load).
+bool armed();
+
+/// Parses and arms a spec; "" disarms everything. Always resets all arrival
+/// and fire counters. Throws std::invalid_argument on bad grammar.
+void configure(const std::string& spec);
+
+/// Reads RP_FAULTS into configure(). Runs at static initialization of the
+/// fault translation unit; a malformed value is a usage error that aborts
+/// the process (exit 2) — a half-armed schedule must never run silently.
+void init_from_env();
+
+/// Advances the arrival counter of `point` and reports whether the armed
+/// schedule fires at this arrival. Counts obs Counter::kFaultsInjected on
+/// fire. Always false while disarmed.
+bool should_fire(Point p);
+
+/// Arrivals at / fires of a point since the last configure() (tests).
+int64_t arrival_count(Point p);
+int64_t fired_count(Point p);
+
+/// Deterministic 64-bit mixer (splitmix64 finalizer). The fault layer's own
+/// schedule randomness (e.g. which bit a kBitflip flips at arrival k) goes
+/// through this instead of rp::Rng so rp_fault stays below rp_tensor in the
+/// dependency order.
+uint64_t mix64(uint64_t x);
+
+}  // namespace rp::fault

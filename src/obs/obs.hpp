@@ -32,6 +32,10 @@ enum class Counter : int {
   kCacheMisses,         ///< artifact-cache reads that missed
   kCacheBytesRead,      ///< bytes loaded from cache artifacts
   kCacheBytesWritten,   ///< bytes written to cache artifacts
+  kCacheCorrupt,        ///< corrupt artifacts quarantined (-> recompute)
+  kCacheReadErrors,     ///< artifact loads that failed on plain I/O errors
+  kIoRetries,           ///< durable-layer retries of transient I/O faults
+  kFaultsInjected,      ///< fault-injection points that fired (RP_FAULTS)
   kGemmCalls,           ///< tensor-layer GEMM invocations
   kPoolTasks,           ///< tasks submitted to the worker pool
   kPoolChunks,          ///< parallel_for chunks executed (all lanes)

@@ -1,8 +1,11 @@
 #include "tensor/serialize.hpp"
 
 #include <cstdint>
-#include <fstream>
+#include <sstream>
 #include <stdexcept>
+
+#include "fault/crc32c.hpp"
+#include "fault/durable.hpp"
 
 namespace rp {
 
@@ -11,6 +14,7 @@ namespace {
 constexpr uint32_t kTensorMagic = 0x52505431;  // "RPT1"
 constexpr uint32_t kBundleMagic = 0x52504231;  // "RPB1"
 constexpr uint32_t kValuesMagic = 0x52505631;  // "RPV1" — float64 value vector
+constexpr uint32_t kFooterMagic = 0x52504331;  // "RPC1" — checked-artifact footer
 
 // Bounds on what a well-formed artifact can contain. A corrupted or
 // truncated cache file must fail loudly here, before any allocation is
@@ -19,6 +23,72 @@ constexpr uint32_t kMaxRank = 8;
 constexpr int64_t kMaxElements = int64_t{1} << 31;  // 8 GiB of float32
 constexpr uint32_t kMaxNameLen = 1u << 16;
 constexpr uint32_t kMaxBundleEntries = 1u << 20;
+
+// ---------------------------------------------------------------------------
+// Checked-artifact footer. Appended by the file writers after the payload:
+//
+//   [magic u32][version u32][payload_size u64][crc32c(payload) u32]   20 bytes
+//
+// Fields are little-endian by construction (byte shifts, not memory
+// punning), independent of the native-endian payload: the footer must be
+// recognizable even on files we cannot otherwise parse. A file whose tail
+// is not a coherent footer (wrong magic, or payload_size that does not
+// match the file) is treated as legacy footer-less data — truncation chops
+// the footer off, so a truncated checked file lands in the legacy path and
+// fails payload parsing, which the loaders report as CorruptArtifact.
+
+constexpr size_t kFooterSize = 20;
+constexpr uint32_t kFooterVersion = 1;
+
+void append_u32(std::string* bytes, uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    bytes->push_back(static_cast<char>((v >> shift) & 0xFFu));
+  }
+}
+
+void append_u64(std::string* bytes, uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    bytes->push_back(static_cast<char>((v >> shift) & 0xFFu));
+  }
+}
+
+uint64_t parse_le(const char* p, int n_bytes) {
+  uint64_t v = 0;
+  for (int i = n_bytes - 1; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+void append_footer(std::string* bytes) {
+  const uint64_t payload = bytes->size();
+  const uint32_t crc = fault::crc32c(bytes->data(), bytes->size());
+  append_u32(bytes, kFooterMagic);
+  append_u32(bytes, kFooterVersion);
+  append_u64(bytes, payload);
+  append_u32(bytes, crc);
+}
+
+/// Verifies and strips the checked footer in place. Footer-less (legacy)
+/// bytes pass through untouched; a present footer with a failing checksum
+/// or an unknown version raises CorruptArtifact.
+void check_and_strip_footer(std::string* bytes, const std::string& path) {
+  if (bytes->size() < kFooterSize) return;
+  const char* f = bytes->data() + bytes->size() - kFooterSize;
+  const auto magic = static_cast<uint32_t>(parse_le(f, 4));
+  const auto version = static_cast<uint32_t>(parse_le(f + 4, 4));
+  const uint64_t payload = parse_le(f + 8, 8);
+  const auto crc = static_cast<uint32_t>(parse_le(f + 16, 4));
+  if (magic != kFooterMagic || payload != bytes->size() - kFooterSize) return;  // legacy
+  if (version != kFooterVersion) {
+    throw CorruptArtifact("serialize: unsupported artifact footer version " +
+                          std::to_string(version) + " [" + path + "]");
+  }
+  if (fault::crc32c(bytes->data(), static_cast<size_t>(payload)) != crc) {
+    throw CorruptArtifact("serialize: artifact checksum mismatch [" + path + "]");
+  }
+  bytes->resize(static_cast<size_t>(payload));
+}
 
 template <typename T>
 void write_pod(std::ostream& os, const T& v) {
@@ -149,20 +219,17 @@ std::vector<double> load_values(std::istream& is) {
 }
 
 void save_values_file(const std::string& path, const std::vector<double>& values) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("serialize: cannot open " + path + " for writing");
-  try {
-    save_values(os, values);
-  } catch (const std::runtime_error& e) {
-    throw std::runtime_error(std::string(e.what()) + " [" + path + "]");
-  }
-  os.flush();
-  if (!os) throw std::runtime_error("serialize: write failed for " + path);
+  std::ostringstream os(std::ios::binary);
+  save_values(os, values);
+  std::string bytes = std::move(os).str();
+  append_footer(&bytes);
+  fault::durable_write(path, bytes);
 }
 
 std::optional<std::vector<double>> load_values_file(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("serialize: cannot open " + path);
+  std::string bytes = fault::read_file(path);
+  check_and_strip_footer(&bytes, path);
+  std::istringstream is(std::move(bytes), std::ios::binary);
   try {
     // Sniff the magic: native float64 vector, or a legacy float32 bundle
     // holding a single "values" tensor (caches written before RPV1).
@@ -177,31 +244,30 @@ std::optional<std::vector<double>> load_values_file(const std::string& path) {
     for (int64_t i = 0; i < t.numel(); ++i) values[static_cast<size_t>(i)] = t[i];
     return values;
   } catch (const std::runtime_error& e) {
-    throw std::runtime_error(std::string(e.what()) + " [" + path + "]");
+    // An unparseable payload is damage the footer did not (or could not,
+    // for legacy files) catch; the cache quarantines on this type.
+    throw CorruptArtifact(std::string(e.what()) + " [" + path + "]");
   }
 }
 
 void save_tensors_file(const std::string& path,
                        const std::vector<std::pair<std::string, Tensor>>& items) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("serialize: cannot open " + path + " for writing");
-  try {
-    save_tensors(os, items);
-  } catch (const std::runtime_error& e) {
-    throw std::runtime_error(std::string(e.what()) + " [" + path + "]");
-  }
-  os.flush();
-  if (!os) throw std::runtime_error("serialize: write failed for " + path);
+  std::ostringstream os(std::ios::binary);
+  save_tensors(os, items);
+  std::string bytes = std::move(os).str();
+  append_footer(&bytes);
+  fault::durable_write(path, bytes);
 }
 
 std::vector<std::pair<std::string, Tensor>> load_tensors_file(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("serialize: cannot open " + path);
+  std::string bytes = fault::read_file(path);
+  check_and_strip_footer(&bytes, path);
+  std::istringstream is(std::move(bytes), std::ios::binary);
   try {
     return load_tensors(is);
   } catch (const std::runtime_error& e) {
     // Re-throw with the offending path so a corrupted cache file names itself.
-    throw std::runtime_error(std::string(e.what()) + " [" + path + "]");
+    throw CorruptArtifact(std::string(e.what()) + " [" + path + "]");
   }
 }
 

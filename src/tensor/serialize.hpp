@@ -2,6 +2,7 @@
 
 #include <iosfwd>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,22 @@ namespace rp {
 /// artifact cache. Format: magic, ndim, dims, raw float32 payload. Streams
 /// are portable across runs on the same endianness, which is all the cache
 /// needs.
+///
+/// The file wrappers additionally frame every artifact with a checked
+/// footer — magic "RPC1", format version, payload size, CRC32C of the
+/// payload — and publish through fault::durable_write (pid-unique tmp,
+/// fsync, atomic rename). A load that finds a valid footer verifies the
+/// checksum; damage of any kind (bit rot, torn write, truncation) raises
+/// CorruptArtifact, which ArtifactCache turns into quarantine + recompute.
+/// Files without a footer (caches written before it existed) still load.
+
+/// A damaged artifact file: checksum mismatch, truncation, or an
+/// unparseable payload. Derived from std::runtime_error so callers that
+/// only care about "the load failed" keep working; ArtifactCache catches it
+/// specifically to quarantine the file instead of crashing.
+struct CorruptArtifact : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 void save_tensor(std::ostream& os, const Tensor& t);
 Tensor load_tensor(std::istream& is);
@@ -21,7 +38,8 @@ Tensor load_tensor(std::istream& is);
 void save_tensors(std::ostream& os, const std::vector<std::pair<std::string, Tensor>>& items);
 std::vector<std::pair<std::string, Tensor>> load_tensors(std::istream& is);
 
-/// File convenience wrappers; throw std::runtime_error on I/O failure.
+/// File convenience wrappers; throw std::runtime_error on I/O failure and
+/// CorruptArtifact (a runtime_error) on a damaged file.
 void save_tensors_file(const std::string& path,
                        const std::vector<std::pair<std::string, Tensor>>& items);
 std::vector<std::pair<std::string, Tensor>> load_tensors_file(const std::string& path);

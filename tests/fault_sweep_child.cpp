@@ -1,0 +1,36 @@
+// Child binary of the FaultMatrix tests (test_fault.cpp): runs one tiny
+// PRUNERETRAIN sweep against the cache directory given as argv[1], with the
+// fault schedule armed via the RP_FAULTS environment variable the parent
+// sets (rp::fault::init_from_env runs at static initialization). The parent
+// SIGKILLs this process at injected crash points and asserts the re-run
+// resumes to a bit-identical checkpoint family.
+
+#include <cstdio>
+
+#include "exp/runner.hpp"
+#include "nn/models.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: fault_sweep_child CACHE_DIR\n");
+    return 2;
+  }
+  // Keep in sync with crash_matrix_scale() in test_fault.cpp: the parent
+  // attaches to the same cache directory, and a mismatched scale would trip
+  // the Runner's fingerprint guard instead of testing recovery.
+  rp::exp::ExperimentScale s;
+  s.reps = 1;
+  s.train_n = 96;
+  s.test_n = 48;
+  s.epochs = 2;
+  s.retrain_epochs = 1;
+  s.cycles = 4;
+  s.keep_per_cycle = 0.6;
+  s.profile_samples = 32;
+
+  rp::exp::ArtifactCache cache(argv[1]);
+  rp::exp::Runner runner(s, cache);
+  const auto task = rp::nn::synth_cifar_task();
+  const auto family = runner.sweep("resnet8", task, rp::core::PruneMethod::WT, 0);
+  return family.size() == static_cast<size_t>(s.cycles) ? 0 : 1;
+}

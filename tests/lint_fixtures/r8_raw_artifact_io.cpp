@@ -1,0 +1,4 @@
+// R8 fixture: raw artifact write bypassing durable_write. Never compiled.
+
+void bad(const char* p) { auto os = std::ofstream(p); }
+void ok(const char* p) { auto os = std::ofstream(p); }  // rp-lint: allow(R8) fixture: suppression must silence this line

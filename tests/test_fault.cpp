@@ -1,0 +1,503 @@
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "exp/runner.hpp"
+#include "fault/crc32c.hpp"
+#include "fault/durable.hpp"
+#include "nn/models.hpp"
+#include "obs/obs.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/serialize.hpp"
+
+namespace rp {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_raw(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return std::move(buf).str();
+}
+
+void write_raw(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+bool any_file_matches(const std::string& dir, const std::string& needle) {
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().filename().string().find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Unit-level fixture: fresh directory, disarmed schedule, counters off.
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() / ("rp_fault_test_" + std::to_string(::getpid())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    fault::configure("");
+    obs::configure({});
+  }
+  void TearDown() override {
+    fault::configure("");
+    obs::configure({});
+    fs::remove_all(dir_);
+  }
+  std::string dir_;
+};
+
+// ---------------------------------------------------------------------------
+// CRC32C
+
+TEST_F(FaultTest, Crc32cMatchesKnownVectors) {
+  // RFC 3720 appendix B.4 test vectors for CRC32C (Castagnoli).
+  EXPECT_EQ(fault::crc32c("", 0), 0u);
+  EXPECT_EQ(fault::crc32c("123456789", 9), 0xE3069283u);
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(fault::crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+}
+
+TEST_F(FaultTest, Crc32cChainsPartialComputations) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = fault::crc32c(data.data(), data.size());
+  const uint32_t first = fault::crc32c(data.data(), 10);
+  EXPECT_EQ(fault::crc32c(data.data() + 10, data.size() - 10, first), whole);
+}
+
+// ---------------------------------------------------------------------------
+// RP_FAULTS grammar and schedule
+
+TEST_F(FaultTest, OnceTriggerFiresAtExactlyTheNthArrival) {
+  fault::configure("write:once=3");
+  EXPECT_TRUE(fault::armed());
+  for (int arrival = 1; arrival <= 6; ++arrival) {
+    EXPECT_EQ(fault::should_fire(fault::Point::kWrite), arrival == 3) << arrival;
+  }
+  EXPECT_EQ(fault::arrival_count(fault::Point::kWrite), 6);
+  EXPECT_EQ(fault::fired_count(fault::Point::kWrite), 1);
+}
+
+TEST_F(FaultTest, EveryTriggerFiresPeriodically) {
+  fault::configure("read:every=2");
+  std::vector<bool> fired;
+  for (int arrival = 1; arrival <= 6; ++arrival) {
+    fired.push_back(fault::should_fire(fault::Point::kRead));
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, true, false, true, false, true}));
+}
+
+TEST_F(FaultTest, DefaultTriggerIsOnceOneAndAlwaysIsEveryArrival) {
+  fault::configure("bitflip,torn-write:always");
+  EXPECT_TRUE(fault::should_fire(fault::Point::kBitflip));
+  EXPECT_FALSE(fault::should_fire(fault::Point::kBitflip));
+  EXPECT_TRUE(fault::should_fire(fault::Point::kTornWrite));
+  EXPECT_TRUE(fault::should_fire(fault::Point::kTornWrite));
+  // Unarmed points stay silent even while others are armed.
+  EXPECT_FALSE(fault::should_fire(fault::Point::kWrite));
+}
+
+TEST_F(FaultTest, ConfigureReplacesScheduleAndResetsCounters) {
+  fault::configure("write:once=1");
+  EXPECT_TRUE(fault::should_fire(fault::Point::kWrite));
+  fault::configure("write:once=1");  // same spec, fresh counters
+  EXPECT_EQ(fault::arrival_count(fault::Point::kWrite), 0);
+  EXPECT_TRUE(fault::should_fire(fault::Point::kWrite));
+  fault::configure("");
+  EXPECT_FALSE(fault::armed());
+  EXPECT_FALSE(fault::should_fire(fault::Point::kWrite));
+  EXPECT_EQ(fault::arrival_count(fault::Point::kWrite), 0);  // disarmed: not even counted
+}
+
+TEST_F(FaultTest, BadSpecsAreRejected) {
+  for (const char* bad : {"bogus", "write:every=0", "write:once=-1", "write:sometimes",
+                          "write:once=", "write:once=3x", ",write", "write,,read",
+                          "write,write", "write:always=2"}) {
+    EXPECT_THROW(fault::configure(bad), std::invalid_argument) << bad;
+  }
+  // A throwing configure must not leave a half-armed schedule behind.
+  EXPECT_FALSE(fault::armed());
+}
+
+TEST_F(FaultTest, FiringPointsCountIntoObs) {
+  obs::Config cfg;
+  cfg.metrics = true;
+  obs::configure(cfg);
+  fault::configure("write:every=1");
+  fault::should_fire(fault::Point::kWrite);
+  fault::should_fire(fault::Point::kWrite);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kFaultsInjected), 2);
+}
+
+// ---------------------------------------------------------------------------
+// durable_write / read_file / clean_stale_tmp
+
+TEST_F(FaultTest, DurableWriteRoundTripAndOverwrite) {
+  const std::string path = dir_ + "/artifact.bin";
+  fault::durable_write(path, "hello");
+  EXPECT_EQ(fault::read_file(path), "hello");
+  fault::durable_write(path, "a different, longer payload");
+  EXPECT_EQ(fault::read_file(path), "a different, longer payload");
+  EXPECT_FALSE(any_file_matches(dir_, ".tmp"));  // publish leaves no tmp behind
+}
+
+TEST_F(FaultTest, DurableWriteRetriesEachTransientPointOnce) {
+  obs::Config cfg;
+  cfg.metrics = true;
+  for (const char* spec : {"write:once=1", "fsync:once=1", "rename:once=1"}) {
+    SCOPED_TRACE(spec);
+    obs::configure(cfg);  // resets counters
+    fault::configure(spec);
+    const std::string path = dir_ + "/retry.bin";
+    fault::durable_write(path, "payload");
+    EXPECT_EQ(fault::read_file(path), "payload");
+    EXPECT_EQ(obs::counter_value(obs::Counter::kIoRetries), 1);
+    EXPECT_FALSE(any_file_matches(dir_, ".tmp"));
+  }
+}
+
+TEST_F(FaultTest, DurableWriteGivesUpAfterBoundedRetries) {
+  fault::configure("write:always");
+  const std::string path = dir_ + "/doomed.bin";
+  EXPECT_THROW(fault::durable_write(path, "payload"), std::runtime_error);
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_FALSE(any_file_matches(dir_, ".tmp"));  // failed attempts are cleaned up
+}
+
+TEST_F(FaultTest, DurableWriteFailsImmediatelyOnRealErrors) {
+  // Real I/O errors (no parent directory) are not retried — they would only
+  // delay the loud failure.
+  EXPECT_THROW(fault::durable_write(dir_ + "/no/such/subdir/x.bin", "payload"),
+               std::runtime_error);
+}
+
+TEST_F(FaultTest, ReadFileRetriesInjectedFaultsButNotMissingFiles) {
+  const std::string path = dir_ + "/read.bin";
+  fault::durable_write(path, "payload");
+  fault::configure("read:once=1");
+  EXPECT_EQ(fault::read_file(path), "payload");  // transparent retry
+  fault::configure("read:always");
+  EXPECT_THROW(fault::read_file(path), std::runtime_error);
+  fault::configure("");
+  EXPECT_THROW(fault::read_file(dir_ + "/missing.bin"), std::runtime_error);
+}
+
+TEST_F(FaultTest, CleanStaleTmpRemovesDeadWritersLeavesLiveOnes) {
+  write_raw(dir_ + "/legacy.bin.tmp", "x");              // legacy shared suffix
+  write_raw(dir_ + "/dead.bin.tmp.999999999", "x");      // no such pid
+  write_raw(dir_ + "/junk.bin.tmp.notapid", "x");        // malformed owner marker
+  const std::string mine = dir_ + "/live.bin.tmp." + std::to_string(::getpid());
+  write_raw(mine, "x");                                  // live writer (us)
+  write_raw(dir_ + "/artifact.bin", "x");                // a published artifact
+  EXPECT_EQ(fault::clean_stale_tmp(dir_), 3);
+  EXPECT_TRUE(fs::exists(mine));
+  EXPECT_TRUE(fs::exists(dir_ + "/artifact.bin"));
+  EXPECT_FALSE(fs::exists(dir_ + "/legacy.bin.tmp"));
+  EXPECT_FALSE(fs::exists(dir_ + "/dead.bin.tmp.999999999"));
+  EXPECT_FALSE(fs::exists(dir_ + "/junk.bin.tmp.notapid"));
+}
+
+TEST_F(FaultTest, CacheConstructionSweepsStaleTmpFiles) {
+  write_raw(dir_ + "/stale.bin.tmp.999999999", "half-written junk");
+  exp::ArtifactCache cache(dir_);
+  EXPECT_FALSE(fs::exists(dir_ + "/stale.bin.tmp.999999999"));
+}
+
+// ---------------------------------------------------------------------------
+// Corrupt-artifact recovery at the cache level
+
+TEST_F(FaultTest, CacheQuarantinesPayloadBitRotTheLegacyParserWouldMiss) {
+  exp::ArtifactCache cache(dir_);
+  cache.put_values("vals", {1.0, 2.0, 3.0});
+  const std::string path = dir_ + "/vals.bin";
+  std::string bytes = read_raw(path);
+  // Flip one bit inside a stored double: the payload still parses as a
+  // perfectly well-formed values artifact — only the checksum can tell.
+  bytes[16] = static_cast<char>(static_cast<unsigned char>(bytes[16]) ^ 0x10u);
+  write_raw(path, bytes);
+
+  obs::Config cfg;
+  cfg.metrics = true;
+  obs::configure(cfg);
+  EXPECT_FALSE(cache.get_values("vals").has_value());
+  EXPECT_FALSE(fs::exists(path));                    // never load-able again
+  EXPECT_TRUE(fs::exists(path + ".corrupt"));        // kept for forensics
+  EXPECT_EQ(obs::counter_value(obs::Counter::kCacheCorrupt), 1);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kCacheMisses), 1);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kCacheHits), 0);
+
+  // The recompute path republishes cleanly over the quarantined key.
+  cache.put_values("vals", {1.0, 2.0, 3.0});
+  const auto recovered = cache.get_values("vals");
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(*recovered, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST_F(FaultTest, CacheQuarantinesFlippedChecksumByte) {
+  exp::ArtifactCache cache(dir_);
+  Rng rng(7);
+  cache.put_state("model", {{"w", Tensor::randn(Shape{4, 4}, rng)}});
+  const std::string path = dir_ + "/model.bin";
+  std::string bytes = read_raw(path);
+  bytes.back() = static_cast<char>(static_cast<unsigned char>(bytes.back()) ^ 0xFFu);
+  write_raw(path, bytes);
+  EXPECT_FALSE(cache.get_state("model").has_value());
+  EXPECT_TRUE(fs::exists(path + ".corrupt"));
+}
+
+TEST_F(FaultTest, CacheTruncationAtEveryByteQuarantinesOrLoadsExactly) {
+  exp::ArtifactCache cache(dir_);
+  const std::vector<double> values{0.5, -1.25, 3.75};
+  cache.put_values("t", values);
+  const std::string path = dir_ + "/t.bin";
+  const std::string bytes = read_raw(path);
+  const size_t payload = bytes.size() - 20;  // checked footer is 20 bytes
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    SCOPED_TRACE("cut at " + std::to_string(cut));
+    fs::remove(path + ".corrupt");
+    write_raw(path, bytes.substr(0, cut));
+    const auto loaded = cache.get_values("t");
+    if (cut < payload) {
+      // The payload itself is damaged: quarantined, reported as a miss.
+      ASSERT_FALSE(loaded.has_value());
+      EXPECT_FALSE(fs::exists(path));
+      EXPECT_TRUE(fs::exists(path + ".corrupt"));
+    } else {
+      // Only the footer is damaged; the intact payload loads exactly (the
+      // legacy footer-less path — same bytes a pre-footer cache wrote).
+      ASSERT_TRUE(loaded.has_value());
+      EXPECT_EQ(*loaded, values);
+    }
+  }
+}
+
+TEST_F(FaultTest, CacheLoadsLegacyFooterlessArtifacts) {
+  exp::ArtifactCache cache(dir_);
+  // Byte-for-byte what a pre-footer cache wrote: the raw stream encoding.
+  std::ostringstream values_os(std::ios::binary);
+  save_values(values_os, {2.0, 4.0});
+  write_raw(dir_ + "/legacy_vals.bin", std::move(values_os).str());
+  const auto vals = cache.get_values("legacy_vals");
+  ASSERT_TRUE(vals.has_value());
+  EXPECT_EQ(*vals, (std::vector<double>{2.0, 4.0}));
+
+  Rng rng(8);
+  std::vector<std::pair<std::string, Tensor>> state;
+  state.emplace_back("w", Tensor::randn(Shape{3}, rng));
+  std::ostringstream state_os(std::ios::binary);
+  save_tensors(state_os, state);
+  write_raw(dir_ + "/legacy_state.bin", std::move(state_os).str());
+  const auto loaded = cache.get_state("legacy_state");
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 1u);
+  for (int64_t i = 0; i < 3; ++i) EXPECT_EQ((*loaded)[0].second[i], state[0].second[i]);
+}
+
+TEST_F(FaultTest, CacheCountsReadErrorsAsMissesWithoutQuarantine) {
+  exp::ArtifactCache cache(dir_);
+  cache.put_values("v", {9.0});
+  obs::Config cfg;
+  cfg.metrics = true;
+  obs::configure(cfg);
+  fault::configure("read:always");  // persistent I/O failure, not corruption
+  EXPECT_FALSE(cache.get_values("v").has_value());
+  EXPECT_GE(obs::counter_value(obs::Counter::kCacheReadErrors), 1);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kCacheCorrupt), 0);
+  fault::configure("");
+  EXPECT_TRUE(fs::exists(dir_ + "/v.bin"));  // a flaky disk is not quarantine-worthy
+  const auto v = cache.get_values("v");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ((*v)[0], 9.0);
+}
+
+TEST_F(FaultTest, InjectedTornWriteIsCaughtOnTheNextRead) {
+  exp::ArtifactCache cache(dir_);
+  fault::configure("torn-write:once=1");
+  cache.put_values("torn", {1.0, 2.0});  // silently writes half the payload
+  fault::configure("");
+  EXPECT_FALSE(cache.get_values("torn").has_value());
+  EXPECT_TRUE(fs::exists(dir_ + "/torn.bin.corrupt"));
+}
+
+TEST_F(FaultTest, InjectedBitflipIsCaughtOnTheNextRead) {
+  exp::ArtifactCache cache(dir_);
+  Rng rng(9);
+  fault::configure("bitflip:once=1");
+  cache.put_state("flipped", {{"w", Tensor::randn(Shape{8}, rng)}});
+  fault::configure("");
+  EXPECT_FALSE(cache.get_state("flipped").has_value());
+  EXPECT_TRUE(fs::exists(dir_ + "/flipped.bin.corrupt"));
+}
+
+TEST_F(FaultTest, TransientFaultScheduleIsAbsorbedByRetries) {
+  // The schedule check.sh's fault pass runs a whole suite slice under:
+  // periodic transient write and read faults must be fully absorbed.
+  exp::ArtifactCache cache(dir_);
+  fault::configure("write:every=3,read:every=5");
+  for (int i = 0; i < 10; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    cache.put_values(key, {static_cast<double>(i)});
+    const auto v = cache.get_values(key);
+    ASSERT_TRUE(v.has_value()) << key;
+    EXPECT_EQ((*v)[0], static_cast<double>(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crash matrix: a sweep SIGKILLed at injected fault points must resume to a
+// bit-identical checkpoint family.
+
+/// Keep in sync with fault_sweep_child.cpp. cycles=4 gives the fresh run 10
+/// durable writes (_scale, dense, 4x state+ratio), enough distinct crash
+/// points to satisfy the >= 5 kill requirement.
+exp::ExperimentScale crash_matrix_scale() {
+  exp::ExperimentScale s;
+  s.reps = 1;
+  s.train_n = 96;
+  s.test_n = 48;
+  s.epochs = 2;
+  s.retrain_epochs = 1;
+  s.cycles = 4;
+  s.keep_per_cycle = 0.6;
+  s.profile_samples = 32;
+  return s;
+}
+
+int run_child(const std::string& faults, const std::string& cache_dir) {
+  const std::string cmd = "RP_FAULTS='" + faults + "' RP_THREADS=1 " +
+                          std::string(RP_FAULT_CHILD) + " '" + cache_dir + "' >/dev/null 2>&1";
+  return std::system(cmd.c_str());
+}
+
+/// std::system reports the shell's wait status: a SIGKILLed child surfaces
+/// either as the shell's 128+9 exit code or (shell-dependent) as the raw
+/// termination signal.
+bool was_killed(int status) {
+  if (status == -1) return false;
+  if (WIFSIGNALED(status)) return WTERMSIG(status) == SIGKILL;
+  return WIFEXITED(status) && WEXITSTATUS(status) == 128 + SIGKILL;
+}
+
+bool exited_cleanly(int status) { return WIFEXITED(status) && WEXITSTATUS(status) == 0; }
+
+void expect_families_bit_identical(const std::vector<exp::Checkpoint>& a,
+                                   const std::vector<exp::Checkpoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t c = 0; c < a.size(); ++c) {
+    SCOPED_TRACE("cycle " + std::to_string(c + 1));
+    EXPECT_EQ(a[c].ratio, b[c].ratio);
+    ASSERT_EQ(a[c].state.size(), b[c].state.size());
+    for (size_t i = 0; i < a[c].state.size(); ++i) {
+      ASSERT_EQ(a[c].state[i].first, b[c].state[i].first);
+      const Tensor& ta = a[c].state[i].second;
+      const Tensor& tb = b[c].state[i].second;
+      ASSERT_EQ(ta.numel(), tb.numel());
+      EXPECT_EQ(std::memcmp(ta.data().data(), tb.data().data(),
+                            static_cast<size_t>(ta.numel()) * sizeof(float)),
+                0)
+          << a[c].state[i].first;
+    }
+  }
+}
+
+class FaultMatrix : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::configure("");  // the schedule is armed in the children, never here
+    obs::configure({});
+    const std::string base =
+        (fs::temp_directory_path() / ("rp_fault_matrix_" + std::to_string(::getpid())))
+            .string();
+    ref_dir_ = base + "_ref";
+    run_dir_ = base + "_run";
+    fs::remove_all(ref_dir_);
+    fs::remove_all(run_dir_);
+  }
+  void TearDown() override {
+    obs::configure({});
+    fs::remove_all(ref_dir_);
+    fs::remove_all(run_dir_);
+  }
+
+  std::vector<exp::Checkpoint> reference_family() {
+    exp::ArtifactCache cache(ref_dir_);
+    exp::Runner runner(crash_matrix_scale(), cache);
+    return runner.sweep("resnet8", nn::synth_cifar_task(), core::PruneMethod::WT, 0);
+  }
+
+  std::string ref_dir_;
+  std::string run_dir_;
+};
+
+TEST_F(FaultMatrix, SweepSurvivesSigkillsAtEveryWritePointBitIdentical) {
+  const auto reference = reference_family();
+
+  // A crash between fsync and publish: the fully written tmp file stays
+  // behind (nothing published) and must be swept by the next run.
+  int kills = 0;
+  ASSERT_TRUE(was_killed(run_child("crash-rename:once=1", run_dir_)));
+  ++kills;
+
+  // SIGKILL the sweep mid-write at the 1st, 2nd, 3rd, ... durable write.
+  // Each re-run resumes from whatever the previous one published; the loop
+  // ends when a run survives its (never-reached) crash point.
+  bool completed = false;
+  for (int j = 1; j <= 30 && !completed; ++j) {
+    const int status = run_child("crash-write:once=" + std::to_string(j), run_dir_);
+    if (was_killed(status)) {
+      ++kills;
+    } else {
+      ASSERT_TRUE(exited_cleanly(status)) << "run " << j << " status " << status;
+      completed = true;
+    }
+  }
+  ASSERT_TRUE(completed) << "sweep never completed within the crash budget";
+  EXPECT_GE(kills, 5);  // acceptance criterion: >= 5 distinct injected kill points
+
+  // The survivor's artifacts must reproduce the uninterrupted run exactly.
+  exp::ArtifactCache cache(run_dir_);  // also sweeps the crash-rename tmp litter
+  exp::Runner runner(crash_matrix_scale(), cache);
+  const auto resumed = runner.sweep("resnet8", nn::synth_cifar_task(), core::PruneMethod::WT, 0);
+  expect_families_bit_identical(reference, resumed);
+  EXPECT_FALSE(any_file_matches(run_dir_, ".tmp"));
+  EXPECT_FALSE(any_file_matches(run_dir_, ".corrupt"));  // crashes tear tmps, not artifacts
+}
+
+TEST_F(FaultMatrix, TornWriteIsQuarantinedAndRecomputedBitIdentical) {
+  const auto reference = reference_family();
+
+  // The 5th durable write of a fresh sweep is cycle 2's checkpoint; tearing
+  // it leaves a silently damaged artifact behind a *successful* run.
+  ASSERT_TRUE(exited_cleanly(run_child("torn-write:once=5", run_dir_)));
+
+  obs::Config cfg;
+  cfg.metrics = true;
+  obs::configure(cfg);
+  exp::ArtifactCache cache(run_dir_);
+  exp::Runner runner(crash_matrix_scale(), cache);
+  const auto resumed = runner.sweep("resnet8", nn::synth_cifar_task(), core::PruneMethod::WT, 0);
+
+  // The damaged checkpoint was quarantined — never loaded — and recomputed
+  // from the longest intact prefix, reproducing the reference exactly.
+  EXPECT_GE(obs::counter_value(obs::Counter::kCacheCorrupt), 1);
+  EXPECT_TRUE(any_file_matches(run_dir_, ".corrupt"));
+  expect_families_bit_identical(reference, resumed);
+}
+
+}  // namespace
+}  // namespace rp

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <filesystem>
 #include <unistd.h>
 
@@ -106,6 +107,68 @@ TEST_F(RunnerTest, SweepProducesMonotoneCheckpoints) {
   ASSERT_EQ(again.size(), 2u);
   EXPECT_EQ(again[0].ratio, family[0].ratio);
   EXPECT_EQ(again[1].ratio, family[1].ratio);
+}
+
+void expect_families_bit_identical(const std::vector<Checkpoint>& a,
+                                   const std::vector<Checkpoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t c = 0; c < a.size(); ++c) {
+    SCOPED_TRACE("cycle " + std::to_string(c + 1));
+    EXPECT_EQ(a[c].ratio, b[c].ratio);
+    ASSERT_EQ(a[c].state.size(), b[c].state.size());
+    for (size_t i = 0; i < a[c].state.size(); ++i) {
+      ASSERT_EQ(a[c].state[i].first, b[c].state[i].first);
+      const Tensor& ta = a[c].state[i].second;
+      const Tensor& tb = b[c].state[i].second;
+      ASSERT_EQ(ta.numel(), tb.numel());
+      EXPECT_EQ(std::memcmp(ta.data().data(), tb.data().data(),
+                            static_cast<size_t>(ta.numel()) * sizeof(float)),
+                0)
+          << a[c].state[i].first;
+    }
+  }
+}
+
+TEST_F(RunnerTest, SweepResumesFromCachedPrefixBitIdentical) {
+  // Interrupting a sweep after cycle 1 (here: deleting cycle 2's artifacts)
+  // must resume from the cached prefix — not recompute cycle 1 — and the
+  // resumed family must be bit-identical to the uninterrupted one. The
+  // per-cycle checkpoint is the complete retrain state (each cycle's Rng
+  // and SGD reset from the seed), so this is equality, not approximation.
+  const auto task = nn::synth_cifar_task();
+  const auto fresh = runner_.sweep("resnet8", task, core::PruneMethod::WT, 0);
+  ASSERT_EQ(fresh.size(), 2u);
+
+  int removed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().filename().string().find("cycle2") != std::string::npos) {
+      std::filesystem::remove(entry.path());
+      ++removed;
+    }
+  }
+  EXPECT_GE(removed, 2);  // at least the cycle-2 state and ratio artifacts
+
+  const auto resumed = runner_.sweep("resnet8", task, core::PruneMethod::WT, 0);
+  expect_families_bit_identical(fresh, resumed);
+}
+
+TEST_F(RunnerTest, EmptyCachedRatioArtifactIsAMissNotIndexedOutOfBounds) {
+  // A cached values vector can come back empty (forged, or an interrupted
+  // format migration); sweep/curve_cached must treat that as a miss instead
+  // of indexing [0] into an empty vector.
+  const auto task = nn::synth_cifar_task();
+  const auto fresh = runner_.sweep("resnet8", task, core::PruneMethod::WT, 0);
+  const std::string base = "synth_cifar/resnet8/" + core::to_string(core::PruneMethod::WT) +
+                           "/rep0";
+  cache_.put_values(base + "/cycle1/ratio", {});
+  const auto again = runner_.sweep("resnet8", task, core::PruneMethod::WT, 0);
+  expect_families_bit_identical(fresh, again);
+
+  cache_.put_values(base + "/cycle1/ratio", {});
+  const auto curve = runner_.curve_cached("resnet8", task, core::PruneMethod::WT, 0,
+                                          *runner_.test_set(task));
+  ASSERT_EQ(curve.size(), fresh.size());
+  for (size_t i = 0; i < curve.size(); ++i) EXPECT_EQ(curve[i].ratio, fresh[i].ratio);
 }
 
 TEST_F(RunnerTest, InstantiateRestoresPruneRatio) {

@@ -153,19 +153,36 @@ TEST(Serialize, NonValuesBundleIsNulloptNotError) {
   std::remove(path.c_str());
 }
 
-TEST(Serialize, TruncatedValuesFileThrows) {
+TEST(Serialize, TruncatedValuesFileThrowsOrLoadsExactly) {
+  // Files now end in a 20-byte checked footer. Truncation chops the footer
+  // off, so the loader sees legacy footer-less bytes: any cut into the
+  // payload must throw (the payload parser catches it), while a cut that
+  // preserves the whole payload may load — but then only to the exact
+  // original values. Nothing in between, never garbage.
   const std::string path =
       (std::filesystem::temp_directory_path() / "rp_serialize_values_trunc.bin").string();
-  save_values_file(path, {1.0, 2.0, 3.0});
+  const std::string trunc_path = path + ".cut";
+  const std::vector<double> values{1.0, 2.0, 3.0};
+  save_values_file(path, values);
   std::ifstream is(path, std::ios::binary);
   std::stringstream ss;
   ss << is.rdbuf();
   const std::string bytes = ss.str();
+  const size_t payload = bytes.size() - 20;  // footer size
   for (size_t cut = 0; cut + 1 < bytes.size(); ++cut) {
-    std::stringstream truncated(bytes.substr(0, cut));
-    EXPECT_THROW(load_values(truncated), std::runtime_error) << "cut at " << cut;
+    std::ofstream os(trunc_path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(cut));
+    os.close();
+    if (cut < payload) {
+      EXPECT_THROW(load_values_file(trunc_path), std::runtime_error) << "cut at " << cut;
+    } else {
+      const auto loaded = load_values_file(trunc_path);
+      ASSERT_TRUE(loaded.has_value()) << "cut at " << cut;
+      EXPECT_EQ(*loaded, values) << "cut at " << cut;
+    }
   }
   std::remove(path.c_str());
+  std::remove(trunc_path.c_str());
 }
 
 TEST(Serialize, TruncationAtEveryByteThrowsNeverCrashes) {

@@ -211,6 +211,7 @@ class Linter {
     rule_r5();
     rule_r6();
     rule_r7();
+    rule_r8();
     apply_suppressions();
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
@@ -507,6 +508,34 @@ class Linter {
     }
   }
 
+  /// R8: artifact durability. A raw std::ofstream write or a raw
+  /// filesystem::rename in src/ bypasses fault::durable_write's publish
+  /// protocol (pid-unique tmp, fsync, atomic rename, checked footer) — a
+  /// crash mid-write tears the file and a concurrent writer clobbers it.
+  /// Non-artifact outputs (trace files, PPM dumps, quarantine moves) carry
+  /// an allow(R8) stating why durability does not apply.
+  void rule_r8() {
+    if (!in_dirs({"src/"})) return;
+    if (scoped_out({"src/fault/durable.cpp"})) return;
+    const auto& t = toks();
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != Tok::Ident) continue;
+      const std::string& s = t[i].text;
+      if (s == "ofstream") {
+        add(t[i].line, "R8",
+            "raw std::ofstream write in src/ bypasses the durable publish protocol; use "
+            "fault::durable_write (tensor/serialize.hpp file savers) or allow(R8) a "
+            "non-artifact output");
+      } else if (s == "rename" && i >= 2 && t[i - 1].text == "::" &&
+                 (t[i - 2].text == "filesystem" || t[i - 2].text == "fs")) {
+        add(t[i].line, "R8",
+            "raw filesystem::rename in src/ bypasses the durable publish protocol "
+            "(fsync-before-rename); use fault::durable_write or allow(R8) a non-artifact "
+            "move");
+      }
+    }
+  }
+
   void apply_suppressions() {
     std::vector<Finding> kept;
     for (const Finding& f : findings_) {
@@ -571,7 +600,8 @@ void list_rules() {
       << "R4  std::unordered_{map,set} in result-producing code (src/core, src/exp)\n"
       << "R5  reinterpret_cast outside src/tensor/serialize.cpp and src/data/image_io.cpp\n"
       << "R6  C-style casts to integer types in stats code (src/core, src/exp)\n"
-      << "R7  unit-grain parallel_for/run_shards dispatch outside per-sample/per-shard loops\n";
+      << "R7  unit-grain parallel_for/run_shards dispatch outside per-sample/per-shard loops\n"
+      << "R8  raw ofstream/filesystem::rename artifact I/O in src/ bypassing fault::durable_write\n";
 }
 
 }  // namespace
