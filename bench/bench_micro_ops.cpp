@@ -24,6 +24,7 @@
 #include "tensor/gemm.hpp"
 #include "tensor/parallel.hpp"
 #include "tensor/simd.hpp"
+#include "tensor/sparse.hpp"
 
 using namespace rp;
 
@@ -156,6 +157,53 @@ void BM_ConvBackwardSimd(benchmark::State& state) {
   report_flops(state, flops);
 }
 BENCHMARK(BM_ConvBackwardSimd)->Arg(0)->Arg(1)->UseRealTime();
+
+/// The acceptance benchmark for the compile-to-sparse engine: n³ GEMM at one
+/// thread with the A operand unstructured-pruned to a target density
+/// (per-mille in arg 1), executed dense (arg 2 = 0) or through a compiled
+/// CSR (1) / 4×8 block (2) layout. All three variants are bit-identical in
+/// output (tests/test_sparse.cpp); the dense rows at each density are the
+/// baseline of the committed speedup-vs-density curves. Acceptance: ≥3×
+/// over dense at ≤10% density.
+void BM_SparseGemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const double density = static_cast<double>(state.range(1)) / 1000.0;
+  const int64_t layout = state.range(2);
+  parallel::set_num_threads(1);
+  Rng rng(11);
+  Tensor a = Tensor::randn(Shape{n, n}, rng);
+  if (density < 1.0) {
+    for (float& v : a.data()) {
+      if (rng.uniform() >= static_cast<float>(density)) v = 0.0f;
+    }
+  }
+  Tensor b = Tensor::randn(Shape{n, n}, rng);
+  Tensor c(Shape{n, n});
+  if (layout == 0) {
+    for (auto _ : state) {
+      gemm(a, b, c);
+      benchmark::DoNotOptimize(c.data().data());
+    }
+  } else {
+    const auto w =
+        sparse::compile(a, layout == 1 ? sparse::Mode::kCsr : sparse::Mode::kBlock);
+    for (auto _ : state) {
+      sparse::matmul_into(w, b, c);
+      benchmark::DoNotOptimize(c.data().data());
+    }
+  }
+  parallel::set_num_threads(0);
+  // Dense-equivalent FLOPs on purpose: the curves compare layouts at equal
+  // problem size, so speedup reads directly off the FLOPS ratio.
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  report_flops(state, 2.0 * static_cast<double>(n * n * n));
+  const char* kLayoutNames[] = {"dense", "csr", "block"};
+  state.SetLabel(std::to_string(n) + "^3 @ 1 thread, density " + std::to_string(density) +
+                 ", " + kLayoutNames[layout]);
+}
+BENCHMARK(BM_SparseGemm)
+    ->ArgsProduct({{128, 256, 512}, {1000, 500, 200, 100, 50}, {0, 1, 2}})
+    ->UseRealTime();
 
 /// The acceptance benchmark for the observability layer: counter increments
 /// and span construction with obs disabled must collapse to one predicted

@@ -159,6 +159,20 @@ namespace rp::bench {
 /// leaves a machine-readable perf record for cross-PR trajectory tracking.
 /// Explicit command-line flags win over all of these defaults.
 inline int run_micro_bench_main(int argc, char** argv, const char* default_out) {
+  // Provenance: a debug-build timing is not a perf record. Tag every JSON
+  // output with the build type so committed records are auditable, and warn
+  // loudly when assertions are compiled in — numbers from such a run must
+  // never be committed (scripts/check.sh enforces Release for the bench
+  // gate).
+#ifdef NDEBUG
+  benchmark::AddCustomContext("rp_build_type", "release");
+#else
+  benchmark::AddCustomContext("rp_build_type", "debug");
+  std::fprintf(stderr,
+               "\n*** rp bench: built WITHOUT NDEBUG (assertions on) — timings are "
+               "meaningless for the committed perf record; rebuild with "
+               "-DCMAKE_BUILD_TYPE=Release ***\n\n");
+#endif
   std::vector<char*> args(argv, argv + argc);
   std::string out_flag = std::string("--benchmark_out=") + default_out;
   std::string fmt_flag = "--benchmark_out_format=json";

@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
 # One-shot verification gate: Release build + full test suite (which includes
-# the rp-lint tree scan and its fixture self-test) run twice — once with the
-# dispatched SIMD kernels and once with RP_SIMD=off forcing the scalar
-# fallback — then a fast smoke pass with RP_TRACE active (the trace file must
-# come out as valid JSON), then a fault-injection pass (RP_FAULTS periodic
-# transient write/read faults over the storage-heavy suite slice, plus the
-# SIGKILL crash-matrix tests), then the ASan+UBSan build and the same suite
-# under it (also with SIMD dispatched, so the sanitizers cover the intrinsic
-# kernels). Exits non-zero on the first failure.
+# the rp-lint tree scan and its fixture self-test) run three times — with the
+# dispatched SIMD kernels (RP_SPARSE defaults to auto, so the sparse engine is
+# live on every evaluate/predict), with RP_SIMD=off forcing the scalar
+# fallback, and with RP_SPARSE=off forcing the dense execution path — then a
+# fast smoke pass with RP_TRACE active (the trace file must come out as valid
+# JSON), then a fault-injection pass (RP_FAULTS periodic transient write/read
+# faults over the storage-heavy suite slice including the sparse-artifact
+# tests, plus the SIGKILL crash-matrix tests), then a bench-provenance gate
+# (the micro-bench binary must self-report a true Release/NDEBUG build — a
+# debug timing must never reach the committed perf record), then the
+# ASan+UBSan build and the same suite under it (also with SIMD dispatched, so
+# the sanitizers cover the intrinsic kernels). Exits non-zero on the first
+# failure.
 #
 #   scripts/check.sh             # everything
 #   RP_CHECK_SKIP_ASAN=1 scripts/check.sh   # skip the sanitizer pass (quick)
@@ -20,15 +25,16 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
-echo "== [1/5] Release build + tests (warnings are errors, SIMD dispatched) =="
+echo "== [1/6] Release build + tests (warnings are errors, SIMD dispatched, RP_SPARSE=auto) =="
 cmake -B build -S . -DRP_WERROR=ON
 cmake --build build -j "$JOBS"
-ctest --test-dir build --output-on-failure -j "$JOBS"
+RP_SPARSE=auto ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [2/5] Same suite with RP_SIMD=off (scalar kernel fallback) =="
+echo "== [2/6] Same suite with RP_SIMD=off (scalar fallback) and RP_SPARSE=off (dense path) =="
 RP_SIMD=off ctest --test-dir build --output-on-failure -j "$JOBS"
+RP_SPARSE=off ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [3/5] Observability smoke: tracing on, results unchanged, trace is JSON =="
+echo "== [3/6] Observability smoke: tracing on, results unchanged, trace is JSON =="
 # One serial pass over a results-bearing slice of the suite with RP_TRACE
 # set. Each test process rewrites the shared path tmp-then-rename, so the
 # final file is a whole trace from the last process — check it parses.
@@ -39,19 +45,40 @@ python3 -c "import json,sys; json.load(open(sys.argv[1])); print('trace OK:', sy
   "$RP_TRACE_FILE"
 rm -f "$RP_TRACE_FILE"
 
-echo "== [4/5] Fault injection: transient faults absorbed, crashes recovered =="
-# Storage-heavy slice under a periodic transient-fault schedule: every third
-# write and every fifth read raises an injected fault that durable_write /
-# read_file must absorb by retrying. Serial, so the counter-indexed schedule
-# stays deterministic per process.
+echo "== [4/6] Fault injection: transient faults absorbed, crashes recovered =="
+# Storage-heavy slice (including the sparse-artifact round-trip tests) under a
+# periodic transient-fault schedule: every third write and every fifth read
+# raises an injected fault that durable_write / read_file must absorb by
+# retrying. Serial, so the counter-indexed schedule stays deterministic per
+# process.
 RP_FAULTS='write:every=3,read:every=5' ctest --test-dir build --output-on-failure \
-  -R 'FaultTest|CacheTest|Serialize|RunnerTest' -j 1
+  -R 'FaultTest|CacheTest|Serialize|RunnerTest|SparseTest' -j 1
 # Crash matrix runs without an ambient schedule: it arms RP_FAULTS itself in
 # the SIGKILLed child processes it spawns.
 ctest --test-dir build --output-on-failure -R 'FaultMatrix' -j 1
 
+echo "== [5/6] Bench provenance: micro-bench binary must be a true Release build =="
+# The committed BENCH_micro_ops.json is only meaningful from an NDEBUG build.
+# bench_micro_ops tags its JSON context with rp_build_type; a single-benchmark
+# dry pass must report "release" (google-benchmark's own library_build_type
+# check would miss an application-level -DNDEBUG drop, which has happened).
+BENCH_PROBE="$(mktemp /tmp/rp_check_bench.XXXXXX.json)"
+./build/bench/bench_micro_ops --benchmark_filter='BM_Gemm/32$' \
+  --benchmark_repetitions=1 --benchmark_out="$BENCH_PROBE" \
+  --benchmark_out_format=json >/dev/null
+python3 - "$BENCH_PROBE" <<'EOF'
+import json, sys
+ctx = json.load(open(sys.argv[1]))["context"]
+bt = ctx.get("rp_build_type")
+if bt != "release":
+    sys.exit(f"bench gate: rp_build_type={bt!r}, need 'release' "
+             "(rebuild with -DCMAKE_BUILD_TYPE=Release)")
+print("bench provenance OK: rp_build_type=release")
+EOF
+rm -f "$BENCH_PROBE"
+
 if [[ "${RP_CHECK_SKIP_ASAN:-0}" != "1" ]]; then
-  echo "== [5/5] ASan+UBSan build + tests =="
+  echo "== [6/6] ASan+UBSan build + tests =="
   cmake -B build-asan -S . -DRP_SANITIZE=address,undefined -DRP_WERROR=ON
   cmake --build build-asan -j "$JOBS"
   ctest --test-dir build-asan --output-on-failure -j "$JOBS"

@@ -95,6 +95,11 @@ void ResidualBlock::set_profiling(bool on) {
   if (shortcut_) shortcut_->set_profiling(on);
 }
 
+void ResidualBlock::set_sparse(bool on) {
+  main_.set_sparse(on);
+  if (shortcut_) shortcut_->set_sparse(on);
+}
+
 int64_t ResidualBlock::flops() const {
   return main_.flops() + (shortcut_ ? shortcut_->flops() : 0);
 }
@@ -142,6 +147,8 @@ void DenseLayer::collect_buffers(std::vector<std::pair<std::string, Tensor*>>& o
   branch_.collect_buffers(out);
 }
 void DenseLayer::set_profiling(bool on) { branch_.set_profiling(on); }
+
+void DenseLayer::set_sparse(bool on) { branch_.set_sparse(on); }
 
 // ----- helpers -----------------------------------------------------------------------
 

@@ -22,6 +22,7 @@ class ResidualBlock final : public Module {
   void collect_prunable(std::vector<PrunableSpec>& out) override;
   void collect_buffers(std::vector<std::pair<std::string, Tensor*>>& out) override;
   void set_profiling(bool on) override;
+  void set_sparse(bool on) override;
   int64_t flops() const override;
   std::string name() const override { return name_; }
 
@@ -44,6 +45,7 @@ class DenseLayer final : public Module {
   void collect_prunable(std::vector<PrunableSpec>& out) override;
   void collect_buffers(std::vector<std::pair<std::string, Tensor*>>& out) override;
   void set_profiling(bool on) override;
+  void set_sparse(bool on) override;
   int64_t flops() const override { return branch_.flops(); }
   std::string name() const override { return name_; }
 

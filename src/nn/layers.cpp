@@ -72,7 +72,11 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
     if (y_n.shape() != Shape{out_c_, oplane}) y_n = Tensor(Shape{out_c_, oplane});
     for (int64_t i = i0; i < i1; ++i) {
       im2col(x.slice0(i), geom_, cols);
-      gemm(weight_.value, cols, y_n);
+      if (sparse_) {
+        sparse::matmul_into(sparse_w_, cols, y_n);
+      } else {
+        gemm(weight_.value, cols, y_n);  // rp-lint: allow(R9) dense path when sparse is off
+      }
       const float* src = y_n.data().data();
       float* dst = yd + i * out_c_ * oplane;
       if (use_bias_) {
@@ -149,10 +153,12 @@ Tensor Conv2d::backward(const Tensor& dy) {
       const Tensor x_n = cached_input_.slice0(i);
       im2col(x_n, geom_, cols);
       // dW_i = dy_n @ colsᵀ
+      // rp-lint: allow(R9) training backward: gradients need the dense weight
       gemm(dy_n, cols, dw_n, /*trans_a=*/false, /*trans_b=*/true, 1.0f, 0.0f);
       std::memcpy(dw_partial.data() + i * wsize, dw_n.data().data(),
                   static_cast<size_t>(wsize) * sizeof(float));
       // dcols = Wᵀ @ dy_n
+      // rp-lint: allow(R9) training backward: gradients need the dense weight
       gemm(weight_.value, dy_n, dcols, /*trans_a=*/true);
       col2im(dcols, geom_, dx_n);
       dx.set_slice0(i, dx_n);
@@ -209,6 +215,11 @@ void Conv2d::set_profiling(bool on) {
   }
 }
 
+void Conv2d::set_sparse(bool on) {
+  sparse_ = on && sparse::mode() != sparse::Mode::kOff;
+  sparse_w_ = sparse_ ? sparse::compile(weight_.value) : sparse::SparseWeight{};
+}
+
 int64_t Conv2d::flops() const {
   // Mask-aware MACs: every active weight fires once per output position.
   return weight_.active() * geom_.out_h() * geom_.out_w();
@@ -234,7 +245,12 @@ Tensor Linear::forward(const Tensor& x, bool /*train*/) {
   cached_input_ = x;
   const int64_t n = x.size(0);
   Tensor y(Shape{n, out_});
-  gemm(x, weight_.value, y, /*trans_a=*/false, /*trans_b=*/true);
+  if (sparse_) {
+    sparse::rhs_matmul_into(sparse_w_, x, y);
+  } else {
+    // rp-lint: allow(R9) dense path when sparse is off
+    gemm(x, weight_.value, y, /*trans_a=*/false, /*trans_b=*/true);
+  }
   if (use_bias_) {
     float* yd = y.data().data();
     const float* bd = bias_.value.data().data();
@@ -258,6 +274,7 @@ Tensor Linear::forward(const Tensor& x, bool /*train*/) {
 Tensor Linear::backward(const Tensor& dy) {
   const int64_t n = cached_input_.size(0);
   // dW += dyᵀ @ x
+  // rp-lint: allow(R9) training backward: gradients need the dense weight
   gemm(dy, cached_input_, weight_.grad, /*trans_a=*/true, /*trans_b=*/false, 1.0f, 1.0f);
   if (use_bias_) {
     float* bg = bias_.grad.data().data();
@@ -265,6 +282,7 @@ Tensor Linear::backward(const Tensor& dy) {
     for (int64_t i = 0; i < n; ++i) simd::add(bg, dyd + i * out_, out_);
   }
   Tensor dx(Shape{n, in_});
+  // rp-lint: allow(R9) training backward: gradients need the dense weight
   gemm(dy, weight_.value, dx);
   return dx;
 }
@@ -294,6 +312,11 @@ void Linear::set_profiling(bool on) {
     std::fill(in_stat_.begin(), in_stat_.end(), 0.0f);
     std::fill(out_stat_.begin(), out_stat_.end(), 0.0f);
   }
+}
+
+void Linear::set_sparse(bool on) {
+  sparse_ = on && sparse::mode() != sparse::Mode::kOff;
+  sparse_w_ = sparse_ ? sparse::compile(weight_.value) : sparse::SparseWeight{};
 }
 
 int64_t Linear::flops() const { return weight_.active(); }
@@ -592,6 +615,10 @@ void Sequential::collect_buffers(std::vector<std::pair<std::string, Tensor*>>& o
 
 void Sequential::set_profiling(bool on) {
   for (auto& m : children_) m->set_profiling(on);
+}
+
+void Sequential::set_sparse(bool on) {
+  for (auto& m : children_) m->set_sparse(on);
 }
 
 int64_t Sequential::flops() const {

@@ -5,6 +5,7 @@
 #include "nn/module.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/rng.hpp"
+#include "tensor/sparse.hpp"
 
 namespace rp::nn {
 
@@ -25,6 +26,7 @@ class Conv2d final : public Module {
   void collect_params(std::vector<Parameter*>& out) override;
   void collect_prunable(std::vector<PrunableSpec>& out) override;
   void set_profiling(bool on) override;
+  void set_sparse(bool on) override;
   int64_t flops() const override;
   std::string name() const override { return name_; }
 
@@ -47,6 +49,9 @@ class Conv2d final : public Module {
 
   bool profiling_ = false;
   std::vector<float> in_stat_, out_stat_;
+
+  bool sparse_ = false;
+  sparse::SparseWeight sparse_w_;  ///< compiled weight while sparse_ is on
 };
 
 /// Fully connected layer over [N, in] batches: y = x Wᵀ + b.
@@ -59,6 +64,7 @@ class Linear final : public Module {
   void collect_params(std::vector<Parameter*>& out) override;
   void collect_prunable(std::vector<PrunableSpec>& out) override;
   void set_profiling(bool on) override;
+  void set_sparse(bool on) override;
   int64_t flops() const override;
   std::string name() const override { return name_; }
 
@@ -74,6 +80,9 @@ class Linear final : public Module {
   Tensor cached_input_;
   bool profiling_ = false;
   std::vector<float> in_stat_, out_stat_;
+
+  bool sparse_ = false;
+  sparse::SparseWeight sparse_w_;  ///< compiled weight while sparse_ is on
 };
 
 /// Batch normalization over the channel axis of [N, C, H, W].
@@ -180,6 +189,7 @@ class Sequential final : public Module {
   void collect_prunable(std::vector<PrunableSpec>& out) override;
   void collect_buffers(std::vector<std::pair<std::string, Tensor*>>& out) override;
   void set_profiling(bool on) override;
+  void set_sparse(bool on) override;
   int64_t flops() const override;
   std::string name() const override { return name_; }
 

@@ -96,6 +96,14 @@ class Module {
   /// statistics during forward passes (for SiPP/PFP sensitivities).
   virtual void set_profiling(bool /*on*/) {}
 
+  /// When sparse execution is on, layers with prunable weights compile their
+  /// current weight through the sparse engine (tensor/sparse.hpp) and run
+  /// forward GEMMs through the compiled form — bit-identical to the dense
+  /// path. Off (the default) discards the compiled weights; training and
+  /// pruning always mutate the dense tensors, so callers must re-enable
+  /// after any weight change. Composites forward to children.
+  virtual void set_sparse(bool /*on*/) {}
+
   /// Mask-aware multiply-accumulate count for one sample's forward pass.
   virtual int64_t flops() const { return 0; }
 

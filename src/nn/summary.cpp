@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <iostream>
 
+#include "tensor/sparse.hpp"
+
 namespace rp::nn {
 
 NetworkSummary summarize(Network& net) {
@@ -30,6 +32,12 @@ NetworkSummary summarize(Network& net) {
     // FLOPs per layer: active weights times output positions (matches the
     // layer's own accounting in Conv2d/Linear::flops()).
     l.flops = l.active * spec.out_positions;
+    // What the sparse engine would run for this layer under the current
+    // RP_SPARSE mode, and the MACs its skipped zeros avoid per sample.
+    const auto plan = sparse::analyze(spec.weight->value, sparse::mode());
+    l.nnz = plan.nnz;
+    l.layout = sparse::layout_name(plan.layout);
+    l.flops_saved = (l.weights - l.nnz) * spec.out_positions;
     s.layers.push_back(std::move(l));
   }
   return s;
@@ -40,15 +48,19 @@ void print_summary(const NetworkSummary& s, std::ostream& os) {
   os << s.arch << " — " << s.total_params << " params (" << s.prunable_total << " prunable, "
      << s.other_params << " other), " << s.flops << " MACs/sample, prune ratio "
      << static_cast<int>(100.0 * s.prune_ratio + 0.5) << "%\n";
-  std::snprintf(buf, sizeof(buf), "  %-16s %8s %8s %10s %10s %10s %12s\n", "layer", "units",
-                "fan-in", "weights", "active", "filters", "MACs");
+  std::snprintf(buf, sizeof(buf), "  %-16s %8s %8s %10s %10s %10s %10s %7s %12s %12s\n", "layer",
+                "units", "fan-in", "weights", "active", "filters", "nnz", "layout", "MACs",
+                "MACs-saved");
   os << buf;
   for (const auto& l : s.layers) {
-    std::snprintf(buf, sizeof(buf), "  %-16s %8lld %8lld %10lld %10lld %5lld/%-5lld %12lld\n",
+    std::snprintf(buf, sizeof(buf),
+                  "  %-16s %8lld %8lld %10lld %10lld %5lld/%-5lld %10lld %7s %12lld %12lld\n",
                   l.name.c_str(), static_cast<long long>(l.out_units),
                   static_cast<long long>(l.fan_in), static_cast<long long>(l.weights),
                   static_cast<long long>(l.active), static_cast<long long>(l.active_filters),
-                  static_cast<long long>(l.out_units), static_cast<long long>(l.flops));
+                  static_cast<long long>(l.out_units), static_cast<long long>(l.nnz),
+                  l.layout.c_str(), static_cast<long long>(l.flops),
+                  static_cast<long long>(l.flops_saved));
     os << buf;
   }
 }

@@ -17,6 +17,9 @@ struct LayerSummary {
   int64_t active = 0;         ///< unpruned weights
   int64_t active_filters = 0; ///< rows with at least one live weight
   int64_t flops = 0;          ///< mask-aware MACs per sample
+  int64_t nnz = 0;            ///< measured nonzero weight values
+  std::string layout;         ///< layout the sparse engine picks (RP_SPARSE mode)
+  int64_t flops_saved = 0;    ///< dense MACs minus mask-aware MACs per sample
 };
 
 /// Whole-network summary (prunable layers only; biases/BN params are counted

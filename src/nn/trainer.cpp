@@ -9,6 +9,7 @@
 #include "obs/obs.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/parallel.hpp"
+#include "tensor/sparse.hpp"
 
 namespace rp::nn {
 
@@ -30,6 +31,33 @@ class ShardNets {
  private:
   Network& net_;
   std::vector<NetworkPtr> clones_;
+};
+
+/// Compiles sparse weights for the primary net and every shard clone at
+/// entry, discards them at exit. Scoped to one eval/predict/profile call so
+/// the compiled forms can never go stale: training and pruning between calls
+/// always mutate the dense weights. A no-op under RP_SPARSE=off.
+class SparseScope {
+ public:
+  SparseScope(Network& net, ShardNets& nets)
+      : net_(net), nets_(nets), on_(sparse::mode() != sparse::Mode::kOff) {
+    if (!on_) return;
+    const obs::Span span("sparse.compile");
+    net_.set_sparse(true);
+    for (auto& c : nets_.clones()) c->set_sparse(true);
+  }
+  ~SparseScope() {
+    if (!on_) return;
+    net_.set_sparse(false);
+    for (auto& c : nets_.clones()) c->set_sparse(false);
+  }
+  SparseScope(const SparseScope&) = delete;
+  SparseScope& operator=(const SparseScope&) = delete;
+
+ private:
+  Network& net_;
+  ShardNets& nets_;
+  bool on_;
 };
 
 }  // namespace
@@ -90,6 +118,7 @@ EvalResult evaluate(Network& net, const data::Dataset& ds, int batch_size) {
 
   const int shards = parallel::shard_count(nbatches);
   ShardNets nets(net, shards);
+  const SparseScope sparse_scope(net, nets);
   parallel::run_shards(shards, nbatches, [&](int s, int64_t b0, int64_t b1) {
     Network& worker = nets[s];
     std::vector<int64_t> idx;
@@ -151,6 +180,7 @@ Tensor predict(Network& net, const Tensor& images, int batch_size) {
   std::vector<Tensor> logits_per_batch(static_cast<size_t>(nbatches));
   const int shards = parallel::shard_count(nbatches);
   ShardNets nets(net, shards);
+  const SparseScope sparse_scope(net, nets);
   parallel::run_shards(shards, nbatches, [&](int s, int64_t b0, int64_t b1) {
     Network& worker = nets[s];
     for (int64_t b = b0; b < b1; ++b) {
@@ -184,6 +214,7 @@ void profile_activations(Network& net, const data::Dataset& ds, int64_t max_samp
 
   const int shards = parallel::shard_count(nchunks);
   ShardNets nets(net, shards);
+  const SparseScope sparse_scope(net, nets);
   net.set_profiling(true);
   for (auto& c : nets.clones()) c->set_profiling(true);
 

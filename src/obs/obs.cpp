@@ -193,6 +193,9 @@ const char* counter_name(Counter c) {
     case Counter::kPoolChunks: return "pool.chunks";
     case Counter::kTrainSamples: return "train.samples";
     case Counter::kEvalSamples: return "eval.samples";
+    case Counter::kGemmSparseCalls: return "gemm.sparse_calls";
+    case Counter::kSparseNnz: return "sparse.nnz";
+    case Counter::kSparseBytesSaved: return "sparse.bytes_saved";
     case Counter::kSpans: return "trace.spans";
     case Counter::kSpansDropped: return "trace.spans_dropped";
     case Counter::kCount: break;

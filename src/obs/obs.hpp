@@ -41,6 +41,9 @@ enum class Counter : int {
   kPoolChunks,          ///< parallel_for chunks executed (all lanes)
   kTrainSamples,        ///< samples seen by nn::train (per epoch pass)
   kEvalSamples,         ///< samples scored by nn::evaluate
+  kGemmSparseCalls,     ///< sparse-engine matmuls dispatched (csr/block layouts)
+  kSparseNnz,           ///< nonzeros in weights compiled to a sparse layout
+  kSparseBytesSaved,    ///< dense bytes minus compiled bytes, summed over compiles
   kSpans,               ///< trace spans recorded
   kSpansDropped,        ///< spans dropped after the trace buffer cap
   kCount

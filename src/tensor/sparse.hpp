@@ -1,0 +1,154 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+// Compile-to-sparse execution engine: turns a pruned layer's measured zero
+// pattern into a compact layout (CSR or 4×8 block-sparse) plus sparse×dense
+// microkernels, so prune ratio becomes wall-clock speedup on the eval path.
+//
+// Contract (DESIGN.md §6 "Sparse execution"): the sparse path is bit-identical
+// to the dense reference. Per output element the stored nonzeros are walked
+// in ascending k order with single-rounded fused multiply-adds — the exact
+// chain the dense gemm executes after its own zero skip, because a term with
+// a 0.0f operand is a bit-level no-op for finite operands (c + ±0 == c when
+// the accumulator starts from +0 and can never become -0). The memcmp tests
+// in tests/test_sparse.cpp enforce this across RP_SPARSE × RP_SIMD ×
+// RP_THREADS.
+//
+// Selection: RP_SPARSE=off forces the dense path, =csr / =block force one
+// layout for every compiled layer, and unset/auto picks per layer from the
+// measured density (see analyze()). This mirrors the RP_SIMD escape hatch.
+namespace rp::sparse {
+
+// ---------------------------------------------------------------------------
+// Mode — the RP_SPARSE escape hatch.
+
+enum class Mode { kOff = 0, kCsr = 1, kBlock = 2, kAuto = 3 };
+
+/// Mode resolved once from RP_SPARSE (or the last force()).
+Mode mode();
+
+/// Test hooks: pin the mode / restore env resolution — same shape as
+/// simd::force/reset.
+void force(Mode m);
+void reset();
+
+/// Spec name of a mode ("off", "csr", "block", "auto").
+const char* mode_name(Mode m);
+
+// ---------------------------------------------------------------------------
+// Layouts
+
+enum class Layout { kDense = 0, kCsr = 1, kBlock = 2 };
+
+/// Display name of a layout ("dense", "csr", "block").
+const char* layout_name(Layout l);
+
+/// Block-sparse tile geometry: 4 output rows × 8 k columns per stored block.
+inline constexpr int64_t kBlockRows = 4;
+inline constexpr int64_t kBlockCols = 8;
+
+/// auto keeps a layer dense at or above this density — at half density the
+/// dense kernel's zero skip plus its packing reuse already win.
+inline constexpr double kDenseDensityThreshold = 0.5;
+/// auto picks block over CSR when the nonzeros cover at least this fraction
+/// of their occupied 4×8 tiles — below it the tiles are mostly padding and
+/// CSR's exact nnz walk is cheaper.
+inline constexpr double kBlockOccupancyThreshold = 0.4;
+
+/// What the compiler decided for one weight matrix, and why.
+struct Plan {
+  Layout layout = Layout::kDense;
+  int64_t nnz = 0;
+  double density = 1.0;          ///< nnz / numel (1.0 for an empty matrix)
+  double block_occupancy = 0.0;  ///< nnz / (32 × occupied 4×8 tiles)
+};
+
+/// Inspects the measured zero pattern of a 2-D weight matrix and picks the
+/// layout `compile()` would use under mode `m`.
+Plan analyze(const Tensor& w, Mode m);
+
+// ---------------------------------------------------------------------------
+// Compiled representation
+
+/// One weight matrix compiled for sparse execution. Exactly one layout's
+/// fields are populated; `to_dense()` reconstructs the original matrix
+/// bit-for-bit in every layout.
+struct SparseWeight {
+  Layout layout = Layout::kDense;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  int64_t nnz = 0;
+
+  // CSR: row i owns values[row_ptr[i]:row_ptr[i+1]] at strictly ascending
+  // columns col_idx[...].
+  std::vector<int32_t> row_ptr;
+  std::vector<int32_t> col_idx;
+  std::vector<float> values;
+
+  // 4×8 block-sparse: block-row br (rows [4br, 4br+4)) owns blocks
+  // blk_col[blk_row_ptr[br]:blk_row_ptr[br+1]] at strictly ascending block
+  // columns; blk_values stores a row-major 4×8 tile per block (edge tiles
+  // zero-padded).
+  std::vector<int32_t> blk_row_ptr;
+  std::vector<int32_t> blk_col;
+  std::vector<float> blk_values;
+
+  // Dense layout keeps the matrix as-is so round-trips and serialization
+  // work uniformly across layouts.
+  Tensor dense;
+
+  /// Bytes this representation occupies (index + value storage).
+  int64_t bytes() const;
+  /// Exact dense reconstruction, Shape{rows, cols}.
+  Tensor to_dense() const;
+};
+
+/// Compiles a 2-D weight matrix under mode `m` (default: the RP_SPARSE
+/// mode). Counts obs sparse.nnz / sparse.bytes_saved.
+SparseWeight compile(const Tensor& w, Mode m);
+SparseWeight compile(const Tensor& w);
+
+// ---------------------------------------------------------------------------
+// Execution
+
+/// C[rows, n] = W @ B for dense row-major B[cols, n], overwriting C (dense
+/// beta = 0 semantics). Parallel over disjoint output rows — bit-identical
+/// for any RP_THREADS — and dispatched through the RP_SIMD kernel tables.
+/// Counts obs gemm.sparse_calls on the sparse layouts.
+void matmul_into(const SparseWeight& w, const Tensor& b, Tensor& c);
+
+/// Y[n, rows] = X[n, cols] @ Wᵀ — the Linear forward orientation — computed
+/// as Yᵀ = W @ Xᵀ through per-lane transpose scratch. fma(a, b, c) ==
+/// fma(b, a, c) bit-exactly, so this equals the dense
+/// gemm(x, w, y, /*trans_a=*/false, /*trans_b=*/true) reference.
+void rhs_matmul_into(const SparseWeight& w, const Tensor& x, Tensor& y);
+
+// ---------------------------------------------------------------------------
+// Serialization — sparse layouts ride the RPT tensor-bundle format (CRC32C
+// footer + durable_write + fault injection for free).
+
+/// Flattens to named float32 tensors under `prefix` (".meta" plus the
+/// layout's index/value arrays). Indices are stored as float32, exact up to
+/// 2^24 — far above any layer in this repository; throws std::length_error
+/// beyond that.
+std::vector<std::pair<std::string, Tensor>> to_tensors(const SparseWeight& w,
+                                                       const std::string& prefix);
+
+/// Rebuilds a SparseWeight from `to_tensors` output. Structural damage
+/// (missing arrays, non-monotone row pointers, out-of-range or unsorted
+/// indices) throws CorruptArtifact so cache layers quarantine instead of
+/// crash.
+SparseWeight from_tensors(const std::vector<std::pair<std::string, Tensor>>& items,
+                          const std::string& prefix);
+
+/// File wrappers over the checked RPT bundle savers (serialize.hpp).
+void save_sparse_file(const std::string& path, const SparseWeight& w);
+SparseWeight load_sparse_file(const std::string& path);
+
+}  // namespace rp::sparse

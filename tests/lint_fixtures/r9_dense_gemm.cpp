@@ -1,0 +1,4 @@
+// R9 fixture: dense gemm call bypassing sparse dispatch. Never compiled.
+void gemm(const float* a, float* c);
+void bad(const float* a, float* c) { gemm(a, c); }
+void ok(const float* a, float* c) { gemm(a, c); }  // rp-lint: allow(R9) fixture: training backward path

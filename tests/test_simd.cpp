@@ -64,6 +64,8 @@ TEST(SimdDispatch, EveryCompiledTableIsComplete) {
   for (const simd::Kernels* t : {simd::avx2_kernels(), simd::neon_kernels()}) {
     if (t == nullptr) continue;
     EXPECT_NE(t->gemm_panel, nullptr);
+    EXPECT_NE(t->csr_gemm, nullptr);
+    EXPECT_NE(t->block_gemm, nullptr);
     EXPECT_NE(t->relu, nullptr);
     EXPECT_NE(t->relu_grad, nullptr);
     EXPECT_NE(t->add, nullptr);

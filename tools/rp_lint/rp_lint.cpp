@@ -212,6 +212,7 @@ class Linter {
     rule_r6();
     rule_r7();
     rule_r8();
+    rule_r9();
     apply_suppressions();
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
@@ -536,6 +537,31 @@ class Linter {
     }
   }
 
+  /// R9: sparse-dispatch bypass. A direct gemm(...) call in network or
+  /// experiment code skips the compile-to-sparse engine (tensor/sparse.hpp),
+  /// so pruned layers silently run dense and the prune-ratio speedup
+  /// evaporates. Forward paths dispatch through sparse::matmul_into /
+  /// rhs_matmul_into (or the layer's sparse_ flag); training backward paths
+  /// and deliberate dense fallbacks carry an allow(R9) stating why.
+  void rule_r9() {
+    if (!in_dirs({"src/nn/", "src/core/"})) return;
+    const auto& t = toks();
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != Tok::Ident || t[i].text != "gemm") continue;
+      if (i + 1 >= t.size() || t[i + 1].text != "(") continue;
+      // Skip qualified calls (sparse::..., obj.gemm) and declarations
+      // (`void gemm(...)` — preceded by a type name).
+      if (i > 0 && (t[i - 1].text == "::" || t[i - 1].text == "." || t[i - 1].text == "->")) {
+        continue;
+      }
+      if (i > 0 && t[i - 1].kind == Tok::Ident && !is_keyword(t[i - 1].text)) continue;
+      add(t[i].line, "R9",
+          "direct gemm() call bypasses the sparse execution engine; dispatch through "
+          "rp::sparse (tensor/sparse.hpp) or allow(R9) a training/backward or deliberate "
+          "dense path");
+    }
+  }
+
   void apply_suppressions() {
     std::vector<Finding> kept;
     for (const Finding& f : findings_) {
@@ -601,7 +627,8 @@ void list_rules() {
       << "R5  reinterpret_cast outside src/tensor/serialize.cpp and src/data/image_io.cpp\n"
       << "R6  C-style casts to integer types in stats code (src/core, src/exp)\n"
       << "R7  unit-grain parallel_for/run_shards dispatch outside per-sample/per-shard loops\n"
-      << "R8  raw ofstream/filesystem::rename artifact I/O in src/ bypassing fault::durable_write\n";
+      << "R8  raw ofstream/filesystem::rename artifact I/O in src/ bypassing fault::durable_write\n"
+      << "R9  direct gemm() calls in src/nn, src/core bypassing the sparse execution engine\n";
 }
 
 }  // namespace
