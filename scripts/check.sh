@@ -30,6 +30,15 @@ cmake -B build -S . -DRP_WERROR=ON
 cmake --build build -j "$JOBS"
 RP_SPARSE=auto ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "== [1b] rp-lint tree pass: JSON archive + scan timing =="
+# The suite above already gates on rp_lint_tree; this pass archives the
+# machine-readable findings (CI/editor consumption) and surfaces the
+# obs-style stderr timing line so lint-runtime regressions are visible.
+RP_LINT_JSON="${RP_LINT_JSON:-build/rp_lint_findings.json}"
+./build/tools/rp_lint/rp_lint --root . --json --show-suppressed > "$RP_LINT_JSON"
+python3 -c "import json,sys; n=len(json.load(open(sys.argv[1]))); print(f'lint archive OK: {n} record(s) ->', sys.argv[1])" \
+  "$RP_LINT_JSON"
+
 echo "== [2/6] Same suite with RP_SIMD=off (scalar fallback) and RP_SPARSE=off (dense path) =="
 RP_SIMD=off ctest --test-dir build --output-on-failure -j "$JOBS"
 RP_SPARSE=off ctest --test-dir build --output-on-failure -j "$JOBS"

@@ -40,14 +40,14 @@ std::vector<int64_t> InMemoryDataset::dense_labels(int64_t i) const {
 Batch make_batch(const Dataset& ds, std::span<const int64_t> indices,
                  const ImageTransform* transform, Rng* rng) {
   if (indices.empty()) throw std::invalid_argument("make_batch: empty index list");
-  Tensor first = ds.image(indices[0]);
+  Tensor first = ds.image(indices[0]);  // rp-lint: allow(R12) per-batch staging tensor; ROADMAP arena target
   const auto& d = first.shape().dims();
   Batch batch;
-  batch.images = Tensor(Shape{static_cast<int64_t>(indices.size()), d[0], d[1], d[2]});
+  batch.images = Tensor(Shape{static_cast<int64_t>(indices.size()), d[0], d[1], d[2]});  // rp-lint: allow(R12) per-batch staging tensor; ROADMAP arena target
   const bool seg = ds.segmentation();
 
   for (size_t b = 0; b < indices.size(); ++b) {
-    Tensor img = (b == 0) ? first : ds.image(indices[b]);
+    Tensor img = (b == 0) ? first : ds.image(indices[b]);  // rp-lint: allow(R12) per-batch staging tensor; ROADMAP arena target
     if (transform) {
       if (!rng) throw std::invalid_argument("make_batch: transform requires an rng");
       img = (*transform)(img, *rng);
@@ -55,9 +55,9 @@ Batch make_batch(const Dataset& ds, std::span<const int64_t> indices,
     batch.images.set_slice0(static_cast<int64_t>(b), img);
     if (seg) {
       auto dl = ds.dense_labels(indices[b]);
-      batch.labels.insert(batch.labels.end(), dl.begin(), dl.end());
+      batch.labels.insert(batch.labels.end(), dl.begin(), dl.end());  // rp-lint: allow(R12) per-batch label append, bounded by batch size
     } else {
-      batch.labels.push_back(ds.label(indices[b]));
+      batch.labels.push_back(ds.label(indices[b]));  // rp-lint: allow(R12) per-batch label append, bounded by batch size
     }
   }
   return batch;

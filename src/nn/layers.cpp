@@ -48,6 +48,7 @@ Conv2d::Conv2d(std::string name, int64_t in_c, int64_t out_c, int64_t k, int64_t
       in_stat_(static_cast<size_t>(in_c), 0.0f),
       out_stat_(static_cast<size_t>(out_c), 0.0f) {}
 
+// rp-lint: hot — marks the name-merged `forward` node: every layer forward
 Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
   check_4d(x, "Conv2d");
   const int64_t n = x.size(0);
@@ -58,7 +59,7 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
   }
   cached_input_ = x;
   const int64_t oplane = oh * ow;
-  Tensor y(Shape{n, out_c_, oh, ow});
+  Tensor y(Shape{n, out_c_, oh, ow});  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
   float* yd = y.data().data();
 
   // Samples are independent (each writes its own output plane), so the
@@ -67,9 +68,9 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
   // shares these with another forward in flight.
   // rp-lint: allow(R7) per-sample loop: each iteration is an im2col + GEMM
   parallel::parallel_for(0, n, 1, [&](int64_t i0, int64_t i1) {
-    thread_local Tensor cols;  // rp-lint: allow(R3) per-lane im2col scratch
-    thread_local Tensor y_n;   // rp-lint: allow(R3) per-lane output scratch
-    if (y_n.shape() != Shape{out_c_, oplane}) y_n = Tensor(Shape{out_c_, oplane});
+    thread_local Tensor cols;  // rp-lint: allow(R12,R3) per-lane im2col scratch; R12: per-call activation/gradient tensor; ROADMAP activation-arena target
+    thread_local Tensor y_n;   // rp-lint: allow(R12,R3) per-lane output scratch; R12: per-call activation/gradient tensor; ROADMAP activation-arena target
+    if (y_n.shape() != Shape{out_c_, oplane}) y_n = Tensor(Shape{out_c_, oplane});  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
     for (int64_t i = i0; i < i1; ++i) {
       im2col(x.slice0(i), geom_, cols);
       if (sparse_) {
@@ -120,12 +121,13 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
   return y;
 }
 
+// rp-lint: hot — marks the name-merged `backward` node: every layer backward
 Tensor Conv2d::backward(const Tensor& dy) {
   const int64_t n = cached_input_.size(0);
   const int64_t oh = geom_.out_h(), ow = geom_.out_w();
   const int64_t oplane = oh * ow;
   const int64_t wsize = out_c_ * geom_.patch();
-  Tensor dx(cached_input_.shape());
+  Tensor dx(cached_input_.shape());  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
 
   // Parallel over samples (same recipe as evaluate()): each sample's dW and
   // db contribution is computed independently — a beta=0 GEMM into per-lane
@@ -138,19 +140,19 @@ Tensor Conv2d::backward(const Tensor& dy) {
 
   // rp-lint: allow(R7) per-sample loop: each iteration is an im2col + two GEMMs
   parallel::parallel_for(0, n, 1, [&](int64_t i0, int64_t i1) {
-    thread_local Tensor cols;   // rp-lint: allow(R3) per-lane im2col scratch
-    thread_local Tensor dcols;  // rp-lint: allow(R3) per-lane col-gradient scratch
-    thread_local Tensor dw_n;   // rp-lint: allow(R3) per-lane dW scratch
-    thread_local Tensor dx_n;   // rp-lint: allow(R3) per-lane dx scratch
+    thread_local Tensor cols;   // rp-lint: allow(R12,R3) per-lane im2col scratch; R12: per-call activation/gradient tensor; ROADMAP activation-arena target
+    thread_local Tensor dcols;  // rp-lint: allow(R12,R3) per-lane col-gradient scratch; R12: per-call activation/gradient tensor; ROADMAP activation-arena target
+    thread_local Tensor dw_n;   // rp-lint: allow(R12,R3) per-lane dW scratch; R12: per-call activation/gradient tensor; ROADMAP activation-arena target
+    thread_local Tensor dx_n;   // rp-lint: allow(R12,R3) per-lane dx scratch; R12: per-call activation/gradient tensor; ROADMAP activation-arena target
     if (dcols.shape() != Shape{geom_.patch(), oplane}) {
-      dcols = Tensor(Shape{geom_.patch(), oplane});
+      dcols = Tensor(Shape{geom_.patch(), oplane});  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
     }
     if (dw_n.shape() != Shape{out_c_, geom_.patch()}) {
-      dw_n = Tensor(Shape{out_c_, geom_.patch()});
+      dw_n = Tensor(Shape{out_c_, geom_.patch()});  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
     }
     for (int64_t i = i0; i < i1; ++i) {
-      const Tensor dy_n = dy.slice0(i).reshape(Shape{out_c_, oplane});
-      const Tensor x_n = cached_input_.slice0(i);
+      const Tensor dy_n = dy.slice0(i).reshape(Shape{out_c_, oplane});  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
+      const Tensor x_n = cached_input_.slice0(i);  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
       im2col(x_n, geom_, cols);
       // dW_i = dy_n @ colsᵀ
       // rp-lint: allow(R9) training backward: gradients need the dense weight
@@ -244,7 +246,7 @@ Tensor Linear::forward(const Tensor& x, bool /*train*/) {
   }
   cached_input_ = x;
   const int64_t n = x.size(0);
-  Tensor y(Shape{n, out_});
+  Tensor y(Shape{n, out_});  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
   if (sparse_) {
     sparse::rhs_matmul_into(sparse_w_, x, y);
   } else {
@@ -281,7 +283,7 @@ Tensor Linear::backward(const Tensor& dy) {
     const float* dyd = dy.data().data();
     for (int64_t i = 0; i < n; ++i) simd::add(bg, dyd + i * out_, out_);
   }
-  Tensor dx(Shape{n, in_});
+  Tensor dx(Shape{n, in_});  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
   // rp-lint: allow(R9) training backward: gradients need the dense weight
   gemm(dy, weight_.value, dx);
   return dx;
@@ -341,9 +343,9 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
   const float count = static_cast<float>(n * plane);
   flops_ = 2 * c_ * plane;
 
-  cached_xhat_ = Tensor(x.shape());
+  cached_xhat_ = Tensor(x.shape());  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
   cached_inv_std_.assign(static_cast<size_t>(c_), 0.0f);
-  Tensor y(x.shape());
+  Tensor y(x.shape());  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
   const float* xd = x.data().data();
   float* xh = cached_xhat_.data().data();
   float* yd = y.data().data();
@@ -392,7 +394,7 @@ Tensor BatchNorm2d::backward(const Tensor& dy) {
   const int64_t n = dy.size(0), h = dy.size(2), w = dy.size(3);
   const int64_t plane = h * w;
   const float count = static_cast<float>(n * plane);
-  Tensor dx(dy.shape());
+  Tensor dx(dy.shape());  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
   const float* dyd = dy.data().data();
   const float* xh = cached_xhat_.data().data();
   float* dxd = dx.data().data();
@@ -440,13 +442,13 @@ void BatchNorm2d::collect_buffers(std::vector<std::pair<std::string, Tensor*>>& 
 
 Tensor ReLU::forward(const Tensor& x, bool /*train*/) {
   cached_input_ = x;
-  Tensor y = x;
+  Tensor y = x;  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
   simd::relu(y.data().data(), y.numel());
   return y;
 }
 
 Tensor ReLU::backward(const Tensor& dy) {
-  Tensor dx = dy;
+  Tensor dx = dy;  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
   simd::relu_grad(cached_input_.data().data(), dx.data().data(), dx.numel());
   return dx;
 }
@@ -462,7 +464,7 @@ Tensor MaxPool2d::forward(const Tensor& x, bool /*train*/) {
   }
   in_shape_ = x.shape();
   const int64_t oh = h / 2, ow = w / 2;
-  Tensor y(Shape{n, c, oh, ow});
+  Tensor y(Shape{n, c, oh, ow});  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
   arg_.assign(static_cast<size_t>(y.numel()), 0);
   const float* xd = x.data().data();
   float* yd = y.data().data();
@@ -491,7 +493,7 @@ Tensor MaxPool2d::forward(const Tensor& x, bool /*train*/) {
 }
 
 Tensor MaxPool2d::backward(const Tensor& dy) {
-  Tensor dx(in_shape_);
+  Tensor dx(in_shape_);  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
   float* dxd = dx.data().data();
   const float* dyd = dy.data().data();
   for (int64_t i = 0; i < dy.numel(); ++i) {
@@ -506,7 +508,7 @@ Tensor GlobalAvgPool::forward(const Tensor& x, bool /*train*/) {
   check_4d(x, "GlobalAvgPool");
   in_shape_ = x.shape();
   const int64_t n = x.size(0), c = x.size(1), plane = x.size(2) * x.size(3);
-  Tensor y(Shape{n, c});
+  Tensor y(Shape{n, c});  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
   const float* xd = x.data().data();
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t ch = 0; ch < c; ++ch) {
@@ -520,7 +522,7 @@ Tensor GlobalAvgPool::forward(const Tensor& x, bool /*train*/) {
 }
 
 Tensor GlobalAvgPool::backward(const Tensor& dy) {
-  Tensor dx(in_shape_);
+  Tensor dx(in_shape_);  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
   const int64_t n = in_shape_[0], c = in_shape_[1], plane = in_shape_[2] * in_shape_[3];
   float* dxd = dx.data().data();
   const float inv = 1.0f / static_cast<float>(plane);
@@ -549,7 +551,7 @@ Tensor Upsample2x::forward(const Tensor& x, bool /*train*/) {
   check_4d(x, "Upsample2x");
   in_shape_ = x.shape();
   const int64_t n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
-  Tensor y(Shape{n, c, 2 * h, 2 * w});
+  Tensor y(Shape{n, c, 2 * h, 2 * w});  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
   const float* xd = x.data().data();
   float* yd = y.data().data();
   for (int64_t i = 0; i < n * c; ++i) {
@@ -570,7 +572,7 @@ Tensor Upsample2x::forward(const Tensor& x, bool /*train*/) {
 }
 
 Tensor Upsample2x::backward(const Tensor& dy) {
-  Tensor dx(in_shape_);
+  Tensor dx(in_shape_);  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
   const int64_t n = in_shape_[0], c = in_shape_[1], h = in_shape_[2], w = in_shape_[3];
   const float* dyd = dy.data().data();
   float* dxd = dx.data().data();
@@ -590,13 +592,13 @@ Tensor Upsample2x::backward(const Tensor& dy) {
 // ----- Sequential --------------------------------------------------------------------
 
 Tensor Sequential::forward(const Tensor& x, bool train) {
-  Tensor y = x;
+  Tensor y = x;  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
   for (auto& m : children_) y = m->forward(y, train);
   return y;
 }
 
 Tensor Sequential::backward(const Tensor& dy) {
-  Tensor g = dy;
+  Tensor g = dy;  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
   for (auto it = children_.rbegin(); it != children_.rend(); ++it) g = (*it)->backward(g);
   return g;
 }
@@ -637,7 +639,7 @@ Tensor concat_channels(const Tensor& a, const Tensor& b) {
                                 " / " + b.shape().to_string());
   }
   const int64_t n = a.size(0), ca = a.size(1), cb = b.size(1), plane = a.size(2) * a.size(3);
-  Tensor y(Shape{n, ca + cb, a.size(2), a.size(3)});
+  Tensor y(Shape{n, ca + cb, a.size(2), a.size(3)});  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
   const float* ad = a.data().data();
   const float* bd = b.data().data();
   float* yd = y.data().data();

@@ -43,7 +43,7 @@ LossResult pixel_cross_entropy(const Tensor& logits, std::span<const int64_t> la
   }
 
   LossResult r;
-  r.dlogits = Tensor(logits.shape());
+  r.dlogits = Tensor(logits.shape());  // rp-lint: allow(R12) per-batch gradient tensor; ROADMAP arena target
   const float* ld = logits.data().data();
   float* gd = r.dlogits.data().data();
   double loss = 0.0;

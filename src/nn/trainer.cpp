@@ -99,6 +99,7 @@ void train(Network& net, const data::Dataset& ds, const TrainConfig& cfg) {
   }
 }
 
+// rp-lint: hot
 EvalResult evaluate(Network& net, const data::Dataset& ds, int batch_size) {
   const obs::Span span("nn.evaluate");
   const int64_t n = ds.size();
@@ -125,11 +126,11 @@ EvalResult evaluate(Network& net, const data::Dataset& ds, int batch_size) {
     for (int64_t b = b0; b < b1; ++b) {
       const int64_t start = b * batch_size;
       const int64_t end = std::min<int64_t>(start + batch_size, n);
-      idx.resize(static_cast<size_t>(end - start));
+      idx.resize(static_cast<size_t>(end - start));  // rp-lint: allow(R12) index scratch reused across batches; grows to batch size once
       std::iota(idx.begin(), idx.end(), start);
       data::Batch batch = data::make_batch(ds, idx);
 
-      Tensor logits = worker.forward(batch.images, /*train=*/false);
+      Tensor logits = worker.forward(batch.images, /*train=*/false);  // rp-lint: allow(R12) per-batch logits from forward; ROADMAP arena target
       BatchOut& o = partial[static_cast<size_t>(b)];
       if (seg) {
         const LossResult lr = pixel_cross_entropy(logits, batch.labels);
@@ -155,8 +156,8 @@ EvalResult evaluate(Network& net, const data::Dataset& ds, int batch_size) {
     loss_sum += o.loss;
     hits += o.hits;
     total += o.total;
-    all_pred.insert(all_pred.end(), o.pred.begin(), o.pred.end());
-    all_truth.insert(all_truth.end(), o.truth.begin(), o.truth.end());
+    all_pred.insert(all_pred.end(), o.pred.begin(), o.pred.end());  // rp-lint: allow(R12) results gather after the join, once per eval call
+    all_truth.insert(all_truth.end(), o.truth.begin(), o.truth.end());  // rp-lint: allow(R12) results gather after the join, once per eval call
   }
 
   EvalResult r;
@@ -169,12 +170,13 @@ EvalResult evaluate(Network& net, const data::Dataset& ds, int batch_size) {
   return r;
 }
 
+// rp-lint: hot
 Tensor predict(Network& net, const Tensor& images, int batch_size) {
   const obs::Span span("nn.predict");
   const int64_t n = images.size(0);
   obs::count(obs::Counter::kEvalSamples, n);
   const int64_t nbatches = (n + batch_size - 1) / batch_size;
-  if (nbatches == 0) return Tensor();
+  if (nbatches == 0) return Tensor();  // rp-lint: allow(R12) empty-input early return, never on the batch loop path
 
   // Per-batch logits, stitched together in batch order afterwards.
   std::vector<Tensor> logits_per_batch(static_cast<size_t>(nbatches));
@@ -186,7 +188,7 @@ Tensor predict(Network& net, const Tensor& images, int batch_size) {
     for (int64_t b = b0; b < b1; ++b) {
       const int64_t start = b * batch_size;
       const int64_t end = std::min<int64_t>(start + batch_size, n);
-      Tensor chunk(Shape{end - start, images.size(1), images.size(2), images.size(3)});
+      Tensor chunk(Shape{end - start, images.size(1), images.size(2), images.size(3)});  // rp-lint: allow(R12) per-batch staging copy of the input slice; ROADMAP arena target
       for (int64_t i = start; i < end; ++i) chunk.set_slice0(i - start, images.slice0(i));
       logits_per_batch[static_cast<size_t>(b)] = worker.forward(chunk, /*train=*/false);
     }
@@ -195,7 +197,7 @@ Tensor predict(Network& net, const Tensor& images, int batch_size) {
   std::vector<int64_t> dims = logits_per_batch[0].shape().dims();
   const int64_t row = logits_per_batch[0].numel() / logits_per_batch[0].size(0);
   dims[0] = n;
-  Tensor out(Shape(std::move(dims)));
+  Tensor out(Shape(std::move(dims)));  // rp-lint: allow(R12) stitched output allocated once per predict call
   float* od = out.data().data();
   int64_t at = 0;
   for (const Tensor& logits : logits_per_batch) {
@@ -206,6 +208,7 @@ Tensor predict(Network& net, const Tensor& images, int batch_size) {
   return out;
 }
 
+// rp-lint: hot
 void profile_activations(Network& net, const data::Dataset& ds, int64_t max_samples) {
   const obs::Span span("nn.profile_activations");
   const int64_t n = std::min<int64_t>(ds.size(), max_samples);
@@ -224,7 +227,7 @@ void profile_activations(Network& net, const data::Dataset& ds, int64_t max_samp
     for (int64_t chunk = c0; chunk < c1; ++chunk) {
       const int64_t start = chunk * kChunk;
       const int64_t end = std::min(start + kChunk, n);
-      idx.resize(static_cast<size_t>(end - start));
+      idx.resize(static_cast<size_t>(end - start));  // rp-lint: allow(R12) index scratch reused across chunks; grows to chunk size once
       std::iota(idx.begin(), idx.end(), start);
       data::Batch batch = data::make_batch(ds, idx);
       worker.forward(batch.images, /*train=*/false);

@@ -74,7 +74,7 @@ float l2_distance(const Tensor& a, const Tensor& b) {
 Tensor softmax_rows(const Tensor& logits) {
   if (logits.ndim() != 2) throw std::invalid_argument("softmax_rows expects a [N, C] matrix");
   const int64_t n = logits.size(0), c = logits.size(1);
-  Tensor out(logits.shape());
+  Tensor out(logits.shape());  // rp-lint: allow(R12) per-call output tensor; ROADMAP arena target
   const float* ld = logits.data().data();
   float* od = out.data().data();
   for (int64_t i = 0; i < n; ++i) {

@@ -53,7 +53,7 @@ class Pool {
     {
       std::lock_guard<std::mutex> lock(m_);
       ensure_workers_locked(threads_ - 1);
-      tasks_.push_back(std::move(task));
+      tasks_.push_back(std::move(task));  // rp-lint: allow(R12) pool task queue; one entry per shard dispatch, not per element
     }
     cv_.notify_one();
   }
@@ -75,7 +75,7 @@ class Pool {
       // Lane ids double as trace thread ids (caller = 0, workers = 1..N), so
       // chrome://tracing rows line up with the pool's lane numbering.
       const int lane = static_cast<int>(workers_.size()) + 1;
-      workers_.emplace_back([this, lane] {
+      workers_.emplace_back([this, lane] {  // rp-lint: allow(R12) one-time pool bring-up, not per-task work
         obs::set_thread_id(lane);
         worker_loop();
       });

@@ -400,6 +400,7 @@ Tensor SparseWeight::to_dense() const {
 // ---------------------------------------------------------------------------
 // Execution
 
+// rp-lint: hot
 void matmul_into(const SparseWeight& w, const Tensor& b, Tensor& c) {
   if (b.ndim() != 2 || c.ndim() != 2 || b.size(0) != w.cols || c.size(0) != w.rows ||
       c.size(1) != b.size(1)) {
@@ -418,6 +419,7 @@ void matmul_into(const SparseWeight& w, const Tensor& b, Tensor& c) {
   matmul_core(w, b.data().data(), cd, n);
 }
 
+// rp-lint: hot
 void rhs_matmul_into(const SparseWeight& w, const Tensor& x, Tensor& y) {
   if (x.ndim() != 2 || y.ndim() != 2 || x.size(1) != w.cols || y.size(0) != x.size(0) ||
       y.size(1) != w.rows) {
@@ -436,7 +438,7 @@ void rhs_matmul_into(const SparseWeight& w, const Tensor& x, Tensor& y) {
   // rp::gemm makes for trans_b, and fma(w, x, c) == fma(x, w, c) bitwise, so
   // this matches the dense gemm(x, w, y, false, true) reference exactly.
   const float* xd = x.data().data();
-  tl_xt_buf.resize(static_cast<size_t>(w.cols * n));
+  tl_xt_buf.resize(static_cast<size_t>(w.cols * n));  // rp-lint: allow(R12) thread_local transpose scratch; grows once, steady-state alloc-free
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t k = 0; k < w.cols; ++k) {
       tl_xt_buf[static_cast<size_t>(k * n + i)] = xd[i * w.cols + k];

@@ -45,7 +45,7 @@ Tensor Tensor::reshape(Shape new_shape) const {
     throw std::invalid_argument("reshape: cannot view " + shape_.to_string() + " as " +
                                 new_shape.to_string());
   }
-  Tensor t = *this;
+  Tensor t = *this;  // rp-lint: allow(R12) reshape deep-copies data_; ROADMAP arena/view-semantics target
   t.shape_ = std::move(new_shape);
   return t;
 }
@@ -58,7 +58,7 @@ Tensor Tensor::slice0(int64_t i) const {
   std::vector<int64_t> row_dims(shape_.dims().begin() + 1, shape_.dims().end());
   Shape row_shape(std::move(row_dims));
   const int64_t stride = row_shape.numel();
-  Tensor out(row_shape);
+  Tensor out(row_shape);  // rp-lint: allow(R12) per-slice staging copy; ROADMAP arena target
   std::memcpy(out.data().data(), data().data() + i * stride,
               static_cast<size_t>(stride) * sizeof(float));
   return out;

@@ -1,0 +1,72 @@
+// R10 fixture: parallel-lambda capture-race analysis.
+// Lines with violations are asserted by line number in test_rp_lint.cpp —
+// keep the layout stable.
+
+#include <cstdint>
+#include <vector>
+
+void parallel_for(int64_t, int64_t, int64_t, const void*);
+template <typename F>
+void parallel_for(int64_t, int64_t, int64_t, F&&);
+template <typename F>
+void run_shards(int, int64_t, F&&);
+
+void fires() {
+  double sum = 0.0;
+  std::vector<double> out(64);
+  int hits = 0;
+  // Scalar accumulation through a [&] capture: a classic reduction race.
+  parallel_for(0, 64, 8, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) sum += out[static_cast<size_t>(i)];  // line 20
+  });
+  // Explicit by-ref capture incremented from every lane.
+  run_shards(4, 64, [&hits](int s, int64_t b0, int64_t b1) {
+    (void)s;
+    (void)b0;
+    (void)b1;
+    ++hits;  // line 27
+  });
+  // Growing a captured container relocates its storage under other lanes.
+  parallel_for(0, 64, 8, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) out.push_back(static_cast<double>(i0 + i1));  // line 31
+  });
+}
+
+void fires_named_lambda() {
+  int64_t last = 0;
+  auto body = [&](int64_t i0, int64_t i1) {
+    last = i1 - i0;  // line 38
+  };
+  parallel_for(0, 64, 8, body);
+}
+
+void clean_disjoint_index() {
+  std::vector<double> out(64);
+  std::vector<double> partial(4);
+  // Indexed out[i] on the lambda's own induction variable: the documented
+  // disjoint-index idiom, including cast and affine-expression wrappers.
+  parallel_for(0, 64, 8, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) out[static_cast<size_t>(i)] = 1.0;
+  });
+  // Per-shard slot: each shard writes only partial[s].
+  run_shards(4, 64, [&](int s, int64_t b0, int64_t b1) {
+    partial[static_cast<size_t>(s)] = static_cast<double>(b1 - b0);
+  });
+  // Local accumulator folded into a per-shard slot after the loop.
+  run_shards(4, 64, [&](int s, int64_t b0, int64_t b1) {
+    double acc = 0.0;
+    for (int64_t b = b0; b < b1; ++b) acc += static_cast<double>(b);
+    partial[static_cast<size_t>(s)] = acc;
+  });
+}
+
+void clean_by_value_and_suppressed() {
+  int seen = 0;
+  std::vector<double> out(64);
+  // By-value capture: each lane owns a copy, no shared write.
+  parallel_for(0, 64, 8, [seen](int64_t i0, int64_t i1) mutable { seen += static_cast<int>(i1 - i0); });
+  // Same race as `fires`, carried with a written justification.
+  parallel_for(0, 64, 8, [&](int64_t i0, int64_t i1) {
+    out[0] = static_cast<double>(i0 + i1);  // rp-lint: allow(R10) fixture: single-lane dispatch in this test
+  });
+}

@@ -1,0 +1,6 @@
+// R11 fixture: half of a deliberate same-layer include cycle (a -> b -> a).
+// Same-layer edges are legal, so only the cycle check fires (line 5 of
+// whichever file closes the loop in sorted DFS order).
+#pragma once
+
+#include "core/cyc_b.hpp"

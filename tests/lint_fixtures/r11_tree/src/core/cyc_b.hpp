@@ -1,0 +1,4 @@
+// R11 fixture: the other half of the deliberate include cycle.
+#pragma once
+
+#include "core/cyc_a.hpp"

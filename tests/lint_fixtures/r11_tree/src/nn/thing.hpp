@@ -1,0 +1,7 @@
+// R11 fixture: a legal nn-layer header; nn -> tensor is a permitted
+// downward edge and must NOT be flagged.
+#pragma once
+
+#include "tensor/ok.hpp"
+
+inline int thing() { return ok(); }

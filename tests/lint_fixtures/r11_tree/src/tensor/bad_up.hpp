@@ -1,0 +1,7 @@
+// R11 fixture: tensor is below nn in the layer DAG, so this include is an
+// upward edge and must fail the layering check (asserted at line 5).
+#pragma once
+
+#include "nn/thing.hpp"
+
+inline int bad_up() { return thing(); }

@@ -1,0 +1,4 @@
+// R11 fixture: leaf header with no includes.
+#pragma once
+
+inline int ok() { return 1; }

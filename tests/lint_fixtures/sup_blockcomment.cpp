@@ -1,0 +1,22 @@
+// Block-comment fixture: allow() inside /* ... */ comments.
+
+#include <cstdlib>
+
+int inline_block_allow() {
+  /* rp-lint: allow(R1) fixture: block comment preceding code on the same line */ return rand();
+}
+
+int multiline_block_allow() {
+  /* A multi-line block comment whose allow must cover the statement
+     that follows its CLOSING line, not its opening line.
+     rp-lint: allow(R1) fixture: multi-line block comment */
+  int x =
+      rand();
+  return x;
+}
+
+int block_comment_does_not_leak() {
+  /* rp-lint: allow(R1) fixture: covers only the next statement */
+  int x = static_cast<int>(0);
+  return x + rand();  // line 21: outside the allow's extent
+}

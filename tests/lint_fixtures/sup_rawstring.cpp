@@ -1,0 +1,17 @@
+// Raw-string fixture: everything inside a raw string literal is data — rule
+// keywords must not fire and allow() text must not suppress.
+
+#include <cstdlib>
+#include <string>
+
+std::string doc_text() {
+  // Neither the banned API names nor the allow below may have any effect.
+  return R"(
+    call rand() and srand(42) freely in here,
+    and this does nothing: rp-lint: allow(R1)
+  )";
+}
+
+int still_fires() {
+  return rand();  // line 16: R1 — the raw-string "allow" above must not cover it
+}

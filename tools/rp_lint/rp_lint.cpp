@@ -1,591 +1,35 @@
-// rp-lint — static enforcement of the repo's determinism & threading contract.
+// rp-lint driver: determinism & discipline linter for this repo.
 //
-// A light, libclang-free lint: each file is tokenized (comment- and
-// string-aware), then a fixed set of named rules pattern-match the token
-// stream. Every rule is individually suppressible with an explicit,
-// greppable comment:
+// Phase 1 runs the per-file token rules (R1–R9, rules_token.cpp) while the
+// tree of file models is built in parallel; phase 2 links the models into a
+// whole-tree view (include graph, hot-path reachability) and runs the
+// semantic rules (R10–R12, rules_semantic.cpp). `rp-lint --list-rules`
+// summarizes all rules; DESIGN.md §7 carries the rationale.
 //
-//   some_code();  // rp-lint: allow(R3) reason why this one is safe
+// Exit codes: 0 clean, 1 violations, 2 usage/IO error.
 //
-// A suppression on its own line applies to the next line instead. Rules and
-// their rationale are documented in DESIGN.md §"Static analysis & sanitizers".
-//
-// Exit codes: 0 clean, 1 violations found, 2 usage/I-O error.
+// The driver itself is linted by the tree pass (self-lint), so its own use
+// of std::thread and steady_clock carries inline allows: this is the scan
+// pool and the lint-runtime meter, not checked experiment code.
+
+#include "analyzer.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iostream>
-#include <map>
-#include <set>
 #include <sstream>
-#include <string>
+#include <thread>  // rp-lint: allow(R2) the linter's own scan pool, not checked code
 #include <vector>
 
 namespace fs = std::filesystem;
+using namespace rplint;
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Tokenizer
-
-enum class Tok { Ident, Number, Punct };
-
-struct Token {
-  Tok kind;
-  std::string text;
-  int line;
-};
-
-struct Suppression {
-  int line;        // line the comment starts on
-  bool own_line;   // comment is the only thing on its line -> applies to line+1
-  std::set<std::string> rules;
-};
-
-struct FileText {
-  std::vector<Token> tokens;
-  std::vector<Suppression> suppressions;
-};
-
-/// Parses "rp-lint: allow(R1,R3) ..." out of a comment body, if present.
-bool parse_allow(const std::string& comment, std::set<std::string>* rules) {
-  const std::string key = "rp-lint: allow(";
-  const auto pos = comment.find(key);
-  if (pos == std::string::npos) return false;
-  const auto close = comment.find(')', pos + key.size());
-  if (close == std::string::npos) return false;
-  std::string list = comment.substr(pos + key.size(), close - pos - key.size());
-  std::string id;
-  std::stringstream ss(list);
-  while (std::getline(ss, id, ',')) {
-    id.erase(std::remove_if(id.begin(), id.end(), [](char c) { return c == ' '; }), id.end());
-    if (!id.empty()) rules->insert(id);
-  }
-  return !rules->empty();
-}
-
-bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
-bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
-
-FileText tokenize(const std::string& src) {
-  FileText out;
-  int line = 1;
-  bool line_has_code = false;  // non-ws, non-comment content seen on this line
-  size_t i = 0;
-  const size_t n = src.size();
-
-  auto note_comment = [&](const std::string& body, int start_line, bool had_code) {
-    std::set<std::string> rules;
-    if (parse_allow(body, &rules)) {
-      out.suppressions.push_back({start_line, !had_code, std::move(rules)});
-    }
-  };
-
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n') {
-      ++line;
-      line_has_code = false;
-      ++i;
-    } else if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-    } else if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      const size_t start = i;
-      while (i < n && src[i] != '\n') ++i;
-      note_comment(src.substr(start, i - start), line, line_has_code);
-    } else if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      const size_t start = i;
-      const int start_line = line;
-      const bool had_code = line_has_code;
-      i += 2;
-      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
-        if (src[i] == '\n') ++line;
-        ++i;
-      }
-      i = std::min(n, i + 2);
-      note_comment(src.substr(start, i - start), start_line, had_code);
-    } else if (c == '"' || c == '\'') {
-      // String/char literal (raw strings handled below via the R prefix).
-      line_has_code = true;
-      const char quote = c;
-      ++i;
-      while (i < n && src[i] != quote) {
-        if (src[i] == '\\' && i + 1 < n) ++i;
-        if (src[i] == '\n') ++line;  // unterminated literal; keep line count sane
-        ++i;
-      }
-      ++i;
-    } else if (c == 'R' && i + 1 < n && src[i + 1] == '"' &&
-               !(i > 0 && ident_char(src[i - 1]))) {
-      line_has_code = true;
-      size_t j = i + 2;
-      while (j < n && src[j] != '(') ++j;
-      std::string close;
-      close.push_back(')');
-      close.append(src, i + 2, j - i - 2);
-      close.push_back('"');
-      const size_t end = src.find(close, j);
-      const size_t stop = end == std::string::npos ? n : end + close.size();
-      line += static_cast<int>(std::count(src.begin() + static_cast<long>(i),
-                                          src.begin() + static_cast<long>(stop), '\n'));
-      i = stop;
-    } else if (ident_start(c)) {
-      line_has_code = true;
-      const size_t start = i;
-      while (i < n && ident_char(src[i])) ++i;
-      out.tokens.push_back({Tok::Ident, src.substr(start, i - start), line});
-    } else if (std::isdigit(static_cast<unsigned char>(c))) {
-      line_has_code = true;
-      const size_t start = i;
-      while (i < n && (ident_char(src[i]) || src[i] == '.' || src[i] == '\'')) ++i;
-      out.tokens.push_back({Tok::Number, src.substr(start, i - start), line});
-    } else {
-      line_has_code = true;
-      if (c == ':' && i + 1 < n && src[i + 1] == ':') {
-        out.tokens.push_back({Tok::Punct, "::", line});
-        i += 2;
-      } else if (c == '-' && i + 1 < n && src[i + 1] == '>') {
-        out.tokens.push_back({Tok::Punct, "->", line});
-        i += 2;
-      } else {
-        out.tokens.push_back({Tok::Punct, std::string(1, c), line});
-        ++i;
-      }
-    }
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Rules
-
-struct Finding {
-  std::string path;  // as given on the command line / relative to root
-  int line;
-  std::string rule;
-  std::string message;
-};
-
-bool is_keyword(const std::string& s) {
-  static const std::set<std::string> kKeywords = {
-      "return", "if",    "while", "for",   "do",    "else",  "switch", "case",
-      "co_return", "co_yield", "co_await", "throw", "new",   "delete", "not",
-      "and",    "or",    "goto",  "default"};
-  return kKeywords.count(s) > 0;
-}
-
-bool is_int_type_token(const std::string& s) {
-  static const std::set<std::string> kInts = {
-      "int",     "long",    "short",   "signed",   "unsigned", "size_t",
-      "int8_t",  "int16_t", "int32_t", "int64_t",  "uint8_t",  "uint16_t",
-      "uint32_t", "uint64_t", "ptrdiff_t", "ssize_t", "char"};
-  return kInts.count(s) > 0;
-}
-
-/// True when `path` (relative, forward slashes) starts with `prefix`.
-bool under(const std::string& path, const std::string& prefix) {
-  return path.rfind(prefix, 0) == 0;
-}
-
-bool is_any(const std::string& path, std::initializer_list<const char*> names) {
-  for (const char* n : names) {
-    if (path == n) return true;
-  }
-  return false;
-}
-
-class Linter {
- public:
-  Linter(bool force_all_rules) : force_all_(force_all_rules) {}
-
-  std::vector<Finding> lint(const std::string& rel_path, const std::string& src) {
-    findings_.clear();
-    path_ = rel_path;
-    file_ = tokenize(src);
-    rule_r1();
-    rule_r2();
-    rule_r3();
-    rule_r4();
-    rule_r5();
-    rule_r6();
-    rule_r7();
-    rule_r8();
-    rule_r9();
-    apply_suppressions();
-    std::sort(findings_.begin(), findings_.end(),
-              [](const Finding& a, const Finding& b) {
-                return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
-              });
-    return findings_;
-  }
-
- private:
-  const std::vector<Token>& toks() const { return file_.tokens; }
-
-  void add(int line, const char* rule, std::string msg) {
-    findings_.push_back({path_, line, rule, std::move(msg)});
-  }
-
-  bool scoped_out(std::initializer_list<const char*> allow_files) const {
-    return !force_all_ && is_any(path_, allow_files);
-  }
-
-  bool in_dirs(std::initializer_list<const char*> dirs) const {
-    if (force_all_) return true;
-    for (const char* d : dirs) {
-      if (under(path_, d)) return true;
-    }
-    return false;
-  }
-
-  /// R1: nondeterminism sources. All randomness flows through rp::Rng
-  /// (src/tensor/rng.*) so every experiment replays bit-exactly from a seed.
-  void rule_r1() {
-    if (scoped_out({"src/tensor/rng.cpp", "src/tensor/rng.hpp"})) return;
-    const auto& t = toks();
-    static const std::set<std::string> kEngines = {
-        "random_device", "mt19937",     "mt19937_64", "minstd_rand",
-        "minstd_rand0",  "ranlux24",    "ranlux48",   "knuth_b",
-        "default_random_engine"};
-    for (size_t i = 0; i < t.size(); ++i) {
-      if (t[i].kind != Tok::Ident) continue;
-      const std::string& s = t[i].text;
-      if (kEngines.count(s)) {
-        add(t[i].line, "R1",
-            "std::" + s + " is banned; use rp::Rng (src/tensor/rng.*) so results replay from a seed");
-        continue;
-      }
-      const bool call_next = i + 1 < t.size() && t[i + 1].text == "(";
-      if ((s == "rand" || s == "srand" || s == "drand48") && call_next) {
-        // Skip qualified calls (Tensor::rand, rng.rand) and declarations
-        // (`static Tensor rand(...)` -- preceded by a type name).
-        if (i > 0 && (t[i - 1].text == "::" || t[i - 1].text == "." || t[i - 1].text == "->")) {
-          continue;
-        }
-        if (i > 0 && t[i - 1].kind == Tok::Ident && !is_keyword(t[i - 1].text)) continue;
-        add(t[i].line, "R1", s + "() is banned; draw from rp::Rng instead");
-      }
-      if (s == "time" && i + 2 < t.size() && t[i + 1].text == "(" &&
-          (t[i + 2].text == "nullptr" || t[i + 2].text == "0" || t[i + 2].text == "NULL")) {
-        add(t[i].line, "R1", "time(nullptr) seeding is banned; seeds come from seed_from_string()");
-      }
-      if (s.size() > 6 && s.rfind("_clock") == s.size() - 6 && i + 2 < t.size() &&
-          t[i + 1].text == "::" && t[i + 2].text == "now") {
-        add(t[i].line, "R1",
-            s + "::now() is banned in checked code; wall-clock values must never feed results");
-      }
-    }
-  }
-
-  /// R2: raw parallelism primitives. All parallel execution goes through the
-  /// pool in src/tensor/parallel.* so determinism guarantees hold.
-  void rule_r2() {
-    if (scoped_out({"src/tensor/parallel.cpp", "src/tensor/parallel.hpp"})) return;
-    const auto& t = toks();
-    for (size_t i = 0; i < t.size(); ++i) {
-      if (t[i].kind != Tok::Ident) continue;
-      const std::string& s = t[i].text;
-      const bool std_qualified =
-          i >= 2 && t[i - 1].text == "::" && t[i - 2].text == "std";
-      if ((s == "thread" || s == "jthread" || s == "async") && std_qualified) {
-        add(t[i].line, "R2",
-            "std::" + s + " is banned; use rp::parallel::parallel_for / run_shards");
-      }
-      if (s.rfind("omp_", 0) == 0) {
-        add(t[i].line, "R2", "OpenMP is banned; use rp::parallel");
-      }
-      if (s == "pragma" && i >= 1 && t[i - 1].text == "#" && i + 1 < t.size() &&
-          t[i + 1].text == "omp") {
-        add(t[i].line, "R2", "#pragma omp is banned; use rp::parallel");
-      }
-      if (s == "include" && i >= 1 && t[i - 1].text == "#" && i + 2 < t.size() &&
-          t[i + 1].text == "<" &&
-          (t[i + 2].text == "thread" || t[i + 2].text == "future" || t[i + 2].text == "omp")) {
-        add(t[i].line, "R2",
-            "#include <" + t[i + 2].text + "> is banned outside the pool implementation");
-      }
-    }
-  }
-
-  /// R3: mutable static / global state — the data races TSan only catches
-  /// when scheduling cooperates, and hidden cross-run coupling otherwise.
-  void rule_r3() {
-    const auto& t = toks();
-    enum class Scope { Namespace, Class, Block };
-    std::vector<Scope> stack;
-    auto at_namespace_scope = [&] {
-      for (Scope s : stack) {
-        if (s != Scope::Namespace) return false;
-      }
-      return true;
-    };
-
-    // Examines the declaration starting at token `i` (its specifier). Returns
-    // the kind of terminator hit: '(' (function-ish), ';'/'='/'{' otherwise,
-    // and whether a constness keyword appeared before it.
-    auto scan_decl = [&](size_t i, bool* has_const, bool* has_skip_kw) -> char {
-      *has_const = false;
-      *has_skip_kw = false;
-      int angle = 0;
-      for (size_t j = i; j < t.size() && j < i + 64; ++j) {
-        const std::string& s = t[j].text;
-        if (s == "<") ++angle;
-        if (s == ">") angle = std::max(0, angle - 1);
-        if (t[j].kind == Tok::Ident) {
-          if (s == "const" || s == "constexpr" || s == "constinit" || s == "consteval") {
-            *has_const = true;
-          }
-          if (s == "using" || s == "typedef" || s == "class" || s == "struct" ||
-              s == "union" || s == "enum" || s == "template" || s == "friend" ||
-              s == "extern" || s == "namespace" || s == "static_assert" ||
-              s == "operator") {
-            *has_skip_kw = true;
-          }
-        }
-        if (angle == 0 && (s == ";" || s == "=" || s == "{" || s == "(")) return s[0];
-      }
-      return ';';
-    };
-
-    size_t stmt_start = 0;  // index of the first token of the current statement
-    for (size_t i = 0; i < t.size(); ++i) {
-      const std::string& s = t[i].text;
-      if (s == "#") {
-        // Preprocessor directive: consume to end of physical line.
-        const int dir_line = t[i].line;
-        while (i + 1 < t.size() && t[i + 1].line == dir_line) ++i;
-        stmt_start = i + 1;
-        continue;
-      }
-      if (s == "{") {
-        // Classify the scope this brace opens by looking at the statement head.
-        Scope kind = Scope::Block;
-        for (size_t j = stmt_start; j < i; ++j) {
-          const std::string& h = t[j].text;
-          if (h == "namespace") kind = Scope::Namespace;
-          if (h == "class" || h == "struct" || h == "union" || h == "enum") kind = Scope::Class;
-          if (h == "(" || h == "=") break;  // function params / initializer: plain block
-        }
-        stack.push_back(kind);
-        stmt_start = i + 1;
-        continue;
-      }
-      if (s == "}") {
-        if (!stack.empty()) stack.pop_back();
-        stmt_start = i + 1;
-        continue;
-      }
-      if (s == ";") {
-        stmt_start = i + 1;
-        continue;
-      }
-
-      if (i != stmt_start) continue;
-
-      bool has_const = false, has_skip = false;
-      if (s == "static" || s == "thread_local") {
-        const char term = scan_decl(i, &has_const, &has_skip);
-        if (term != '(' && !has_const && !has_skip) {
-          add(t[i].line, "R3",
-              std::string(s == "static" ? "mutable static" : "thread_local") +
-                  " state is banned; pass state explicitly or add an allow() with rationale");
-        }
-        continue;
-      }
-      // Non-static namespace-scope variable definition.
-      if (at_namespace_scope() && t[i].kind == Tok::Ident && !is_keyword(s) &&
-          s != "inline" && s != "virtual" && s != "explicit") {
-        const char term = scan_decl(i, &has_const, &has_skip);
-        if ((term == ';' || term == '=') && !has_const && !has_skip) {
-          add(t[i].line, "R3",
-              "non-const namespace-scope variable is banned; ordering/data-race hazard");
-        }
-      }
-    }
-  }
-
-  /// R4: unordered containers in result-producing code. Their iteration
-  /// order is implementation-defined and leaks straight into printed tables.
-  void rule_r4() {
-    if (!in_dirs({"src/core/", "src/exp/"})) return;
-    for (const Token& tk : toks()) {
-      if (tk.kind != Tok::Ident) continue;
-      if (tk.text == "unordered_map" || tk.text == "unordered_set" ||
-          tk.text == "unordered_multimap" || tk.text == "unordered_multiset") {
-        add(tk.line, "R4",
-            "std::" + tk.text +
-                " is banned in result-producing code; iteration order leaks into tables — use std::map or a sorted vector");
-      }
-    }
-  }
-
-  /// R5: reinterpret_cast is confined to the two byte-level I/O layers.
-  void rule_r5() {
-    if (scoped_out({"src/tensor/serialize.cpp", "src/data/image_io.cpp"})) return;
-    for (const Token& tk : toks()) {
-      if (tk.kind == Tok::Ident && tk.text == "reinterpret_cast") {
-        add(tk.line, "R5",
-            "reinterpret_cast outside serialize.cpp / image_io.cpp; keep byte punning in the I/O layer");
-      }
-    }
-  }
-
-  /// R6: C-style casts to integer types in stats code hide float->int
-  /// truncation; require static_cast / lround so narrowing is explicit.
-  void rule_r6() {
-    if (!in_dirs({"src/core/", "src/exp/"})) return;
-    const auto& t = toks();
-    for (size_t i = 0; i + 2 < t.size(); ++i) {
-      if (t[i].text != "(") continue;
-      // Collect a parenthesized run of pure type tokens: (int), (unsigned long)...
-      size_t j = i + 1;
-      bool all_types = false;
-      while (j < t.size() && t[j].kind == Tok::Ident && is_int_type_token(t[j].text)) {
-        all_types = true;
-        ++j;
-      }
-      if (!all_types || j >= t.size() || t[j].text != ")") continue;
-      // Call/declaration context `foo(int)` or sizeof(int): skip.
-      if (i > 0 && t[i - 1].kind == Tok::Ident && !is_keyword(t[i - 1].text)) continue;
-      if (i > 0 && (t[i - 1].text == ")" || t[i - 1].text == "]")) continue;
-      // Must be applied to an expression, not `(int);` in a declaration.
-      if (j + 1 >= t.size()) continue;
-      const Token& next = t[j + 1];
-      const bool expr_next = next.kind == Tok::Ident || next.kind == Tok::Number ||
-                             next.text == "(" || next.text == "-" || next.text == "*" ||
-                             next.text == "&";
-      if (!expr_next || (next.kind == Tok::Ident && next.text == "const")) continue;
-      add(t[i].line, "R6",
-          "C-style cast to integer type in stats code; use static_cast (or std::lround) so float->int narrowing is explicit");
-    }
-  }
-
-  /// R7: unit-grain pool dispatch. A `parallel_for` whose grain is the
-  /// literal 1 (or a `run_shards` asked for exactly 1 shard) pays one chunk
-  /// claim per element and drowns in dispatch overhead on elementwise
-  /// bodies. Legitimate unit-grain sites — per-sample loops where each
-  /// iteration is itself a GEMM-sized unit of work, and the pool's own
-  /// per-shard dispatch — carry an allow(R7) with that rationale.
-  void rule_r7() {
-    const auto& t = toks();
-    for (size_t i = 0; i + 1 < t.size(); ++i) {
-      if (t[i].kind != Tok::Ident) continue;
-      const bool is_pfor = t[i].text == "parallel_for";
-      const bool is_shards = t[i].text == "run_shards";
-      if ((!is_pfor && !is_shards) || t[i + 1].text != "(") continue;
-      // Split the call's top-level arguments by walking the bracket depth.
-      // Declarations never trip this: their "arguments" carry type tokens,
-      // so no argument is a lone `1` literal.
-      std::vector<std::pair<size_t, size_t>> args;  // [first, last] token of each arg
-      size_t depth = 0;
-      size_t arg_start = i + 2;
-      size_t j = i + 1;
-      for (; j < t.size(); ++j) {
-        const std::string& s = t[j].text;
-        if (s == "(" || s == "[" || s == "{") {
-          ++depth;
-        } else if (s == ")" || s == "]" || s == "}") {
-          if (depth == 1 && s == ")") break;
-          if (depth > 0) --depth;
-        } else if (s == "," && depth == 1) {
-          args.emplace_back(arg_start, j - 1);
-          arg_start = j + 1;
-        }
-      }
-      if (j >= t.size()) continue;  // unterminated — header fragment, ignore
-      if (arg_start <= j - 1) args.emplace_back(arg_start, j - 1);
-      const size_t grain_idx = is_pfor ? 2 : 0;  // parallel_for grain / run_shards shard count
-      if (args.size() <= grain_idx) continue;
-      const auto [lo, hi] = args[grain_idx];
-      if (lo != hi) continue;  // expressions like int64_t{1} << 16 are fine
-      if (t[lo].kind == Tok::Number && t[lo].text == "1") {
-        add(t[lo].line, "R7",
-            std::string(is_pfor ? "parallel_for grain" : "run_shards shard count") +
-                " of literal 1 drowns in per-chunk dispatch overhead; size the grain to the "
-                "body or allow(R7) a genuine per-sample/per-shard loop");
-      }
-    }
-  }
-
-  /// R8: artifact durability. A raw std::ofstream write or a raw
-  /// filesystem::rename in src/ bypasses fault::durable_write's publish
-  /// protocol (pid-unique tmp, fsync, atomic rename, checked footer) — a
-  /// crash mid-write tears the file and a concurrent writer clobbers it.
-  /// Non-artifact outputs (trace files, PPM dumps, quarantine moves) carry
-  /// an allow(R8) stating why durability does not apply.
-  void rule_r8() {
-    if (!in_dirs({"src/"})) return;
-    if (scoped_out({"src/fault/durable.cpp"})) return;
-    const auto& t = toks();
-    for (size_t i = 0; i < t.size(); ++i) {
-      if (t[i].kind != Tok::Ident) continue;
-      const std::string& s = t[i].text;
-      if (s == "ofstream") {
-        add(t[i].line, "R8",
-            "raw std::ofstream write in src/ bypasses the durable publish protocol; use "
-            "fault::durable_write (tensor/serialize.hpp file savers) or allow(R8) a "
-            "non-artifact output");
-      } else if (s == "rename" && i >= 2 && t[i - 1].text == "::" &&
-                 (t[i - 2].text == "filesystem" || t[i - 2].text == "fs")) {
-        add(t[i].line, "R8",
-            "raw filesystem::rename in src/ bypasses the durable publish protocol "
-            "(fsync-before-rename); use fault::durable_write or allow(R8) a non-artifact "
-            "move");
-      }
-    }
-  }
-
-  /// R9: sparse-dispatch bypass. A direct gemm(...) call in network or
-  /// experiment code skips the compile-to-sparse engine (tensor/sparse.hpp),
-  /// so pruned layers silently run dense and the prune-ratio speedup
-  /// evaporates. Forward paths dispatch through sparse::matmul_into /
-  /// rhs_matmul_into (or the layer's sparse_ flag); training backward paths
-  /// and deliberate dense fallbacks carry an allow(R9) stating why.
-  void rule_r9() {
-    if (!in_dirs({"src/nn/", "src/core/"})) return;
-    const auto& t = toks();
-    for (size_t i = 0; i < t.size(); ++i) {
-      if (t[i].kind != Tok::Ident || t[i].text != "gemm") continue;
-      if (i + 1 >= t.size() || t[i + 1].text != "(") continue;
-      // Skip qualified calls (sparse::..., obj.gemm) and declarations
-      // (`void gemm(...)` — preceded by a type name).
-      if (i > 0 && (t[i - 1].text == "::" || t[i - 1].text == "." || t[i - 1].text == "->")) {
-        continue;
-      }
-      if (i > 0 && t[i - 1].kind == Tok::Ident && !is_keyword(t[i - 1].text)) continue;
-      add(t[i].line, "R9",
-          "direct gemm() call bypasses the sparse execution engine; dispatch through "
-          "rp::sparse (tensor/sparse.hpp) or allow(R9) a training/backward or deliberate "
-          "dense path");
-    }
-  }
-
-  void apply_suppressions() {
-    std::vector<Finding> kept;
-    for (const Finding& f : findings_) {
-      bool suppressed = false;
-      for (const Suppression& sup : file_.suppressions) {
-        const int target = sup.own_line ? sup.line + 1 : sup.line;
-        if (f.line == target && (sup.rules.count(f.rule) || sup.rules.count("all"))) {
-          suppressed = true;
-          break;
-        }
-      }
-      if (!suppressed) kept.push_back(f);
-    }
-    findings_ = std::move(kept);
-  }
-
-  bool force_all_;
-  std::string path_;
-  FileText file_;
-  std::vector<Finding> findings_;
-};
-
-// ---------------------------------------------------------------------------
-// Driver
 
 bool lintable(const fs::path& p) {
   const std::string ext = p.extension().string();
@@ -611,10 +55,15 @@ std::vector<std::string> collect_tree(const fs::path& root) {
 }
 
 int usage() {
-  std::cerr << "usage: rp_lint [--root DIR] [--force-all-rules] [--list-rules] [FILE...]\n"
-            << "  With no FILEs, lints src/ tools/ bench/ examples/ tests/ under --root\n"
-            << "  (default: current directory), minus tests/lint_fixtures/.\n"
-            << "  --force-all-rules ignores path-based rule scoping (fixture testing).\n";
+  std::cerr
+      << "usage: rp_lint [--root DIR] [--force-all-rules] [--list-rules] [--json]\n"
+      << "               [--show-suppressed] [FILE...]\n"
+      << "  With no FILEs, lints src/ tools/ bench/ examples/ tests/ under --root\n"
+      << "  (default: current directory), minus tests/lint_fixtures/.\n"
+      << "  --force-all-rules ignores path-based rule scoping (fixture testing).\n"
+      << "  --json emits findings as a JSON array on stdout instead of text.\n"
+      << "  --show-suppressed also emits allow()-suppressed findings, tagged;\n"
+      << "  they never count toward the exit code.\n";
   return 2;
 }
 
@@ -628,7 +77,52 @@ void list_rules() {
       << "R6  C-style casts to integer types in stats code (src/core, src/exp)\n"
       << "R7  unit-grain parallel_for/run_shards dispatch outside per-sample/per-shard loops\n"
       << "R8  raw ofstream/filesystem::rename artifact I/O in src/ bypassing fault::durable_write\n"
-      << "R9  direct gemm() calls in src/nn, src/core bypassing the sparse execution engine\n";
+      << "R9  direct gemm() calls in src/nn, src/core bypassing the sparse execution engine\n"
+      << "R10 parallel_for/run_shards lambda writes a by-reference capture outside the disjoint-index idioms\n"
+      << "R11 #include edge violates the committed src/ layer DAG, or the include graph has a cycle\n"
+      << "R12 Tensor construction / new / growing-container call in a function reachable from a `// rp-lint: hot` entry point\n";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Runs fn(i) for i in [0, n) on a small worker pool. This is the linter's
+/// own scan parallelism — file models are independent — not checked code.
+void parallel_scan(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  unsigned hw = std::thread::hardware_concurrency();  // rp-lint: allow(R2) scan pool
+  const std::size_t workers = std::max<std::size_t>(1, std::min<std::size_t>({hw ? hw : 1, n, 16}));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
+  };
+  std::vector<std::thread> pool;  // rp-lint: allow(R2) scan pool
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back(worker);  // rp-lint: allow(R2) scan pool
+  }
+  for (auto& th : pool) th.join();
 }
 
 }  // namespace
@@ -636,6 +130,8 @@ void list_rules() {
 int main(int argc, char** argv) {
   fs::path root = ".";
   bool force_all = false;
+  bool json = false;
+  bool show_suppressed = false;
   std::vector<std::string> files;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -643,6 +139,10 @@ int main(int argc, char** argv) {
       root = argv[++a];
     } else if (arg == "--force-all-rules") {
       force_all = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--show-suppressed") {
+      show_suppressed = true;
     } else if (arg == "--list-rules") {
       list_rules();
       return 0;
@@ -655,26 +155,73 @@ int main(int argc, char** argv) {
 
   const bool explicit_files = !files.empty();
   if (!explicit_files) files = collect_tree(root);
+  const auto t0 = std::chrono::steady_clock::now();  // rp-lint: allow(R1) lint-runtime meter
 
-  Linter linter(force_all);
-  int violations = 0;
-  for (const std::string& f : files) {
-    const fs::path full = explicit_files ? fs::path(f) : root / f;
+  // Phase 1 (parallel): read + model + token rules, one file per work item.
+  std::vector<FileModel> models(files.size());
+  std::vector<std::vector<Finding>> per_file(files.size());
+  std::atomic<bool> io_error{false};
+  parallel_scan(files.size(), [&](std::size_t i) {
+    const fs::path full = explicit_files ? fs::path(files[i]) : root / files[i];
     std::ifstream in(full, std::ios::binary);
     if (!in) {
       std::cerr << "rp-lint: cannot read " << full.string() << "\n";
-      return 2;
+      io_error.store(true);
+      return;
     }
     std::stringstream buf;
     buf << in.rdbuf();
-    for (const Finding& v : linter.lint(f, buf.str())) {
-      std::cout << v.path << ":" << v.line << ": [" << v.rule << "] " << v.message << "\n";
-      ++violations;
+    models[i] = build_file_model(files[i], buf.str());
+    run_token_rules(models[i], force_all, &per_file[i]);
+  });
+  if (io_error.load()) return 2;
+
+  // Phase 2: link the tree, then semantic rules (parallel per file) and the
+  // layering/cycle check over the whole include graph.
+  const TreeModel tm = link_tree(models);
+  parallel_scan(files.size(), [&](std::size_t i) {
+    run_file_semantic_rules(models[i], tm, force_all, &per_file[i]);
+  });
+  run_layering_rule(models, tm, &per_file);
+
+  std::vector<Finding> findings;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    apply_suppressions(models[i], show_suppressed, &per_file[i]);
+    findings.insert(findings.end(), per_file[i].begin(), per_file[i].end());
+  }
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.path != b.path) return a.path < b.path;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+
+  int violations = 0;
+  if (json) {
+    std::cout << "[";
+    bool first = true;
+    for (const Finding& v : findings) {
+      std::cout << (first ? "\n" : ",\n")
+                << "  {\"file\": \"" << json_escape(v.path) << "\", \"line\": " << v.line
+                << ", \"rule\": \"" << v.rule << "\", \"message\": \"" << json_escape(v.message)
+                << "\", \"suppressed\": " << (v.suppressed ? "true" : "false") << "}";
+      first = false;
+      if (!v.suppressed) ++violations;
     }
+    std::cout << (first ? "]\n" : "\n]\n");
+  } else {
+    for (const Finding& v : findings) {
+      std::cout << v.path << ":" << v.line << ": [" << v.rule << "] " << v.message
+                << (v.suppressed ? "  (suppressed)" : "") << "\n";
+      if (!v.suppressed) ++violations;
+    }
+    if (violations > 0) std::cout << "rp-lint: " << violations << " violation(s)\n";
   }
-  if (violations > 0) {
-    std::cout << "rp-lint: " << violations << " violation(s)\n";
-    return 1;
-  }
-  return 0;
+
+  const auto t1 = std::chrono::steady_clock::now();  // rp-lint: allow(R1) lint-runtime meter
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(t1 - t0).count();
+  // obs-style timing line so check.sh surfaces lint-runtime regressions.
+  std::cerr << "rp-lint: files=" << files.size() << " findings=" << findings.size()
+            << " violations=" << violations << " wall_ms=" << ms << "\n";
+
+  return violations > 0 ? 1 : 0;
 }
