@@ -1,0 +1,540 @@
+// Implementation of the in-repo google-benchmark compat subset declared in
+// benchmark/benchmark.h. One TU, always compiled -O2 -DNDEBUG by its own
+// CMakeLists so `library_build_type` is truthful regardless of the app's
+// CMAKE_BUILD_TYPE; scripts/check.sh gate 5 asserts both this value and the
+// app-level rp_build_type read "release" before a perf record is trusted.
+
+#include "benchmark/benchmark.h"
+
+#include <time.h>    // clock_gettime: the one sanctioned time source here
+#include <unistd.h>  // gethostname, sysconf
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <regex>
+#include <sstream>
+#include <utility>
+
+namespace benchmark {
+namespace internal {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Timing. A benchmark harness is the one place wall-clock reads are the whole
+// point: timings are diagnostics, never fed back into model state, so the
+// determinism contract (rp-lint R1) does not reach measurements made here.
+
+double now_real_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+double now_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+// ---------------------------------------------------------------------------
+// Driver state (set once by Initialize before any benchmark runs)
+
+struct DriverFlags {
+  std::string filter;
+  std::string out_path;
+  std::string out_format = "json";
+  int repetitions = 1;
+  bool aggregates_only = false;
+  std::string executable = "benchmark";
+};
+
+DriverFlags& flags() {
+  static DriverFlags f;  // rp-lint: allow(R3) process-wide CLI flags, written once by Initialize before any run
+  return f;
+}
+
+std::vector<std::pair<std::string, std::string>>& custom_context() {
+  static std::vector<std::pair<std::string, std::string>> ctx;  // rp-lint: allow(R3) JSON context entries, appended only during main() setup
+  return ctx;
+}
+
+std::vector<std::unique_ptr<Benchmark>>& registry() {
+  static std::vector<std::unique_ptr<Benchmark>> benches;  // rp-lint: allow(R3) BENCHMARK() registration target; filled by static initializers, read-only afterwards
+  return benches;
+}
+
+}  // namespace
+
+// One completed measurement (a repetition, or an aggregate over repetitions).
+// Lives outside the anonymous namespace so Runner's members can pass it.
+struct RunResult {
+  std::string name;            ///< instance name (+ _mean/_median/... suffix)
+  std::string run_name;        ///< instance name without aggregate suffix
+  int family_index = 0;
+  int instance_index = 0;
+  int repetition_index = -1;   ///< only emitted for iteration entries
+  int repetitions = 1;
+  std::string aggregate;       ///< empty → run_type "iteration"
+  std::string aggregate_unit;  ///< "time" or "percentage"
+  std::int64_t iterations = 0;
+  double real_ns = 0.0;        ///< per-iteration
+  double cpu_ns = 0.0;         ///< per-iteration
+  UserCounters counters;       ///< finalized (rates already divided out)
+  bool has_items = false;
+  double items_per_second = 0.0;
+  std::string label;
+};
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Helpers that never touch State internals
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string jnum(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream ss;
+  ss.precision(17);
+  ss << v;
+  return ss.str();
+}
+
+/// mean / median / stddev (sample, n-1) / cv entries over the repetitions,
+/// counters included, matching google's StatisticsMean/Median/StdDev/CV set.
+std::vector<RunResult> aggregate(const std::vector<RunResult>& reps) {
+  auto stat = [&](const char* name, const char* unit, auto reduce) {
+    RunResult out = reps.front();
+    out.name = out.run_name + "_" + name;
+    out.repetition_index = -1;
+    out.aggregate = name;
+    out.aggregate_unit = unit;
+    out.iterations = static_cast<std::int64_t>(reps.size());  // google convention
+    auto over = [&](auto get) {
+      std::vector<double> vals;
+      vals.reserve(reps.size());
+      for (const auto& r : reps) vals.push_back(get(r));
+      return reduce(vals);
+    };
+    out.real_ns = over([](const RunResult& r) { return r.real_ns; });
+    out.cpu_ns = over([](const RunResult& r) { return r.cpu_ns; });
+    for (auto& [key, c] : out.counters) {
+      const std::string& k = key;
+      c.value = over([&](const RunResult& r) {
+        const auto it = r.counters.find(k);
+        return it == r.counters.end() ? 0.0 : it->second.value;
+      });
+    }
+    if (out.has_items) {
+      out.items_per_second = over([](const RunResult& r) { return r.items_per_second; });
+    }
+    return out;
+  };
+  const auto mean = [](std::vector<double>& v) {
+    double s = 0.0;
+    for (const double x : v) s += x;
+    return s / static_cast<double>(v.size());
+  };
+  const auto median = [](std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    const std::size_t n = v.size();
+    return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+  };
+  const auto stddev = [mean](std::vector<double>& v) {
+    if (v.size() < 2) return 0.0;
+    const double m = mean(v);
+    double s = 0.0;
+    for (const double x : v) s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(v.size() - 1));
+  };
+  const auto cv = [mean, stddev](std::vector<double>& v) {
+    const double m = mean(v);
+    return m != 0.0 ? stddev(v) / m : 0.0;
+  };
+  return {stat("mean", "time", mean), stat("median", "time", median),
+          stat("stddev", "time", stddev), stat("cv", "percentage", cv)};
+}
+
+// ---------------------------------------------------------------------------
+// Reporters
+
+std::string humanize(double v) {
+  const char* suffixes[] = {"", "k", "M", "G", "T"};
+  int s = 0;
+  while (std::fabs(v) >= 1000.0 && s < 4) {
+    v /= 1000.0;
+    ++s;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4g%s", v, suffixes[s]);
+  return buf;
+}
+
+void print_console_header() {
+  std::printf("%-46s %15s %15s %12s\n", "Benchmark", "Time", "CPU", "Iterations");
+  std::printf("%s\n", std::string(92, '-').c_str());
+}
+
+void print_console(const RunResult& r) {
+  std::string extras;
+  if (r.has_items) extras += " items_per_second=" + humanize(r.items_per_second) + "/s";
+  for (const auto& [key, c] : r.counters) {
+    extras += " " + key + "=" + humanize(c.value) + ((c.flags & Counter::kIsRate) ? "/s" : "");
+  }
+  if (!r.label.empty()) extras += " " + r.label;
+  std::printf("%-46s %12.0f ns %12.0f ns %12lld%s\n", r.name.c_str(), r.real_ns, r.cpu_ns,
+              static_cast<long long>(r.iterations), extras.c_str());
+}
+
+int read_cpu_mhz() {
+  std::ifstream is("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("cpu MHz", 0) == 0) {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos) return static_cast<int>(std::atof(line.c_str() + colon + 1));
+    }
+  }
+  return 0;
+}
+
+std::string iso_utc_date() {
+  timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  std::tm tm{};
+  gmtime_r(&ts.tv_sec, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%S", &tm);
+  return std::string(buf) + "+00:00";
+}
+
+void write_json(std::ostream& os, const std::vector<RunResult>& results) {
+  char host[256] = "unknown";
+  gethostname(host, sizeof host - 1);
+  double load[3] = {0.0, 0.0, 0.0};
+  getloadavg(load, 3);
+  os << "{\n  \"context\": {\n";
+  os << "    \"date\": \"" << iso_utc_date() << "\",\n";
+  os << "    \"host_name\": \"" << json_escape(host) << "\",\n";
+  os << "    \"executable\": \"" << json_escape(flags().executable) << "\",\n";
+  os << "    \"num_cpus\": " << sysconf(_SC_NPROCESSORS_ONLN) << ",\n";
+  os << "    \"mhz_per_cpu\": " << read_cpu_mhz() << ",\n";
+  os << "    \"cpu_scaling_enabled\": false,\n";
+  os << "    \"caches\": [],\n";
+  os << "    \"load_avg\": [" << jnum(load[0]) << "," << jnum(load[1]) << "," << jnum(load[2])
+     << "],\n";
+  // The value the provenance gate audits: this library's own build mode.
+#ifdef NDEBUG
+  os << "    \"library_build_type\": \"release\"";
+#else
+  os << "    \"library_build_type\": \"debug\"";
+#endif
+  for (const auto& [key, value] : custom_context()) {
+    os << ",\n    \"" << json_escape(key) << "\": \"" << json_escape(value) << "\"";
+  }
+  os << "\n  },\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    os << "    {\n";
+    os << "      \"name\": \"" << json_escape(r.name) << "\",\n";
+    os << "      \"family_index\": " << r.family_index << ",\n";
+    os << "      \"per_family_instance_index\": " << r.instance_index << ",\n";
+    os << "      \"run_name\": \"" << json_escape(r.run_name) << "\",\n";
+    os << "      \"run_type\": \"" << (r.aggregate.empty() ? "iteration" : "aggregate")
+       << "\",\n";
+    os << "      \"repetitions\": " << r.repetitions << ",\n";
+    if (r.aggregate.empty()) {
+      os << "      \"repetition_index\": " << r.repetition_index << ",\n";
+    }
+    os << "      \"threads\": 1,\n";
+    if (!r.aggregate.empty()) {
+      os << "      \"aggregate_name\": \"" << r.aggregate << "\",\n";
+      os << "      \"aggregate_unit\": \"" << r.aggregate_unit << "\",\n";
+    }
+    os << "      \"iterations\": " << r.iterations << ",\n";
+    os << "      \"real_time\": " << jnum(r.real_ns) << ",\n";
+    os << "      \"cpu_time\": " << jnum(r.cpu_ns) << ",\n";
+    os << "      \"time_unit\": \"ns\"";
+    for (const auto& [key, c] : r.counters) {
+      os << ",\n      \"" << json_escape(key) << "\": " << jnum(c.value);
+    }
+    if (r.has_items) {
+      os << ",\n      \"items_per_second\": " << jnum(r.items_per_second);
+    }
+    if (!r.label.empty()) {
+      os << ",\n      \"label\": \"" << json_escape(r.label) << "\"";
+    }
+    os << "\n    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+std::string Benchmark::instance_name(const std::vector<std::int64_t>& args) const {
+  std::string name = name_;
+  for (const std::int64_t a : args) name += "/" + std::to_string(a);
+  if (fixed_iterations_ > 0) name += "/iterations:" + std::to_string(fixed_iterations_);
+  if (use_real_time_) name += "/real_time";
+  return name;
+}
+
+Benchmark* Benchmark::ArgsProduct(const std::vector<std::vector<std::int64_t>>& lists) {
+  if (lists.empty()) return this;
+  std::vector<std::size_t> idx(lists.size(), 0);
+  for (;;) {
+    std::vector<std::int64_t> args(lists.size());
+    for (std::size_t i = 0; i < lists.size(); ++i) args[i] = lists[i][idx[i]];
+    arg_sets_.push_back(std::move(args));
+    // Odometer step, rightmost digit fastest (google's product order).
+    std::size_t i = lists.size();
+    for (;;) {
+      if (i == 0) return this;
+      --i;
+      if (++idx[i] < lists[i].size()) break;
+      idx[i] = 0;
+    }
+  }
+}
+
+Benchmark* RegisterBenchmarkInternal(const char* name, void (*fn)(State&)) {
+  registry().push_back(std::make_unique<Benchmark>(name, fn));
+  return registry().back().get();
+}
+
+/// The execution engine. State befriends exactly this class, so everything
+/// that constructs a State or reads its measured times lives here.
+class Runner {
+ public:
+  static std::size_t RunAll();
+
+ private:
+  /// Picks the iteration count for an instance: the explicit ->Iterations(n)
+  /// when given, else grow by timed probes until one pass clears kMinTime
+  /// and reuse that count for every repetition (google's estimate-once
+  /// protocol, which keeps repetitions comparable).
+  static std::int64_t ChooseIterations(const Benchmark& b,
+                                       const std::vector<std::int64_t>& args) {
+    if (b.fixed_iterations_ > 0) return b.fixed_iterations_;
+    constexpr double kMinTime = 0.25;  // seconds per repetition
+    constexpr std::int64_t kMaxIters = 1000000000;
+    std::int64_t iters = 1;
+    for (int round = 0; round < 16; ++round) {
+      State st(iters, args);
+      b.fn_(st);
+      const double elapsed = b.use_real_time_ ? st.real_s_ : st.cpu_s_;
+      if (elapsed >= kMinTime) return iters;
+      const double per_iter = elapsed / static_cast<double>(iters);
+      std::int64_t next = per_iter > 0.0
+                              ? static_cast<std::int64_t>(kMinTime * 1.4 / per_iter) + 1
+                              : iters * 10;
+      next = std::min(next, iters * 10);  // bounded growth smooths noisy probes
+      iters = std::max(next, iters + 1);
+      if (iters >= kMaxIters) return kMaxIters;
+    }
+    return iters;
+  }
+
+  static RunResult RunRepetition(const Benchmark& b, const std::vector<std::int64_t>& args,
+                                 std::int64_t iters, int rep_index, int repetitions) {
+    State st(iters, args);
+    b.fn_(st);
+    RunResult r;
+    r.run_name = b.instance_name(args);
+    r.name = r.run_name;
+    r.repetition_index = rep_index;
+    r.repetitions = repetitions;
+    r.iterations = iters;
+    r.real_ns = st.real_s_ * 1e9 / static_cast<double>(iters);
+    r.cpu_ns = st.cpu_s_ * 1e9 / static_cast<double>(iters);
+    // Rates (and items_per_second) divide by CPU time unless the benchmark
+    // opted into UseRealTime — google's rule, and what the committed record
+    // was produced with.
+    const double elapsed = b.use_real_time_ ? st.real_s_ : st.cpu_s_;
+    for (const auto& [key, c] : st.counters) {
+      double v = c.value;
+      if (c.flags & Counter::kIsIterationInvariant) v *= static_cast<double>(iters);
+      if (c.flags & Counter::kAvgIterations) v /= static_cast<double>(iters);
+      if ((c.flags & Counter::kIsRate) && elapsed > 0.0) v /= elapsed;
+      r.counters[key] = Counter(v, c.flags, c.oneK);
+    }
+    if (st.items_processed_ > 0 && elapsed > 0.0) {
+      r.has_items = true;
+      r.items_per_second = static_cast<double>(st.items_processed_) / elapsed;
+    }
+    r.label = st.label_;
+    return r;
+  }
+};
+
+std::size_t Runner::RunAll() {
+  const DriverFlags& f = flags();
+  const bool has_filter = !f.filter.empty() && f.filter != "all";
+  std::regex filter_re;
+  if (has_filter) filter_re = std::regex(f.filter);
+  std::vector<RunResult> results;
+  std::size_t run_count = 0;
+  bool header_printed = false;
+  int family = -1;
+  for (const auto& bench : registry()) {
+    ++family;
+    std::vector<std::vector<std::int64_t>> sets = bench->arg_sets_;
+    if (sets.empty()) sets.push_back({});
+    int instance = -1;
+    for (const auto& args : sets) {
+      ++instance;
+      const std::string name = bench->instance_name(args);
+      if (has_filter && !std::regex_search(name, filter_re)) continue;
+      ++run_count;
+      const std::int64_t iters = ChooseIterations(*bench, args);
+      const int reps_wanted = std::max(1, f.repetitions);
+      std::vector<RunResult> reps;
+      reps.reserve(static_cast<std::size_t>(reps_wanted));
+      for (int rep = 0; rep < reps_wanted; ++rep) {
+        RunResult r = RunRepetition(*bench, args, iters, rep, reps_wanted);
+        r.family_index = family;
+        r.instance_index = instance;
+        reps.push_back(std::move(r));
+      }
+      if (!header_printed) {
+        print_console_header();
+        header_printed = true;
+      }
+      if (reps_wanted >= 2) {
+        if (!f.aggregates_only) {
+          for (const auto& r : reps) {
+            print_console(r);
+            results.push_back(r);
+          }
+        }
+        for (const auto& r : aggregate(reps)) {
+          print_console(r);
+          results.push_back(r);
+        }
+      } else {
+        print_console(reps.front());
+        results.push_back(reps.front());
+      }
+    }
+  }
+  if (!f.out_path.empty()) {
+    if (f.out_format != "json") {
+      std::fprintf(stderr, "benchmark: unsupported --benchmark_out_format=%s (json only)\n",
+                   f.out_format.c_str());
+    } else {
+      std::ofstream os(f.out_path);
+      if (!os) {
+        std::fprintf(stderr, "benchmark: cannot open %s\n", f.out_path.c_str());
+      } else {
+        write_json(os, results);
+      }
+    }
+  }
+  return run_count;
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// State members that need the timers (kept out of the header)
+
+void State::ResumeTiming() {
+  resume_real_ = internal::now_real_seconds();
+  resume_cpu_ = internal::now_cpu_seconds();
+  timing_ = true;
+}
+
+void State::PauseTiming() {
+  if (!timing_) return;
+  real_s_ += internal::now_real_seconds() - resume_real_;
+  cpu_s_ += internal::now_cpu_seconds() - resume_cpu_;
+  timing_ = false;
+}
+
+State::StateIterator State::begin() {
+  real_s_ = 0.0;
+  cpu_s_ = 0.0;
+  ResumeTiming();
+  return StateIterator{this, max_iterations_};
+}
+
+void State::FinishLoop() { PauseTiming(); }
+
+// ---------------------------------------------------------------------------
+// Public driver API
+
+void Initialize(int* argc, char** argv) {
+  internal::DriverFlags& f = internal::flags();
+  if (*argc > 0) f.executable = argv[0];
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    const auto take = [&arg](const char* flag, std::string* dst) {
+      const std::string prefix = std::string("--") + flag + "=";
+      if (arg.rfind(prefix, 0) != 0) return false;
+      *dst = arg.substr(prefix.size());
+      return true;
+    };
+    std::string value;
+    if (take("benchmark_filter", &f.filter)) continue;
+    if (take("benchmark_out", &f.out_path)) continue;
+    if (take("benchmark_out_format", &f.out_format)) continue;
+    if (take("benchmark_repetitions", &value)) {
+      f.repetitions = std::max(1, std::atoi(value.c_str()));
+      continue;
+    }
+    if (take("benchmark_report_aggregates_only", &value)) {
+      f.aggregates_only = (value == "true" || value == "1");
+      continue;
+    }
+    if (arg.rfind("--benchmark_", 0) == 0) {
+      // Recognized family, unsupported flag: drop it with a note rather than
+      // failing scripts that pass google-only options.
+      std::fprintf(stderr, "benchmark: ignoring unsupported flag %s\n", arg.c_str());
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+}
+
+bool ReportUnrecognizedArguments(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::fprintf(stderr, "%s: error: unrecognized command-line flag: %s\n",
+                 internal::flags().executable.c_str(), argv[i]);
+  }
+  return argc > 1;
+}
+
+std::size_t RunSpecifiedBenchmarks() { return internal::Runner::RunAll(); }
+
+void AddCustomContext(const std::string& key, const std::string& value) {
+  internal::custom_context().emplace_back(key, value);
+}
+
+}  // namespace benchmark

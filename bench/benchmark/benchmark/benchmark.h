@@ -1,0 +1,224 @@
+#ifndef BENCHMARK_BENCHMARK_H_
+#define BENCHMARK_BENCHMARK_H_
+
+// In-repo, API-compatible subset of google/benchmark, just large enough for
+// the micro-benchmark suite in bench/bench_micro_ops.cpp (and any future
+// micro bench that sticks to the same surface):
+//
+//   State (range / iterations / counters / Pause-ResumeTiming / SetLabel /
+//   SetItemsProcessed / SetBytesProcessed), Counter{kIsRate, kIs1000},
+//   DoNotOptimize, BENCHMARK()->Arg/Args/ArgsProduct/DenseRange/Iterations/
+//   UseRealTime, Initialize, ReportUnrecognizedArguments,
+//   RunSpecifiedBenchmarks, AddCustomContext, and the console + JSON
+//   reporters with --benchmark_filter / _out / _out_format / _repetitions /
+//   _report_aggregates_only.
+//
+// Why in-repo: the perf record committed to BENCH_micro_ops.json must be
+// auditable as a true Release measurement. The distro-packaged benchmark
+// library is compiled once by the distribution (a Debug .so reports
+// "library_build_type": "debug" forever, poisoning the provenance gate in
+// scripts/check.sh), and adding a vendored copy of the real library is a
+// dependency this repo cannot take. This translation unit is always compiled
+// -O2 -DNDEBUG by bench/benchmark/CMakeLists.txt, and `library_build_type`
+// in the JSON context is derived from THIS library's own NDEBUG state — the
+// value is truthful by construction, not inherited from a package builder.
+//
+// Semantics intentionally match google/benchmark where the suite depends on
+// them: per-repetition timing re-measures through the state loop, rates
+// (Counter::kIsRate, items_per_second) divide by CPU time unless the
+// benchmark opted into UseRealTime, repeated runs aggregate into
+// mean/median/stddev/cv entries, and --benchmark_report_aggregates_only
+// drops the per-repetition entries (ignored when repetitions < 2).
+
+#include <cstdint>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace benchmark {
+
+// ---------------------------------------------------------------------------
+// User counters
+
+class Counter {
+ public:
+  enum Flags : unsigned {
+    kDefaults = 0,
+    kIsRate = 1U << 0,               ///< value is divided by elapsed seconds
+    kAvgThreads = 1U << 1,           ///< accepted, no-op (single-threaded runner)
+    kIsIterationInvariant = 1U << 2, ///< value is multiplied by iteration count
+    kAvgIterations = 1U << 3,        ///< value is divided by iteration count
+  };
+  enum OneK : std::int32_t {
+    kIs1000 = 1000,  ///< SI prefixes in the console reporter (k, M, G)
+    kIs1024 = 1024,  ///< IEC prefixes (Ki, Mi, Gi)
+  };
+
+  double value = 0.0;
+  Flags flags = kDefaults;
+  OneK oneK = kIs1000;
+
+  Counter() = default;
+  Counter(double v, Flags f = kDefaults, OneK k = kIs1000) : value(v), flags(f), oneK(k) {}
+  operator double() const { return value; }  // NOLINT(google-explicit-constructor)
+};
+
+using UserCounters = std::map<std::string, Counter>;
+
+// ---------------------------------------------------------------------------
+// State — the per-run handle a benchmark function iterates on
+
+namespace internal {
+class Runner;
+}  // namespace internal
+
+class State {
+ public:
+  /// i-th argument of this instance (from Arg/Args/ArgsProduct/DenseRange).
+  std::int64_t range(std::size_t i = 0) const { return ranges_.at(i); }
+
+  /// Iterations this run executes (fixed before the loop starts).
+  std::int64_t iterations() const { return max_iterations_; }
+
+  /// Excludes a setup/teardown region from the measured time.
+  void PauseTiming();
+  void ResumeTiming();
+
+  void SetItemsProcessed(std::int64_t items) { items_processed_ = items; }
+  void SetBytesProcessed(std::int64_t bytes) { bytes_processed_ = bytes; }
+  void SetLabel(const std::string& label) { label_ = label; }
+
+  UserCounters counters;
+
+  /// Range-for protocol: `for (auto _ : state)` starts the timer on entry,
+  /// runs exactly iterations() laps, and stops the timer on exhaustion.
+  struct StateIterator {
+    State* parent = nullptr;
+    std::int64_t remaining = 0;
+
+    /// The attribute rides on the TYPE so `for (auto _ : state)` never
+    /// trips -Wunused-variable / -Wunused-but-set-variable under -Werror
+    /// (google's BENCHMARK_UNUSED Value trick).
+    struct [[maybe_unused]] Value {};
+    Value operator*() const { return Value(); }
+    StateIterator& operator++() {
+      --remaining;
+      return *this;
+    }
+    bool operator!=(const StateIterator& /*end*/) {
+      if (remaining > 0) return true;
+      parent->FinishLoop();
+      return false;
+    }
+  };
+  StateIterator begin();
+  StateIterator end() { return StateIterator{}; }
+
+ private:
+  friend class internal::Runner;
+  State(std::int64_t iters, std::vector<std::int64_t> ranges)
+      : max_iterations_(iters), ranges_(std::move(ranges)) {}
+  void FinishLoop();
+
+  std::int64_t max_iterations_ = 0;
+  std::vector<std::int64_t> ranges_;
+  std::int64_t items_processed_ = 0;
+  std::int64_t bytes_processed_ = 0;
+  std::string label_;
+  // Accumulated measured time (seconds), maintained by begin()/Pause/Resume/
+  // FinishLoop through the Runner.
+  double real_s_ = 0.0;
+  double cpu_s_ = 0.0;
+  double resume_real_ = 0.0;
+  double resume_cpu_ = 0.0;
+  bool timing_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Registration
+
+namespace internal {
+
+/// One registered benchmark function plus its instance matrix. The fluent
+/// setters mirror google/benchmark and return `this` for chaining.
+class Benchmark {
+ public:
+  Benchmark(std::string name, void (*fn)(State&)) : name_(std::move(name)), fn_(fn) {}
+
+  Benchmark* Arg(std::int64_t x) {
+    arg_sets_.push_back({x});
+    return this;
+  }
+  Benchmark* Args(const std::vector<std::int64_t>& args) {
+    arg_sets_.push_back(args);
+    return this;
+  }
+  /// Cartesian product, rightmost list varying fastest (google order).
+  Benchmark* ArgsProduct(const std::vector<std::vector<std::int64_t>>& lists);
+  Benchmark* DenseRange(std::int64_t lo, std::int64_t hi, std::int64_t step = 1) {
+    for (std::int64_t v = lo; v <= hi; v += step) arg_sets_.push_back({v});
+    return this;
+  }
+  Benchmark* Iterations(std::int64_t n) {
+    fixed_iterations_ = n;
+    return this;
+  }
+  Benchmark* UseRealTime() {
+    use_real_time_ = true;
+    return this;
+  }
+
+  /// Reporting name of one instance: base + /args + the google-style
+  /// "/iterations:N" and "/real_time" suffixes.
+  std::string instance_name(const std::vector<std::int64_t>& args) const;
+
+ private:
+  friend class Runner;
+  std::string name_;
+  void (*fn_)(State&) = nullptr;
+  std::vector<std::vector<std::int64_t>> arg_sets_;  ///< empty → one no-arg instance
+  std::int64_t fixed_iterations_ = 0;                ///< 0 → adaptive
+  bool use_real_time_ = false;
+};
+
+Benchmark* RegisterBenchmarkInternal(const char* name, void (*fn)(State&));
+
+}  // namespace internal
+
+#define BENCHMARK_PRIVATE_CONCAT2(a, b) a##b
+#define BENCHMARK_PRIVATE_CONCAT(a, b) BENCHMARK_PRIVATE_CONCAT2(a, b)
+#define BENCHMARK(func)                                                      \
+  static ::benchmark::internal::Benchmark* BENCHMARK_PRIVATE_CONCAT(        \
+      bm_registration_, __LINE__) [[maybe_unused]] =                         \
+      ::benchmark::internal::RegisterBenchmarkInternal(#func, &func)
+
+// ---------------------------------------------------------------------------
+// Optimizer fences
+
+template <class Tp>
+inline void DoNotOptimize(Tp const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+template <class Tp>
+inline void DoNotOptimize(Tp& value) {
+  asm volatile("" : "+r,m"(value) : : "memory");
+}
+inline void ClobberMemory() { asm volatile("" ::: "memory"); }
+
+// ---------------------------------------------------------------------------
+// Driver
+
+/// Parses and strips the recognized --benchmark_* flags from argv.
+void Initialize(int* argc, char** argv);
+/// True (after printing them) when non-flag arguments remain past argv[0].
+bool ReportUnrecognizedArguments(int argc, char** argv);
+/// Runs every registered instance passing the filter; writes the console
+/// report and, with --benchmark_out, the JSON record. Returns the count run.
+std::size_t RunSpecifiedBenchmarks();
+/// Adds a key/value pair to the JSON "context" object.
+void AddCustomContext(const std::string& key, const std::string& value);
+
+}  // namespace benchmark
+
+#endif  // BENCHMARK_BENCHMARK_H_

@@ -1,6 +1,7 @@
 #include "core/backselect.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <numeric>
 #include <stdexcept>
 
@@ -14,11 +15,16 @@ namespace {
 /// in minibatches.
 std::vector<float> class_probs(nn::Network& net, const Tensor& images, int64_t cls, int batch) {
   const int64_t n = images.size(0);
+  const int64_t rowsz = images.numel() / n;
+  const float* src = images.data().data();
   std::vector<float> out(static_cast<size_t>(n));
   for (int64_t start = 0; start < n; start += batch) {
+    // Per-chunk arena generation: staging copy, activations, and the softmax
+    // result die before the reset.
+    const mem::Scope chunk_scope;
     const int64_t end = std::min<int64_t>(start + batch, n);
-    Tensor chunk(Shape{end - start, images.size(1), images.size(2), images.size(3)});
-    for (int64_t i = start; i < end; ++i) chunk.set_slice0(i - start, images.slice0(i));
+    Tensor chunk = Tensor::scratch_copy(
+        Shape{end - start, images.size(1), images.size(2), images.size(3)}, src + start * rowsz);
     const Tensor probs = softmax_rows(net.forward(chunk, /*train=*/false));
     for (int64_t i = start; i < end; ++i) out[static_cast<size_t>(i)] = probs.at(i - start, cls);
   }
@@ -45,13 +51,21 @@ std::vector<int64_t> backselect_order(nn::Network& net, const Tensor& image, int
   order.reserve(static_cast<size_t>(npix));
 
   while (!remaining.empty()) {
+    // Per-round arena generation: the candidate stack is by far the largest
+    // temporary here (one masked copy of the image per remaining pixel) and
+    // dies with the scope; class_probs nests its own per-chunk scopes below
+    // this round's watermark.
+    const mem::Scope round_scope;
     // Evaluate the confidence after masking each remaining pixel alone.
-    Tensor candidates(
+    Tensor candidates = Tensor::scratch(
         Shape{static_cast<int64_t>(remaining.size()), image.size(0), image.size(1), image.size(2)});
+    const int64_t csize = current.numel();
+    const int64_t plane = image.size(1) * image.size(2);
+    float* cd = candidates.data().data();
     for (size_t i = 0; i < remaining.size(); ++i) {
-      Tensor cand = current;
-      fill_pixel(cand, remaining[i], cfg.fill);
-      candidates.set_slice0(static_cast<int64_t>(i), cand);
+      float* row = cd + static_cast<int64_t>(i) * csize;
+      std::memcpy(row, current.data().data(), static_cast<size_t>(csize) * sizeof(float));
+      for (int64_t c = 0; c < image.size(0); ++c) row[c * plane + remaining[i]] = cfg.fill;
     }
     const auto probs = class_probs(net, candidates, target_class, cfg.batch);
 
@@ -101,7 +115,8 @@ Tensor apply_pixel_mask(const Tensor& image, std::span<const uint8_t> keep, floa
 }
 
 float confidence(nn::Network& net, const Tensor& image, int64_t cls) {
-  Tensor batch(Shape{1, image.size(0), image.size(1), image.size(2)});
+  const mem::Scope scope;
+  Tensor batch = Tensor::scratch(Shape{1, image.size(0), image.size(1), image.size(2)});
   batch.set_slice0(0, image);
   const Tensor probs = softmax_rows(net.forward(batch, /*train=*/false));
   return probs.at(0, cls);
@@ -120,9 +135,13 @@ Tensor informative_feature_matrix(std::span<const ModelRef> models, const data::
     for (int64_t g = 0; g < m; ++g) {
       nn::Network& gen = *models[static_cast<size_t>(g)].net;
       // Informative pixels are selected w.r.t. the generator's *prediction*.
-      Tensor single(Shape{1, image.size(0), image.size(1), image.size(2)});
-      single.set_slice0(0, image);
-      const auto pred = argmax_rows(gen.forward(single, /*train=*/false))[0];
+      int64_t pred = 0;
+      {
+        const mem::Scope scope;
+        Tensor single = Tensor::scratch(Shape{1, image.size(0), image.size(1), image.size(2)});
+        single.set_slice0(0, image);
+        argmax_rows_into(gen.forward(single, /*train=*/false), {&pred, 1});
+      }
 
       const auto order = backselect_order(gen, image, pred, cfg);
       const auto mask = informative_mask(order, keep_fraction);

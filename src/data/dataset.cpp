@@ -40,34 +40,38 @@ std::vector<int64_t> InMemoryDataset::dense_labels(int64_t i) const {
 Batch make_batch(const Dataset& ds, std::span<const int64_t> indices,
                  const ImageTransform* transform, Rng* rng) {
   if (indices.empty()) throw std::invalid_argument("make_batch: empty index list");
-  Tensor first = ds.image(indices[0]);  // rp-lint: allow(R12) per-batch staging tensor; ROADMAP arena target
-  const auto& d = first.shape().dims();
-  Batch batch;
-  batch.images = Tensor(Shape{static_cast<int64_t>(indices.size()), d[0], d[1], d[2]});  // rp-lint: allow(R12) per-batch staging tensor; ROADMAP arena target
+  auto first = ds.image(indices[0]);
+  const auto d = first.shape().dims();
   const bool seg = ds.segmentation();
+  // Built as scratch locals and moved into the aggregate so the batch keeps
+  // its arena/pool backing; assigning into a default-constructed Batch would
+  // copy both buffers back onto the heap.
+  Tensor images =
+      Tensor::scratch(Shape{static_cast<int64_t>(indices.size()), d[0], d[1], d[2]});
+  LabelVec labels(seg ? 0 : indices.size(), 0, mem::ScratchAllocator<int64_t>(true));
 
   for (size_t b = 0; b < indices.size(); ++b) {
-    Tensor img = (b == 0) ? first : ds.image(indices[b]);  // rp-lint: allow(R12) per-batch staging tensor; ROADMAP arena target
+    auto img = (b == 0) ? std::move(first) : ds.image(indices[b]);
     if (transform) {
       if (!rng) throw std::invalid_argument("make_batch: transform requires an rng");
       img = (*transform)(img, *rng);
     }
-    batch.images.set_slice0(static_cast<int64_t>(b), img);
+    images.set_slice0(static_cast<int64_t>(b), img);
     if (seg) {
       auto dl = ds.dense_labels(indices[b]);
-      batch.labels.insert(batch.labels.end(), dl.begin(), dl.end());  // rp-lint: allow(R12) per-batch label append, bounded by batch size
+      labels.insert(labels.end(), dl.begin(), dl.end());  // rp-lint: allow(R12) segmentation label append; grows through the lane pool, bounded by batch size
     } else {
-      batch.labels.push_back(ds.label(indices[b]));  // rp-lint: allow(R12) per-batch label append, bounded by batch size
+      labels[b] = ds.label(indices[b]);
     }
   }
-  return batch;
+  return Batch{std::move(images), std::move(labels)};
 }
 
 std::shared_ptr<InMemoryDataset> bake(const Dataset& ds, const ImageTransform& transform,
                                       Rng& rng, const std::string& distribution) {
   const int64_t n = ds.size();
   Tensor first = transform(ds.image(0), rng);
-  const auto& d = first.shape().dims();
+  const auto d = first.shape().dims();
   Tensor images(Shape{n, d[0], d[1], d[2]});
   images.set_slice0(0, first);
   std::vector<int64_t> labels(static_cast<size_t>(n));
@@ -89,7 +93,7 @@ std::shared_ptr<InMemoryDataset> take(const Dataset& ds, int64_t n) {
   n = std::min(n, ds.size());
   if (n <= 0) throw std::invalid_argument("take: need at least one sample");
   Tensor first = ds.image(0);
-  const auto& d = first.shape().dims();
+  const auto d = first.shape().dims();
   Tensor images(Shape{n, d[0], d[1], d[2]});
   std::vector<int64_t> labels(static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i) {

@@ -46,7 +46,7 @@ ResidualBlock::ResidualBlock(std::string name, int64_t in_c, int64_t out_c, int6
 }
 
 Tensor ResidualBlock::forward(const Tensor& x, bool train) {
-  Tensor y = main_.forward(x, train);  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
+  auto y = main_.forward(x, train);
   if (shortcut_) {
     y += shortcut_->forward(x, train);
   } else {
@@ -58,7 +58,7 @@ Tensor ResidualBlock::forward(const Tensor& x, bool train) {
 }
 
 Tensor ResidualBlock::backward(const Tensor& dy) {
-  Tensor g = dy;  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
+  Tensor g = Tensor::scratch_copy(dy.shape(), dy.data().data());
   {
     const auto sd = cached_sum_.data();
     auto gd = g.data();
@@ -66,7 +66,7 @@ Tensor ResidualBlock::backward(const Tensor& dy) {
       if (sd[i] <= 0.0f) gd[i] = 0.0f;
     }
   }
-  Tensor dx = main_.backward(g);  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
+  auto dx = main_.backward(g);
   if (shortcut_) {
     dx += shortcut_->backward(g);
   } else {
@@ -124,8 +124,8 @@ Tensor DenseLayer::backward(const Tensor& dy) {
   // channels) and the branch part (remaining channels).
   const int64_t n = dy.size(0), c = dy.size(1), plane = dy.size(2) * dy.size(3);
   const int64_t cb = c - in_c_;
-  Tensor dx(Shape{n, in_c_, dy.size(2), dy.size(3)});  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
-  Tensor dbranch(Shape{n, cb, dy.size(2), dy.size(3)});  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
+  Tensor dx = Tensor::scratch(Shape{n, in_c_, dy.size(2), dy.size(3)});
+  Tensor dbranch = Tensor::scratch(Shape{n, cb, dy.size(2), dy.size(3)});
   const float* dyd = dy.data().data();
   float* dxd = dx.data().data();
   float* dbd = dbranch.data().data();

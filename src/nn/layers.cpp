@@ -59,20 +59,24 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
   }
   cached_input_ = x;
   const int64_t oplane = oh * ow;
-  Tensor y(Shape{n, out_c_, oh, ow});  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
+  const int64_t isz = geom_.in_c * geom_.in_h * geom_.in_w;
+  const float* xd = x.data().data();
+  Tensor y = Tensor::scratch(Shape{n, out_c_, oh, ow});
   float* yd = y.data().data();
 
   // Samples are independent (each writes its own output plane), so the
   // im2col+GEMM loop is parallel over samples. Every lane owns one set of
-  // scratch tensors — nested parallel loops run inline, so a lane never
-  // shares these with another forward in flight.
+  // scratch tensors (pool-backed off the arena thread, arena-backed on it) —
+  // nested parallel loops run inline, so a lane never shares these with
+  // another forward in flight.
   // rp-lint: allow(R7) per-sample loop: each iteration is an im2col + GEMM
   parallel::parallel_for(0, n, 1, [&](int64_t i0, int64_t i1) {
-    thread_local Tensor cols;  // rp-lint: allow(R12,R3) per-lane im2col scratch; R12: per-call activation/gradient tensor; ROADMAP activation-arena target
-    thread_local Tensor y_n;   // rp-lint: allow(R12,R3) per-lane output scratch; R12: per-call activation/gradient tensor; ROADMAP activation-arena target
-    if (y_n.shape() != Shape{out_c_, oplane}) y_n = Tensor(Shape{out_c_, oplane});  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
+    Tensor x_n = Tensor::scratch(Shape{geom_.in_c, geom_.in_h, geom_.in_w});
+    Tensor cols = Tensor::scratch(Shape{geom_.patch(), oplane});
+    Tensor y_n = Tensor::scratch(Shape{out_c_, oplane});
     for (int64_t i = i0; i < i1; ++i) {
-      im2col(x.slice0(i), geom_, cols);
+      std::memcpy(x_n.data().data(), xd + i * isz, static_cast<size_t>(isz) * sizeof(float));
+      im2col(x_n, geom_, cols);
       if (sparse_) {
         sparse::matmul_into(sparse_w_, cols, y_n);
       } else {
@@ -93,7 +97,6 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
   if (profiling_) {
     // Max-reduction per channel; each channel is owned by one lane, so the
     // stat update is race-free and (max being exact) order-independent.
-    const float* xd = x.data().data();
     const int64_t plane = geom_.in_h * geom_.in_w;
     // rp-lint: allow(R7) per-channel loop: each iteration reduces n planes
     parallel::parallel_for(0, geom_.in_c, 1, [&](int64_t c0, int64_t c1) {
@@ -127,7 +130,10 @@ Tensor Conv2d::backward(const Tensor& dy) {
   const int64_t oh = geom_.out_h(), ow = geom_.out_w();
   const int64_t oplane = oh * ow;
   const int64_t wsize = out_c_ * geom_.patch();
-  Tensor dx(cached_input_.shape());  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
+  const int64_t isz = geom_.in_c * geom_.in_h * geom_.in_w;
+  const float* xd = cached_input_.data().data();
+  const float* dyd = dy.data().data();
+  Tensor dx = Tensor::scratch(cached_input_.shape());
 
   // Parallel over samples (same recipe as evaluate()): each sample's dW and
   // db contribution is computed independently — a beta=0 GEMM into per-lane
@@ -135,29 +141,28 @@ Tensor Conv2d::backward(const Tensor& dy) {
   // gradients below runs in fixed sample order. Partial values depend only
   // on the sample, never on chunking, so gradients are bit-identical for any
   // RP_THREADS. dx slices are disjoint per sample and written in place.
-  std::vector<float> dw_partial(static_cast<size_t>(n * wsize));
-  std::vector<float> db_partial(use_bias_ ? static_cast<size_t>(n * out_c_) : size_t{0});
+  Tensor dw_partial = Tensor::scratch(Shape{n, wsize});
+  Tensor db_partial = Tensor::scratch(Shape{use_bias_ ? n * out_c_ : int64_t{0}});
+  float* dwp = dw_partial.data().data();
+  float* dbp = db_partial.data().data();
 
   // rp-lint: allow(R7) per-sample loop: each iteration is an im2col + two GEMMs
   parallel::parallel_for(0, n, 1, [&](int64_t i0, int64_t i1) {
-    thread_local Tensor cols;   // rp-lint: allow(R12,R3) per-lane im2col scratch; R12: per-call activation/gradient tensor; ROADMAP activation-arena target
-    thread_local Tensor dcols;  // rp-lint: allow(R12,R3) per-lane col-gradient scratch; R12: per-call activation/gradient tensor; ROADMAP activation-arena target
-    thread_local Tensor dw_n;   // rp-lint: allow(R12,R3) per-lane dW scratch; R12: per-call activation/gradient tensor; ROADMAP activation-arena target
-    thread_local Tensor dx_n;   // rp-lint: allow(R12,R3) per-lane dx scratch; R12: per-call activation/gradient tensor; ROADMAP activation-arena target
-    if (dcols.shape() != Shape{geom_.patch(), oplane}) {
-      dcols = Tensor(Shape{geom_.patch(), oplane});  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
-    }
-    if (dw_n.shape() != Shape{out_c_, geom_.patch()}) {
-      dw_n = Tensor(Shape{out_c_, geom_.patch()});  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
-    }
+    Tensor x_n = Tensor::scratch(Shape{geom_.in_c, geom_.in_h, geom_.in_w});
+    Tensor dy_n = Tensor::scratch(Shape{out_c_, oplane});
+    Tensor cols = Tensor::scratch(Shape{geom_.patch(), oplane});
+    Tensor dcols = Tensor::scratch(Shape{geom_.patch(), oplane});
+    Tensor dw_n = Tensor::scratch(Shape{out_c_, geom_.patch()});
+    Tensor dx_n = Tensor::scratch(Shape{geom_.in_c, geom_.in_h, geom_.in_w});
     for (int64_t i = i0; i < i1; ++i) {
-      const Tensor dy_n = dy.slice0(i).reshape(Shape{out_c_, oplane});  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
-      const Tensor x_n = cached_input_.slice0(i);  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
+      std::memcpy(dy_n.data().data(), dyd + i * out_c_ * oplane,
+                  static_cast<size_t>(out_c_ * oplane) * sizeof(float));
+      std::memcpy(x_n.data().data(), xd + i * isz, static_cast<size_t>(isz) * sizeof(float));
       im2col(x_n, geom_, cols);
       // dW_i = dy_n @ colsᵀ
       // rp-lint: allow(R9) training backward: gradients need the dense weight
       gemm(dy_n, cols, dw_n, /*trans_a=*/false, /*trans_b=*/true, 1.0f, 0.0f);
-      std::memcpy(dw_partial.data() + i * wsize, dw_n.data().data(),
+      std::memcpy(dwp + i * wsize, dw_n.data().data(),
                   static_cast<size_t>(wsize) * sizeof(float));
       // dcols = Wᵀ @ dy_n
       // rp-lint: allow(R9) training backward: gradients need the dense weight
@@ -170,7 +175,7 @@ Tensor Conv2d::backward(const Tensor& dy) {
         for (int64_t c = 0; c < out_c_; ++c) {
           float s = 0.0f;
           for (int64_t p = 0; p < oplane; ++p) s += d[c * oplane + p];
-          db_partial[static_cast<size_t>(i * out_c_ + c)] = s;
+          dbp[i * out_c_ + c] = s;
         }
       }
     }
@@ -178,12 +183,12 @@ Tensor Conv2d::backward(const Tensor& dy) {
 
   float* wg = weight_.grad.data().data();
   for (int64_t i = 0; i < n; ++i) {
-    simd::add(wg, dw_partial.data() + i * wsize, wsize);
+    simd::add(wg, dwp + i * wsize, wsize);
   }
   if (use_bias_) {
     float* bg = bias_.grad.data().data();
     for (int64_t i = 0; i < n; ++i) {
-      simd::add(bg, db_partial.data() + i * out_c_, out_c_);
+      simd::add(bg, dbp + i * out_c_, out_c_);
     }
   }
   return dx;
@@ -246,7 +251,7 @@ Tensor Linear::forward(const Tensor& x, bool /*train*/) {
   }
   cached_input_ = x;
   const int64_t n = x.size(0);
-  Tensor y(Shape{n, out_});  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
+  Tensor y = Tensor::scratch(Shape{n, out_});
   if (sparse_) {
     sparse::rhs_matmul_into(sparse_w_, x, y);
   } else {
@@ -283,7 +288,7 @@ Tensor Linear::backward(const Tensor& dy) {
     const float* dyd = dy.data().data();
     for (int64_t i = 0; i < n; ++i) simd::add(bg, dyd + i * out_, out_);
   }
-  Tensor dx(Shape{n, in_});  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
+  Tensor dx = Tensor::scratch(Shape{n, in_});
   // rp-lint: allow(R9) training backward: gradients need the dense weight
   gemm(dy, weight_.value, dx);
   return dx;
@@ -343,9 +348,12 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
   const float count = static_cast<float>(n * plane);
   flops_ = 2 * c_ * plane;
 
-  cached_xhat_ = Tensor(x.shape());  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
+  // Cross-kind assignment from a scratch temp never steals the pointer: it
+  // element-copies into the member's heap buffer, so after the first batch
+  // this reuses capacity and performs no heap allocation.
+  cached_xhat_ = Tensor::scratch(x.shape());
   cached_inv_std_.assign(static_cast<size_t>(c_), 0.0f);
-  Tensor y(x.shape());  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
+  Tensor y = Tensor::scratch(x.shape());
   const float* xd = x.data().data();
   float* xh = cached_xhat_.data().data();
   float* yd = y.data().data();
@@ -394,7 +402,7 @@ Tensor BatchNorm2d::backward(const Tensor& dy) {
   const int64_t n = dy.size(0), h = dy.size(2), w = dy.size(3);
   const int64_t plane = h * w;
   const float count = static_cast<float>(n * plane);
-  Tensor dx(dy.shape());  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
+  Tensor dx = Tensor::scratch(dy.shape());
   const float* dyd = dy.data().data();
   const float* xh = cached_xhat_.data().data();
   float* dxd = dx.data().data();
@@ -442,13 +450,13 @@ void BatchNorm2d::collect_buffers(std::vector<std::pair<std::string, Tensor*>>& 
 
 Tensor ReLU::forward(const Tensor& x, bool /*train*/) {
   cached_input_ = x;
-  Tensor y = x;  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
+  Tensor y = Tensor::scratch_copy(x.shape(), x.data().data());
   simd::relu(y.data().data(), y.numel());
   return y;
 }
 
 Tensor ReLU::backward(const Tensor& dy) {
-  Tensor dx = dy;  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
+  Tensor dx = Tensor::scratch_copy(dy.shape(), dy.data().data());
   simd::relu_grad(cached_input_.data().data(), dx.data().data(), dx.numel());
   return dx;
 }
@@ -464,7 +472,7 @@ Tensor MaxPool2d::forward(const Tensor& x, bool /*train*/) {
   }
   in_shape_ = x.shape();
   const int64_t oh = h / 2, ow = w / 2;
-  Tensor y(Shape{n, c, oh, ow});  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
+  Tensor y = Tensor::scratch(Shape{n, c, oh, ow});
   arg_.assign(static_cast<size_t>(y.numel()), 0);
   const float* xd = x.data().data();
   float* yd = y.data().data();
@@ -493,7 +501,7 @@ Tensor MaxPool2d::forward(const Tensor& x, bool /*train*/) {
 }
 
 Tensor MaxPool2d::backward(const Tensor& dy) {
-  Tensor dx(in_shape_);  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
+  Tensor dx = Tensor::scratch(in_shape_);
   float* dxd = dx.data().data();
   const float* dyd = dy.data().data();
   for (int64_t i = 0; i < dy.numel(); ++i) {
@@ -508,7 +516,7 @@ Tensor GlobalAvgPool::forward(const Tensor& x, bool /*train*/) {
   check_4d(x, "GlobalAvgPool");
   in_shape_ = x.shape();
   const int64_t n = x.size(0), c = x.size(1), plane = x.size(2) * x.size(3);
-  Tensor y(Shape{n, c});  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
+  Tensor y = Tensor::scratch(Shape{n, c});
   const float* xd = x.data().data();
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t ch = 0; ch < c; ++ch) {
@@ -522,7 +530,7 @@ Tensor GlobalAvgPool::forward(const Tensor& x, bool /*train*/) {
 }
 
 Tensor GlobalAvgPool::backward(const Tensor& dy) {
-  Tensor dx(in_shape_);  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
+  Tensor dx = Tensor::scratch(in_shape_);
   const int64_t n = in_shape_[0], c = in_shape_[1], plane = in_shape_[2] * in_shape_[3];
   float* dxd = dx.data().data();
   const float inv = 1.0f / static_cast<float>(plane);
@@ -540,10 +548,14 @@ Tensor GlobalAvgPool::backward(const Tensor& dy) {
 
 Tensor Flatten::forward(const Tensor& x, bool /*train*/) {
   in_shape_ = x.shape();
-  return x.reshape(Shape{x.size(0), x.numel() / x.size(0)});
+  // scratch_copy instead of reshape(): same single copy, but the output is
+  // always arena/pool-backed even when the input is the heap-kind batch.
+  return Tensor::scratch_copy(Shape{x.size(0), x.numel() / x.size(0)}, x.data().data());
 }
 
-Tensor Flatten::backward(const Tensor& dy) { return dy.reshape(in_shape_); }
+Tensor Flatten::backward(const Tensor& dy) {
+  return Tensor::scratch_copy(in_shape_, dy.data().data());
+}
 
 // ----- Upsample2x --------------------------------------------------------------------
 
@@ -551,7 +563,7 @@ Tensor Upsample2x::forward(const Tensor& x, bool /*train*/) {
   check_4d(x, "Upsample2x");
   in_shape_ = x.shape();
   const int64_t n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
-  Tensor y(Shape{n, c, 2 * h, 2 * w});  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
+  Tensor y = Tensor::scratch(Shape{n, c, 2 * h, 2 * w});
   const float* xd = x.data().data();
   float* yd = y.data().data();
   for (int64_t i = 0; i < n * c; ++i) {
@@ -572,7 +584,7 @@ Tensor Upsample2x::forward(const Tensor& x, bool /*train*/) {
 }
 
 Tensor Upsample2x::backward(const Tensor& dy) {
-  Tensor dx(in_shape_);  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
+  Tensor dx = Tensor::scratch(in_shape_);
   const int64_t n = in_shape_[0], c = in_shape_[1], h = in_shape_[2], w = in_shape_[3];
   const float* dyd = dy.data().data();
   float* dxd = dx.data().data();
@@ -592,14 +604,17 @@ Tensor Upsample2x::backward(const Tensor& dy) {
 // ----- Sequential --------------------------------------------------------------------
 
 Tensor Sequential::forward(const Tensor& x, bool train) {
-  Tensor y = x;  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
-  for (auto& m : children_) y = m->forward(y, train);
+  if (children_.empty()) return Tensor::scratch_copy(x.shape(), x.data().data());
+  auto y = children_.front()->forward(x, train);
+  for (std::size_t i = 1; i < children_.size(); ++i) y = children_[i]->forward(y, train);
   return y;
 }
 
 Tensor Sequential::backward(const Tensor& dy) {
-  Tensor g = dy;  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
-  for (auto it = children_.rbegin(); it != children_.rend(); ++it) g = (*it)->backward(g);
+  if (children_.empty()) return Tensor::scratch_copy(dy.shape(), dy.data().data());
+  auto it = children_.rbegin();
+  auto g = (*it)->backward(dy);
+  for (++it; it != children_.rend(); ++it) g = (*it)->backward(g);
   return g;
 }
 
@@ -639,7 +654,7 @@ Tensor concat_channels(const Tensor& a, const Tensor& b) {
                                 " / " + b.shape().to_string());
   }
   const int64_t n = a.size(0), ca = a.size(1), cb = b.size(1), plane = a.size(2) * a.size(3);
-  Tensor y(Shape{n, ca + cb, a.size(2), a.size(3)});  // rp-lint: allow(R12) per-call activation/gradient tensor; ROADMAP activation-arena target
+  Tensor y = Tensor::scratch(Shape{n, ca + cb, a.size(2), a.size(3)});
   const float* ad = a.data().data();
   const float* bd = b.data().data();
   float* yd = y.data().data();

@@ -16,19 +16,20 @@ LossResult softmax_cross_entropy(const Tensor& logits, std::span<const int64_t> 
   if (static_cast<int64_t>(labels.size()) != n) {
     throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
   }
-  LossResult r;
-  r.dlogits = softmax_rows(logits);
+  // Built as a local and moved into the aggregate: move-construction keeps
+  // the scratch (arena/pool) buffer, where assigning to a default-heap
+  // member would deep-copy it back onto the heap.
+  auto dl = softmax_rows(logits);
   double loss = 0.0;
   const float invn = 1.0f / static_cast<float>(n);
   for (int64_t i = 0; i < n; ++i) {
     const int64_t y = labels[static_cast<size_t>(i)];
     if (y < 0 || y >= c) throw std::out_of_range("softmax_cross_entropy: bad label");
-    loss -= std::log(std::max(r.dlogits.at(i, y), 1e-12f));
-    r.dlogits.at(i, y) -= 1.0f;
+    loss -= std::log(std::max(dl.at(i, y), 1e-12f));
+    dl.at(i, y) -= 1.0f;
   }
-  r.dlogits *= invn;
-  r.loss = static_cast<float>(loss / n);
-  return r;
+  dl *= invn;
+  return {static_cast<float>(loss / n), std::move(dl)};
 }
 
 LossResult pixel_cross_entropy(const Tensor& logits, std::span<const int64_t> labels,
@@ -42,14 +43,14 @@ LossResult pixel_cross_entropy(const Tensor& logits, std::span<const int64_t> la
     throw std::invalid_argument("pixel_cross_entropy: label count mismatch");
   }
 
-  LossResult r;
-  r.dlogits = Tensor(logits.shape());  // rp-lint: allow(R12) per-batch gradient tensor; ROADMAP arena target
+  Tensor dl = Tensor::scratch(logits.shape());
+  Tensor probs = Tensor::scratch(Shape{c});
   const float* ld = logits.data().data();
-  float* gd = r.dlogits.data().data();
+  float* gd = dl.data().data();
+  float* pb = probs.data().data();
   double loss = 0.0;
   int64_t counted = 0;
 
-  std::vector<float> probs(static_cast<size_t>(c));
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t p = 0; p < plane; ++p) {
       const int64_t y = labels[static_cast<size_t>(i * plane + p)];
@@ -58,30 +59,26 @@ LossResult pixel_cross_entropy(const Tensor& logits, std::span<const int64_t> la
       // Channel-strided softmax at pixel p: gather the channel column into
       // the contiguous scratch first so the max reduction runs vectorized.
       for (int64_t ch = 0; ch < c; ++ch) {
-        probs[static_cast<size_t>(ch)] = ld[(i * c + ch) * plane + p];
+        pb[ch] = ld[(i * c + ch) * plane + p];
       }
-      const float m = simd::reduce_max(probs.data(), c);
+      const float m = simd::reduce_max(pb, c);
       float denom = 0.0f;
       for (int64_t ch = 0; ch < c; ++ch) {
-        probs[static_cast<size_t>(ch)] = std::exp(probs[static_cast<size_t>(ch)] - m);
-        denom += probs[static_cast<size_t>(ch)];
+        pb[ch] = std::exp(pb[ch] - m);
+        denom += pb[ch];
       }
       for (int64_t ch = 0; ch < c; ++ch) {
-        const float q = probs[static_cast<size_t>(ch)] / denom;
+        const float q = pb[ch] / denom;
         gd[(i * c + ch) * plane + p] = q - (ch == y ? 1.0f : 0.0f);
       }
-      loss -= std::log(std::max(probs[static_cast<size_t>(y)] / denom, 1e-12f));
+      loss -= std::log(std::max(pb[y] / denom, 1e-12f));
       ++counted;
     }
   }
-  if (counted == 0) {
-    r.loss = 0.0f;
-    return r;
-  }
+  if (counted == 0) return {0.0f, std::move(dl)};
   const float inv = 1.0f / static_cast<float>(counted);
-  r.dlogits *= inv;
-  r.loss = static_cast<float>(loss / counted);
-  return r;
+  dl *= inv;
+  return {static_cast<float>(loss / counted), std::move(dl)};
 }
 
 }  // namespace rp::nn

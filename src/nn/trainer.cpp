@@ -77,12 +77,17 @@ void train(Network& net, const data::Dataset& ds, const TrainConfig& cfg) {
     int64_t batches = 0;
 
     for (int64_t start = 0; start < n; start += cfg.batch_size) {
+      // One arena generation per optimizer step: everything scratch-backed
+      // below (batch staging, activations, gradients) dies before the scope
+      // resets, so steady-state iterations never touch the heap.
+      const obs::Span arena_span("mem.arena");
+      const mem::Scope arena_scope;
       const int64_t end = std::min<int64_t>(start + cfg.batch_size, n);
       std::span<const int64_t> idx(order.data() + start, static_cast<size_t>(end - start));
       data::Batch batch =
           data::make_batch(ds, idx, cfg.augment ? &cfg.augment : nullptr, &rng);
 
-      Tensor logits = net.forward(batch.images, /*train=*/true);
+      auto logits = net.forward(batch.images, /*train=*/true);
       const LossResult lr_res = seg ? pixel_cross_entropy(logits, batch.labels)
                                     : softmax_cross_entropy(logits, batch.labels);
       opt.zero_grad();
@@ -115,22 +120,36 @@ EvalResult evaluate(Network& net, const data::Dataset& ds, int batch_size) {
     int64_t hits = 0, total = 0;
     std::vector<int64_t> pred, truth;
   };
-  std::vector<BatchOut> partial(static_cast<size_t>(nbatches));
+  // Pool-routed so repeated evaluate() calls recycle the same lane-pool
+  // block instead of re-allocating the partial array every call.
+  std::vector<BatchOut, mem::ScratchAllocator<BatchOut>> partial(
+      static_cast<size_t>(nbatches), mem::ScratchAllocator<BatchOut>(true));
 
   const int shards = parallel::shard_count(nbatches);
   ShardNets nets(net, shards);
   const SparseScope sparse_scope(net, nets);
   parallel::run_shards(shards, nbatches, [&](int s, int64_t b0, int64_t b1) {
     Network& worker = nets[s];
-    std::vector<int64_t> idx;
+    std::vector<int64_t, mem::ScratchAllocator<int64_t>> idx{
+        mem::ScratchAllocator<int64_t>(true)};
+    std::vector<int64_t, mem::ScratchAllocator<int64_t>> pred_buf{
+        mem::ScratchAllocator<int64_t>(true)};
     for (int64_t b = b0; b < b1; ++b) {
       const int64_t start = b * batch_size;
       const int64_t end = std::min<int64_t>(start + batch_size, n);
-      idx.resize(static_cast<size_t>(end - start));  // rp-lint: allow(R12) index scratch reused across batches; grows to batch size once
+      // idx / pred_buf persist across batches, so they must (re)allocate
+      // BEFORE the scope opens: outside a scope the engine routes them to
+      // the lane pool, whose blocks survive arena resets.
+      idx.resize(static_cast<size_t>(end - start));  // rp-lint: allow(R12) index scratch reused across batches; grows to batch size once, through the lane pool
+      pred_buf.resize(static_cast<size_t>(end - start));  // rp-lint: allow(R12) prediction scratch reused across batches; grows to batch size once, through the lane pool
       std::iota(idx.begin(), idx.end(), start);
+      // Per-batch arena generation on this lane: batch staging, activations,
+      // and loss gradients all die before the reset below.
+      const obs::Span arena_span("mem.arena");
+      const mem::Scope arena_scope;
       data::Batch batch = data::make_batch(ds, idx);
 
-      Tensor logits = worker.forward(batch.images, /*train=*/false);  // rp-lint: allow(R12) per-batch logits from forward; ROADMAP arena target
+      auto logits = worker.forward(batch.images, /*train=*/false);
       BatchOut& o = partial[static_cast<size_t>(b)];
       if (seg) {
         const LossResult lr = pixel_cross_entropy(logits, batch.labels);
@@ -138,13 +157,15 @@ EvalResult evaluate(Network& net, const data::Dataset& ds, int batch_size) {
         o.pred = pixel_argmax(logits);
         for (size_t i = 0; i < o.pred.size(); ++i) o.hits += (o.pred[i] == batch.labels[i]);
         o.total = static_cast<int64_t>(o.pred.size());
-        o.truth = std::move(batch.labels);
+        o.truth.assign(batch.labels.begin(), batch.labels.end());
       } else {
         const LossResult lr = softmax_cross_entropy(logits, batch.labels);
         o.loss = lr.loss;
-        const auto pred = argmax_rows(logits);
-        for (size_t i = 0; i < pred.size(); ++i) o.hits += (pred[i] == batch.labels[i]);
-        o.total = static_cast<int64_t>(pred.size());
+        argmax_rows_into(logits, pred_buf);
+        for (size_t i = 0; i < pred_buf.size(); ++i) {
+          o.hits += (pred_buf[i] == batch.labels[i]);
+        }
+        o.total = static_cast<int64_t>(pred_buf.size());
       }
     }
   });
@@ -178,33 +199,53 @@ Tensor predict(Network& net, const Tensor& images, int batch_size) {
   const int64_t nbatches = (n + batch_size - 1) / batch_size;
   if (nbatches == 0) return Tensor();  // rp-lint: allow(R12) empty-input early return, never on the batch loop path
 
-  // Per-batch logits, stitched together in batch order afterwards.
-  std::vector<Tensor> logits_per_batch(static_cast<size_t>(nbatches));
-  const int shards = parallel::shard_count(nbatches);
+  const int shards = parallel::shard_count(nbatches - 1);
   ShardNets nets(net, shards);
   const SparseScope sparse_scope(net, nets);
-  parallel::run_shards(shards, nbatches, [&](int s, int64_t b0, int64_t b1) {
+
+  const int64_t rowsz = images.numel() / n;
+  const float* src = images.data().data();
+
+  // Batch 0 runs on the caller first to learn the per-sample logit extent.
+  // The stitched result is heap-allocated once — it is returned to callers
+  // who may hold it across scope generations — and every batch memcpys its
+  // rows straight into it, so no per-batch logits survive their scope.
+  Tensor out;  // rp-lint: allow(R12) empty declaration, zero elements; storage lands in the once-per-call assignment below
+  int64_t lrow = 0;
+  {
+    const obs::Span arena_span("mem.arena");
+    const mem::Scope arena_scope;
+    const int64_t end = std::min<int64_t>(batch_size, n);
+    Tensor chunk = Tensor::scratch_copy(
+        Shape{end, images.size(1), images.size(2), images.size(3)}, src);
+    auto logits = net.forward(chunk, /*train=*/false);
+    lrow = logits.numel() / logits.size(0);
+    std::vector<int64_t> dims(logits.shape().dims().begin(), logits.shape().dims().end());
+    dims[0] = n;
+    out = Tensor(Shape(dims));  // rp-lint: allow(R12) stitched output allocated once per predict call
+    std::memcpy(out.data().data(), logits.data().data(),
+                static_cast<size_t>(logits.numel()) * sizeof(float));
+  }
+  float* od = out.data().data();
+
+  parallel::run_shards(shards, nbatches - 1, [&](int s, int64_t b0, int64_t b1) {
     Network& worker = nets[s];
-    for (int64_t b = b0; b < b1; ++b) {
+    for (int64_t bb = b0; bb < b1; ++bb) {
+      const int64_t b = bb + 1;
+      // Per-batch arena generation on this lane; batch `b` owns rows
+      // [b*batch_size, end) of `out`, disjoint across shards.
+      const obs::Span arena_span("mem.arena");
+      const mem::Scope arena_scope;
       const int64_t start = b * batch_size;
       const int64_t end = std::min<int64_t>(start + batch_size, n);
-      Tensor chunk(Shape{end - start, images.size(1), images.size(2), images.size(3)});  // rp-lint: allow(R12) per-batch staging copy of the input slice; ROADMAP arena target
-      for (int64_t i = start; i < end; ++i) chunk.set_slice0(i - start, images.slice0(i));
-      logits_per_batch[static_cast<size_t>(b)] = worker.forward(chunk, /*train=*/false);
+      Tensor chunk = Tensor::scratch_copy(
+          Shape{end - start, images.size(1), images.size(2), images.size(3)},
+          src + start * rowsz);
+      auto logits = worker.forward(chunk, /*train=*/false);
+      std::memcpy(od + start * lrow, logits.data().data(),
+                  static_cast<size_t>(logits.numel()) * sizeof(float));
     }
   });
-
-  std::vector<int64_t> dims = logits_per_batch[0].shape().dims();
-  const int64_t row = logits_per_batch[0].numel() / logits_per_batch[0].size(0);
-  dims[0] = n;
-  Tensor out(Shape(std::move(dims)));  // rp-lint: allow(R12) stitched output allocated once per predict call
-  float* od = out.data().data();
-  int64_t at = 0;
-  for (const Tensor& logits : logits_per_batch) {
-    std::memcpy(od + at * row, logits.data().data(),
-                static_cast<size_t>(logits.numel()) * sizeof(float));
-    at += logits.size(0);
-  }
   return out;
 }
 
@@ -223,12 +264,17 @@ void profile_activations(Network& net, const data::Dataset& ds, int64_t max_samp
 
   parallel::run_shards(shards, nchunks, [&](int s, int64_t c0, int64_t c1) {
     Network& worker = nets[s];
-    std::vector<int64_t> idx;
+    std::vector<int64_t, mem::ScratchAllocator<int64_t>> idx{
+        mem::ScratchAllocator<int64_t>(true)};
     for (int64_t chunk = c0; chunk < c1; ++chunk) {
       const int64_t start = chunk * kChunk;
       const int64_t end = std::min(start + kChunk, n);
-      idx.resize(static_cast<size_t>(end - start));  // rp-lint: allow(R12) index scratch reused across chunks; grows to chunk size once
+      // Resized before the scope opens so the buffer lives on the lane pool
+      // (survives arena resets); it is reused across chunks.
+      idx.resize(static_cast<size_t>(end - start));  // rp-lint: allow(R12) index scratch reused across chunks; grows to chunk size once, through the lane pool
       std::iota(idx.begin(), idx.end(), start);
+      const obs::Span arena_span("mem.arena");
+      const mem::Scope arena_scope;
       data::Batch batch = data::make_batch(ds, idx);
       worker.forward(batch.images, /*train=*/false);
     }

@@ -196,6 +196,10 @@ const char* counter_name(Counter c) {
     case Counter::kGemmSparseCalls: return "gemm.sparse_calls";
     case Counter::kSparseNnz: return "sparse.nnz";
     case Counter::kSparseBytesSaved: return "sparse.bytes_saved";
+    case Counter::kMemArenaBytes: return "mem.arena_bytes";
+    case Counter::kMemArenaResets: return "mem.arena_resets";
+    case Counter::kMemPoolHits: return "mem.pool_hits";
+    case Counter::kMemHeapAllocsHot: return "mem.heap_allocs_hot";
     case Counter::kSpans: return "trace.spans";
     case Counter::kSpansDropped: return "trace.spans_dropped";
     case Counter::kCount: break;

@@ -44,6 +44,10 @@ enum class Counter : int {
   kGemmSparseCalls,     ///< sparse-engine matmuls dispatched (csr/block layouts)
   kSparseNnz,           ///< nonzeros in weights compiled to a sparse layout
   kSparseBytesSaved,    ///< dense bytes minus compiled bytes, summed over compiles
+  kMemArenaBytes,       ///< bytes served by arena bump allocations
+  kMemArenaResets,      ///< arena scope resets (iteration boundaries)
+  kMemPoolHits,         ///< scratch requests served from a pool free list
+  kMemHeapAllocsHot,    ///< scratch requests that fell through to the heap
   kSpans,               ///< trace spans recorded
   kSpansDropped,        ///< spans dropped after the trace buffer cap
   kCount

@@ -1,0 +1,316 @@
+#include "tensor/arena.hpp"
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace rp::mem {
+
+namespace {
+
+// -- mode resolution (mirrors sparse.cpp's RP_SPARSE handling) --------------
+
+Mode resolve_from_env() {
+  std::string want = "auto";
+  if (const char* env = std::getenv("RP_ARENA")) want = env;
+  if (want == "off" || want == "0") return Mode::kOff;
+  if (want == "on" || want == "1") return Mode::kOn;
+  // auto (and unrecognized values): engine on — it is a pure relocation of
+  // bytes, bit-identical by construction, so there is nothing to tune yet.
+  return Mode::kAuto;
+}
+
+// Mode override for force()/reset(); -1 = resolve from env. Written only by
+// test hooks; every mode produces bit-identical results, so even a racy
+// transition could not change outputs — only where scratch bytes live.
+// rp-lint: allow(R3) mode pin for tests; all modes are bit-identical
+std::atomic<int> g_forced{-1};
+
+// Poison override for reset(); -1 = resolve (NDEBUG / RP_ARENA_POISON).
+// rp-lint: allow(R3) poison pin; diagnostics only, never a result path
+std::atomic<int> g_poison{-1};
+
+bool resolve_poison_from_env() {
+#ifndef NDEBUG
+  return true;
+#else
+  const char* env = std::getenv("RP_ARENA_POISON");
+  return env != nullptr && env[0] == '1' && env[1] == '\0';
+#endif
+}
+
+// -- block headers ----------------------------------------------------------
+// Every scratch block is preceded by one 64-byte header recording where it
+// came from, so scratch_release routes correctly from any thread with no
+// registry or lock. A stale release (arena block touched after its Scope
+// reset poisoned the header) fails the magic check and is a deliberate
+// no-op: the arena already reclaimed those bytes.
+
+constexpr std::size_t kHeaderBytes = 64;
+constexpr std::size_t kQuantum = 64;  ///< bump granularity; keeps blocks cache-line separated
+
+constexpr std::uint64_t kMagicArena = 0x5250'4152'454E'4131ull;  // "RPARENA1"
+constexpr std::uint64_t kMagicPool = 0x5250'504F'4F4C'5F31ull;   // "RPPOOL_1"
+constexpr std::uint64_t kMagicHeap = 0x5250'4845'4150'5F31ull;   // "RPHEAP_1"
+
+struct BlockHeader {
+  std::uint64_t magic = 0;
+  std::uint64_t bucket = 0;  ///< pool blocks: log2 of the bucket's byte size
+};
+static_assert(sizeof(BlockHeader) <= kHeaderBytes);
+
+std::size_t round_quantum(std::size_t bytes) {
+  return (bytes + kQuantum - 1) & ~(kQuantum - 1);
+}
+
+void poison_fill(void* p, std::size_t bytes) {
+  auto* dst = static_cast<std::uint32_t*>(p);
+  const std::size_t n = bytes / sizeof(std::uint32_t);
+  for (std::size_t i = 0; i < n; ++i) dst[i] = kPoisonPattern;
+}
+
+// -- per-lane state ---------------------------------------------------------
+
+/// Pool buckets are pow2 byte sizes; index = log2(size). 2^6 .. 2^47 covers
+/// one cache line through ~128 TB — far past any tensor here.
+constexpr std::size_t kBucketCount = 48;
+/// Free lists are bounded so a lane that only ever receives releases (a
+/// worker that destroys tensors other lanes made) cannot hoard unboundedly.
+constexpr std::size_t kMaxFreePerBucket = 64;
+
+struct Chunk {
+  void* base = nullptr;
+  std::size_t cap = 0;
+  std::size_t used = 0;
+};
+
+constexpr std::size_t kMinChunkBytes = std::size_t{1} << 20;  // 1 MiB
+
+struct Lane {
+  std::vector<Chunk> chunks;
+  std::size_t cur = 0;  ///< active chunk index (chunks beyond it are empty)
+  int depth = 0;        ///< live Scope count on this lane
+  std::array<std::vector<void*>, kBucketCount> pool;
+
+  ~Lane() {
+    for (Chunk& c : chunks) ::operator delete(c.base);
+    for (auto& bucket : pool) {
+      for (void* p : bucket) ::operator delete(p);
+    }
+  }
+};
+
+Lane& lane() {
+  // rp-lint: allow(R3) per-lane arena/pool state; each lane only bumps its own
+  thread_local Lane tl_lane;
+  return tl_lane;
+}
+
+// -- arena ------------------------------------------------------------------
+
+void* arena_alloc(Lane& l, std::size_t total) {
+  while (l.cur < l.chunks.size() && l.chunks[l.cur].cap - l.chunks[l.cur].used < total) {
+    ++l.cur;  // later chunks are empty (their used reset to 0), so any fit works
+  }
+  if (l.cur == l.chunks.size()) {
+    std::size_t cap = std::max(total, kMinChunkBytes);
+    if (!l.chunks.empty()) cap = std::max(cap, 2 * l.chunks.back().cap);
+    // Chunk growth is a real heap allocation on the hot path — it must go
+    // quiet after warmup, so it shares the fell-through-to-heap counter.
+    obs::count(obs::Counter::kMemHeapAllocsHot);
+    l.chunks.push_back(Chunk{::operator new(cap), cap, 0});
+  }
+  Chunk& c = l.chunks[l.cur];
+  void* p = static_cast<char*>(c.base) + c.used;
+  c.used += total;
+  obs::count(obs::Counter::kMemArenaBytes, static_cast<int64_t>(total));
+  return p;
+}
+
+void arena_reset_to(Lane& l, std::size_t chunk, std::size_t used) {
+  const bool poison = poison_enabled();
+  for (std::size_t i = l.chunks.size(); i-- > chunk + 1;) {
+    Chunk& c = l.chunks[i];
+    if (c.used == 0) continue;
+    if (poison) poison_fill(c.base, c.used);
+    c.used = 0;
+  }
+  if (chunk < l.chunks.size()) {
+    Chunk& c = l.chunks[chunk];
+    if (c.used > used) {
+      if (poison) poison_fill(static_cast<char*>(c.base) + used, c.used - used);
+      c.used = used;
+    }
+  }
+  l.cur = chunk;
+}
+
+// -- pool -------------------------------------------------------------------
+
+std::size_t bucket_index(std::size_t total) {
+  const std::size_t want = std::max(total, kQuantum);
+  return static_cast<std::size_t>(std::bit_width(want - 1));
+}
+
+void* pool_alloc(Lane& l, std::size_t total) {
+  const std::size_t b = bucket_index(total);
+  auto& list = l.pool[b];
+  void* raw = nullptr;
+  if (!list.empty()) {
+    raw = list.back();
+    list.pop_back();
+    obs::count(obs::Counter::kMemPoolHits);
+  } else {
+    raw = ::operator new(std::size_t{1} << b);
+    obs::count(obs::Counter::kMemHeapAllocsHot);
+  }
+  auto* hdr = static_cast<BlockHeader*>(raw);
+  hdr->magic = kMagicPool;
+  hdr->bucket = b;
+  return static_cast<char*>(raw) + kHeaderBytes;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Mode
+
+Mode mode() {
+  const int f = g_forced.load(std::memory_order_acquire);
+  if (f >= 0) return static_cast<Mode>(f);
+  // Resolve once; RP_ARENA is read at first use, like RP_SIMD/RP_SPARSE.
+  static const Mode env_mode = resolve_from_env();  // rp-lint: allow(R3) resolved-once constant
+  return env_mode;
+}
+
+void force(Mode m) { g_forced.store(static_cast<int>(m), std::memory_order_release); }
+
+void reset() {
+  g_forced.store(-1, std::memory_order_release);
+  g_poison.store(-1, std::memory_order_release);
+}
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kOff: return "off";
+    case Mode::kOn: return "on";
+    case Mode::kAuto: return "auto";
+  }
+  return "?";
+}
+
+bool poison_enabled() {
+  int p = g_poison.load(std::memory_order_acquire);
+  if (p < 0) {
+    p = resolve_poison_from_env() ? 1 : 0;
+    g_poison.store(p, std::memory_order_release);
+  }
+  return p != 0;
+}
+
+// ---------------------------------------------------------------------------
+// Scope
+
+Scope::Scope() : chunk_(0), used_(0) {
+  Lane& l = lane();
+  chunk_ = l.cur;
+  used_ = l.cur < l.chunks.size() ? l.chunks[l.cur].used : 0;
+  ++l.depth;
+}
+
+Scope::~Scope() {
+  Lane& l = lane();
+  arena_reset_to(l, chunk_, used_);
+  --l.depth;
+  obs::count(obs::Counter::kMemArenaResets);
+}
+
+bool scope_active() { return lane().depth > 0; }
+
+// ---------------------------------------------------------------------------
+// Raw routing
+
+void* scratch_acquire(std::size_t bytes) {
+  const std::size_t total = round_quantum(bytes + kHeaderBytes);
+  if (engine_on()) {
+    Lane& l = lane();
+    if (l.depth > 0) {
+      void* raw = arena_alloc(l, total);
+      auto* hdr = static_cast<BlockHeader*>(raw);
+      hdr->magic = kMagicArena;
+      hdr->bucket = 0;
+      return static_cast<char*>(raw) + kHeaderBytes;
+    }
+    return pool_alloc(l, total);
+  }
+  void* raw = ::operator new(total);
+  auto* hdr = static_cast<BlockHeader*>(raw);
+  hdr->magic = kMagicHeap;
+  hdr->bucket = 0;
+  return static_cast<char*>(raw) + kHeaderBytes;
+}
+
+void scratch_release(void* p, std::size_t /*bytes*/) noexcept {
+  if (p == nullptr) return;
+  void* raw = static_cast<char*>(p) - kHeaderBytes;
+  auto* hdr = static_cast<BlockHeader*>(raw);
+  switch (hdr->magic) {
+    case kMagicArena:
+      // Reclaimed wholesale by the owning Scope's reset; nothing to do.
+      return;
+    case kMagicPool: {
+      const std::size_t b = hdr->bucket;
+      if (b >= kBucketCount) return;  // corrupted header: leak, don't crash
+      auto& list = lane().pool[b];
+      if (list.size() < kMaxFreePerBucket) {
+        list.push_back(raw);
+      } else {
+        ::operator delete(raw);
+      }
+      return;
+    }
+    case kMagicHeap:
+      ::operator delete(raw);
+      return;
+    default:
+      // Stale arena block (header poisoned by a Scope reset) or corruption:
+      // the storage is already reclaimed / unaccounted — leaking is the safe
+      // failure, and poisoned payloads make the stale *read* loud in tests.
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+
+LaneStats lane_stats() {
+  Lane& l = lane();
+  LaneStats s;
+  for (const Chunk& c : l.chunks) {
+    s.arena_reserved += c.cap;
+    s.arena_used += c.used;
+  }
+  for (std::size_t b = 0; b < kBucketCount; ++b) {
+    s.pool_buffers += l.pool[b].size();
+    s.pool_bytes += l.pool[b].size() * (std::size_t{1} << b);
+  }
+  return s;
+}
+
+void release_lane() {
+  Lane& l = lane();
+  for (Chunk& c : l.chunks) ::operator delete(c.base);
+  l.chunks.clear();
+  l.cur = 0;
+  for (auto& bucket : l.pool) {
+    for (void* p : bucket) ::operator delete(p);
+    bucket.clear();
+  }
+}
+
+}  // namespace rp::mem

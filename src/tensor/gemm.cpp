@@ -140,7 +140,7 @@ void im2col(const Tensor& image, const ConvGeom& g, Tensor& cols) {
   }
   const int64_t oh = g.out_h(), ow = g.out_w();
   if (cols.shape() != Shape{g.patch(), oh * ow}) {
-    cols = Tensor(Shape{g.patch(), oh * ow});  // rp-lint: allow(R12) shape-guarded: reallocates only when conv geometry changes
+    cols = Tensor::scratch(Shape{g.patch(), oh * ow});
   }
   const float* src = image.data().data();
   float* dst = cols.data().data();
@@ -174,7 +174,7 @@ void col2im(const Tensor& cols, const ConvGeom& g, Tensor& image) {
                                 " does not match geometry");
   }
   if (image.shape() != Shape{g.in_c, g.in_h, g.in_w}) {
-    image = Tensor(Shape{g.in_c, g.in_h, g.in_w});  // rp-lint: allow(R12) shape-guarded: reallocates only when conv geometry changes
+    image = Tensor::scratch(Shape{g.in_c, g.in_h, g.in_w});
   } else {
     image.zero();
   }

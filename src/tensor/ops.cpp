@@ -73,29 +73,41 @@ float l2_distance(const Tensor& a, const Tensor& b) {
 
 Tensor softmax_rows(const Tensor& logits) {
   if (logits.ndim() != 2) throw std::invalid_argument("softmax_rows expects a [N, C] matrix");
-  const int64_t n = logits.size(0), c = logits.size(1);
-  Tensor out(logits.shape());  // rp-lint: allow(R12) per-call output tensor; ROADMAP arena target
-  const float* ld = logits.data().data();
-  float* od = out.data().data();
+  Tensor out = Tensor::scratch_copy(logits.shape(), logits.data().data());
+  softmax_rows_inplace(out);
+  return out;
+}
+
+void softmax_rows_inplace(Tensor& m) {
+  if (m.ndim() != 2) throw std::invalid_argument("softmax_rows expects a [N, C] matrix");
+  const int64_t n = m.size(0), c = m.size(1);
+  float* od = m.data().data();
   for (int64_t i = 0; i < n; ++i) {
-    const float* row = ld + i * c;
-    float* orow = od + i * c;
-    const float m = simd::reduce_max(row, c);
+    float* row = od + i * c;
+    const float mx = simd::reduce_max(row, c);
     float denom = 0.0f;
     for (int64_t j = 0; j < c; ++j) {
-      const float e = std::exp(row[j] - m);
-      orow[j] = e;
+      const float e = std::exp(row[j] - mx);
+      row[j] = e;
       denom += e;
     }
-    simd::div_scalar(orow, denom, c);
+    simd::div_scalar(row, denom, c);
   }
-  return out;
 }
 
 std::vector<int64_t> argmax_rows(const Tensor& m) {
   if (m.ndim() != 2) throw std::invalid_argument("argmax_rows expects a [N, C] matrix");
+  std::vector<int64_t> out(static_cast<size_t>(m.size(0)));
+  argmax_rows_into(m, out);
+  return out;
+}
+
+void argmax_rows_into(const Tensor& m, std::span<int64_t> out) {
+  if (m.ndim() != 2) throw std::invalid_argument("argmax_rows expects a [N, C] matrix");
   const int64_t n = m.size(0), c = m.size(1);
-  std::vector<int64_t> out(static_cast<size_t>(n));
+  if (static_cast<int64_t>(out.size()) != n) {
+    throw std::invalid_argument("argmax_rows_into: out must hold one entry per row");
+  }
   for (int64_t i = 0; i < n; ++i) {
     int64_t best = 0;
     for (int64_t j = 1; j < c; ++j) {
@@ -103,13 +115,21 @@ std::vector<int64_t> argmax_rows(const Tensor& m) {
     }
     out[static_cast<size_t>(i)] = best;
   }
-  return out;
 }
 
 std::vector<float> logsumexp_rows(const Tensor& m) {
   if (m.ndim() != 2) throw std::invalid_argument("logsumexp_rows expects a [N, C] matrix");
+  std::vector<float> out(static_cast<size_t>(m.size(0)));
+  logsumexp_rows_into(m, out);
+  return out;
+}
+
+void logsumexp_rows_into(const Tensor& m, std::span<float> out) {
+  if (m.ndim() != 2) throw std::invalid_argument("logsumexp_rows expects a [N, C] matrix");
   const int64_t n = m.size(0), c = m.size(1);
-  std::vector<float> out(static_cast<size_t>(n));
+  if (static_cast<int64_t>(out.size()) != n) {
+    throw std::invalid_argument("logsumexp_rows_into: out must hold one entry per row");
+  }
   for (int64_t i = 0; i < n; ++i) {
     float mx = m.at(i, 0);
     for (int64_t j = 1; j < c; ++j) mx = std::max(mx, m.at(i, j));
@@ -117,7 +137,6 @@ std::vector<float> logsumexp_rows(const Tensor& m) {
     for (int64_t j = 0; j < c; ++j) s += std::exp(m.at(i, j) - mx);
     out[static_cast<size_t>(i)] = mx + std::log(s);
   }
-  return out;
 }
 
 Tensor clamp(Tensor t, float lo, float hi) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "tensor/tensor.hpp"
@@ -32,12 +33,22 @@ float l2_distance(const Tensor& a, const Tensor& b);
 
 // Row-wise helpers for [N, C] matrices -----------------------------------------
 
-/// Row-wise softmax of a [N, C] logits matrix.
+/// Row-wise softmax of a [N, C] logits matrix. The result is a scratch
+/// (arena/pool) tensor; move-construct from it to keep that backing.
 Tensor softmax_rows(const Tensor& logits);
+/// Row-wise softmax in place — the allocation-free core of softmax_rows,
+/// bit-identical to it.
+void softmax_rows_inplace(Tensor& m);
 /// Row-wise argmax of a [N, C] matrix, one entry per row.
 std::vector<int64_t> argmax_rows(const Tensor& m);
+/// Allocation-free argmax_rows: writes one entry per row into `out`, which
+/// must hold exactly N elements.
+void argmax_rows_into(const Tensor& m, std::span<int64_t> out);
 /// Row-wise log-sum-exp of a [N, C] matrix (numerically stable).
 std::vector<float> logsumexp_rows(const Tensor& m);
+/// Allocation-free logsumexp_rows: writes one entry per row into `out`,
+/// which must hold exactly N elements.
+void logsumexp_rows_into(const Tensor& m, std::span<float> out);
 
 // Elementwise maps --------------------------------------------------------------
 

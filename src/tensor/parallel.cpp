@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <deque>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -109,11 +110,12 @@ class Pool {
 /// by (begin, end, grain) alone — scheduling never changes which indices run
 /// together, only who runs them.
 struct ForJob {
+  explicit ForJob(FunctionRef<void(int64_t, int64_t)> f) : fn(f) {}
   int64_t begin = 0;
   int64_t end = 0;
   int64_t grain = 1;
   int64_t nchunks = 0;
-  const std::function<void(int64_t, int64_t)>* fn = nullptr;
+  FunctionRef<void(int64_t, int64_t)> fn;
   std::atomic<int64_t> next{0};
   std::atomic<int64_t> done{0};
   std::mutex m;
@@ -129,7 +131,7 @@ struct ForJob {
       const int64_t lo = begin + c * grain;
       const int64_t hi = std::min(end, lo + grain);
       try {
-        (*fn)(lo, hi);
+        fn(lo, hi);
       } catch (...) {
         std::lock_guard<std::mutex> lock(m);
         if (!error) error = std::current_exception();
@@ -158,23 +160,25 @@ int shard_count(int64_t items) {
 }
 
 void parallel_for(int64_t begin, int64_t end, int64_t grain,
-                  const std::function<void(int64_t, int64_t)>& fn) {
+                  FunctionRef<void(int64_t, int64_t)> fn) {
   if (end <= begin) return;
   if (grain < 1) grain = 1;
   const int64_t nchunks = (end - begin + grain - 1) / grain;
   const int lanes =
       tl_depth > 0 ? 1 : static_cast<int>(std::min<int64_t>(Pool::instance().threads(), nchunks));
   if (lanes == 1) {
+    // Single-lane (and nested) dispatch is completely allocation-free: the
+    // FunctionRef is two pointers on the stack and the job bookkeeping below
+    // is skipped.
     fn(begin, end);
     return;
   }
 
-  auto job = std::make_shared<ForJob>();
+  auto job = std::make_shared<ForJob>(fn);
   job->begin = begin;
   job->end = end;
   job->grain = grain;
   job->nchunks = nchunks;
-  job->fn = &fn;
   obs::count(obs::Counter::kPoolTasks, lanes - 1);
   for (int h = 0; h < lanes - 1; ++h) {
     Pool::instance().submit([job] { job->run_chunks(); });
@@ -187,7 +191,7 @@ void parallel_for(int64_t begin, int64_t end, int64_t grain,
 }
 
 void run_shards(int shards, int64_t items,
-                const std::function<void(int, int64_t, int64_t)>& fn) {
+                FunctionRef<void(int, int64_t, int64_t)> fn) {
   if (items <= 0 || shards < 1) return;
   const int64_t s_total = shards;
   // rp-lint: allow(R7) per-shard dispatch: one chunk per shard is the point

@@ -1,9 +1,41 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
 
 namespace rp::parallel {
+
+/// Non-owning callable reference: the dispatch currency of the pool API.
+/// Two raw pointers, never allocates — unlike std::function, whose closure
+/// copy spills to the heap past the 16-byte SBO. The conv/gemm loop bodies
+/// all capture more than that, which put one operator-new on EVERY
+/// parallel_for call and made the pool boundary the biggest remaining heap
+/// source in a warmed-up train step under RP_ARENA=on (measured by
+/// BM_TrainStepAllocs). The referenced callable must outlive the call;
+/// parallel_for / run_shards guarantee that by blocking until every chunk
+/// has finished.
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::remove_cvref_t<F>, FunctionRef>>>
+  FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const { return call_(obj_, std::forward<Args>(args)...); }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
 
 /// Number of lanes (caller + pool workers) parallel loops may use, >= 1.
 /// Initialized on first use from the RP_THREADS environment variable
@@ -33,7 +65,7 @@ int shard_count(int64_t items);
 /// writes disjoint data per index is bit-identical to a serial run. Blocks
 /// until every chunk finished; rethrows the first exception.
 void parallel_for(int64_t begin, int64_t end, int64_t grain,
-                  const std::function<void(int64_t, int64_t)>& fn);
+                  FunctionRef<void(int64_t, int64_t)> fn);
 
 /// Partitions `items` into exactly `shards` contiguous ranges via the fixed
 /// formula [s*items/shards, (s+1)*items/shards) and runs `fn(shard, begin,
@@ -41,6 +73,6 @@ void parallel_for(int64_t begin, int64_t end, int64_t grain,
 /// (shards, items), never on scheduling, so per-shard accumulators reduced
 /// in shard order give thread-count-independent results.
 void run_shards(int shards, int64_t items,
-                const std::function<void(int, int64_t, int64_t)>& fn);
+                FunctionRef<void(int, int64_t, int64_t)> fn);
 
 }  // namespace rp::parallel

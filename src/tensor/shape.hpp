@@ -2,7 +2,7 @@
 
 #include <cstdint>
 #include <initializer_list>
-#include <numeric>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -12,43 +12,57 @@ namespace rp {
 /// Dense, row-major tensor shape. A thin value type around a dimension list
 /// with the arithmetic helpers (element count, strides, flat indexing) that
 /// every tensor consumer needs.
+///
+/// Dimensions live in a fixed inline array (kMaxDims axes), so constructing,
+/// copying, and moving a Shape never touches the heap — Shape temporaries
+/// are free on hot paths, which the rp::mem allocation-discipline work
+/// depends on. Nothing in this repo goes past 4 axes ([N, C, H, W]).
 class Shape {
  public:
+  static constexpr int kMaxDims = 6;
+
   Shape() = default;
-  Shape(std::initializer_list<int64_t> dims) : dims_(dims) { validate(); }
-  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) { validate(); }
+  Shape(std::initializer_list<int64_t> dims) { assign(std::span(dims.begin(), dims.size())); }
+  explicit Shape(std::span<const int64_t> dims) { assign(dims); }
+  explicit Shape(const std::vector<int64_t>& dims) { assign(std::span(dims)); }
 
   /// Number of axes.
-  int ndim() const { return static_cast<int>(dims_.size()); }
+  int ndim() const { return ndim_; }
 
   /// Extent of axis `i`; negative indices count from the back.
   int64_t operator[](int i) const { return dims_[normalize_axis(i)]; }
 
-  const std::vector<int64_t>& dims() const { return dims_; }
+  std::span<const int64_t> dims() const { return {dims_, static_cast<size_t>(ndim_)}; }
 
   /// Total number of elements (1 for a scalar-shaped tensor).
   int64_t numel() const {
     int64_t n = 1;
-    for (int64_t d : dims_) n *= d;
+    for (int i = 0; i < ndim_; ++i) n *= dims_[i];
     return n;
   }
 
   /// Row-major strides in elements.
   std::vector<int64_t> strides() const {
-    std::vector<int64_t> s(dims_.size(), 1);
-    for (int i = static_cast<int>(dims_.size()) - 2; i >= 0; --i) {
-      s[i] = s[i + 1] * dims_[i + 1];
+    std::vector<int64_t> s(static_cast<size_t>(ndim_), 1);
+    for (int i = ndim_ - 2; i >= 0; --i) {
+      s[static_cast<size_t>(i)] = s[static_cast<size_t>(i + 1)] * dims_[i + 1];
     }
     return s;
   }
 
-  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator==(const Shape& other) const {
+    if (ndim_ != other.ndim_) return false;
+    for (int i = 0; i < ndim_; ++i) {
+      if (dims_[i] != other.dims_[i]) return false;
+    }
+    return true;
+  }
   bool operator!=(const Shape& other) const { return !(*this == other); }
 
   /// "[2, 3, 4]" — for error messages and logging.
   std::string to_string() const {
     std::string s = "[";
-    for (size_t i = 0; i < dims_.size(); ++i) {
+    for (int i = 0; i < ndim_; ++i) {
       if (i) s += ", ";
       s += std::to_string(dims_[i]);
     }
@@ -66,13 +80,22 @@ class Shape {
   }
 
  private:
-  void validate() const {
-    for (int64_t d : dims_) {
-      if (d < 0) throw std::invalid_argument("negative dimension in shape " + to_string());
+  void assign(std::span<const int64_t> dims) {
+    if (dims.size() > static_cast<size_t>(kMaxDims)) {
+      throw std::invalid_argument("shape has " + std::to_string(dims.size()) +
+                                  " axes; at most " + std::to_string(kMaxDims) + " supported");
+    }
+    ndim_ = static_cast<int>(dims.size());
+    for (int i = 0; i < ndim_; ++i) {
+      if (dims[static_cast<size_t>(i)] < 0) {
+        throw std::invalid_argument("negative dimension in shape");
+      }
+      dims_[i] = dims[static_cast<size_t>(i)];
     }
   }
 
-  std::vector<int64_t> dims_;
+  int64_t dims_[kMaxDims] = {};
+  int ndim_ = 0;
 };
 
 }  // namespace rp

@@ -1,0 +1,14 @@
+// R12 burndown fixture: one live allow(R12) whose statement really does
+// allocate on a hot path, and one stale allow covering a statement that no
+// longer allocates. Only --r12-burndown turns the stale one into a
+// violation; a plain run accepts both. Line numbers are asserted in
+// test_rp_lint.cpp — keep the layout stable.
+
+#include <vector>
+
+// rp-lint: hot
+void hot_loop(std::vector<float>& out) {
+  out.push_back(1.0f);  // rp-lint: allow(R12) live: growth on the hot path, bounded by warmup
+  float scaled = 2.0f;  // rp-lint: allow(R12) stale: the alloc this covered was refactored away (line 12)
+  out[0] = scaled;
+}

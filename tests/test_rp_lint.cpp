@@ -157,6 +157,25 @@ TEST(RpLint, R12FlagsAllocationsReachableFromHotEntryPoints) {
   EXPECT_NE(r.output.find("rp-lint: 3 violation(s)"), std::string::npos) << r.output;
 }
 
+TEST(RpLint, R12BurndownFlagsStaleAllowsAndAcceptsLiveOnes) {
+  // Plain run: both allows are accepted — the live one suppresses the
+  // push_back finding, the stale one silently matches nothing.
+  const LintRun plain =
+      run_lint("--force-all-rules " + kFixtures + "/r12_stale_allow.cpp");
+  EXPECT_EQ(plain.exit_code, 0) << plain.output;
+  EXPECT_NE(plain.output.find("violations=0"), std::string::npos) << plain.output;
+
+  // Burndown run: an allow(R12) that no longer covers an R12 finding is
+  // itself the violation, reported at the allow's own line; the live allow
+  // stays quiet.
+  const LintRun burn =
+      run_lint("--force-all-rules --r12-burndown " + kFixtures + "/r12_stale_allow.cpp");
+  EXPECT_EQ(burn.exit_code, 1) << burn.output;
+  EXPECT_NE(burn.output.find(":12: [R12] stale allow(R12)"), std::string::npos) << burn.output;
+  EXPECT_EQ(burn.output.find(":11:"), std::string::npos) << burn.output;
+  EXPECT_NE(burn.output.find("rp-lint: 1 violation(s)"), std::string::npos) << burn.output;
+}
+
 // ---------------------------------------------------------------------------
 // Suppression extents and edge cases
 

@@ -373,17 +373,22 @@ std::vector<std::pair<std::size_t, std::size_t>> split_call_args(const std::vect
   return args;
 }
 
-void apply_suppressions(const FileModel& fm, bool keep_suppressed,
-                        std::vector<Finding>* findings) {
+void apply_suppressions(const FileModel& fm, bool keep_suppressed, std::vector<Finding>* findings,
+                        std::vector<std::set<std::string>>* matched) {
+  if (matched != nullptr) {
+    matched->assign(fm.suppressions.size(), {});
+  }
   std::vector<Finding> kept;
   for (Finding& f : *findings) {
     bool suppressed = false;
-    for (const Suppression& sup : fm.suppressions) {
+    for (std::size_t si = 0; si < fm.suppressions.size(); ++si) {
+      const Suppression& sup = fm.suppressions[si];
       const int lo = sup.own_line ? sup.line + 1 : sup.line;
       const int hi = sup.own_line ? sup.end_line : sup.line;
       if (f.line >= lo && f.line <= hi &&
           (sup.rules.count(f.rule) || sup.rules.count("all"))) {
         suppressed = true;
+        if (matched != nullptr) (*matched)[si].insert(f.rule);
         break;
       }
     }

@@ -133,8 +133,11 @@ void run_layering_rule(const std::vector<FileModel>& files, const TreeModel& tm,
 const std::map<std::string, std::set<std::string>>& layer_allowed_edges();
 
 /// Drops (or, with keep_suppressed, tags) findings covered by an allow().
-void apply_suppressions(const FileModel& fm, bool keep_suppressed,
-                        std::vector<Finding>* findings);
+/// When `matched` is non-null it is resized to fm.suppressions.size() and
+/// matched[i] is set per rule the i-th suppression actually absorbed — the
+/// input for the --r12-burndown stale-allow check.
+void apply_suppressions(const FileModel& fm, bool keep_suppressed, std::vector<Finding>* findings,
+                        std::vector<std::set<std::string>>* matched = nullptr);
 
 // ---------------------------------------------------------------------------
 // Shared helpers

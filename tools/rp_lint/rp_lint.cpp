@@ -57,13 +57,15 @@ std::vector<std::string> collect_tree(const fs::path& root) {
 int usage() {
   std::cerr
       << "usage: rp_lint [--root DIR] [--force-all-rules] [--list-rules] [--json]\n"
-      << "               [--show-suppressed] [FILE...]\n"
+      << "               [--show-suppressed] [--r12-burndown] [FILE...]\n"
       << "  With no FILEs, lints src/ tools/ bench/ examples/ tests/ under --root\n"
       << "  (default: current directory), minus tests/lint_fixtures/.\n"
       << "  --force-all-rules ignores path-based rule scoping (fixture testing).\n"
       << "  --json emits findings as a JSON array on stdout instead of text.\n"
       << "  --show-suppressed also emits allow()-suppressed findings, tagged;\n"
-      << "  they never count toward the exit code.\n";
+      << "  they never count toward the exit code.\n"
+      << "  --r12-burndown flags stale allow(R12) comments: an allow whose\n"
+      << "  covered statement no longer triggers R12 is itself a violation.\n";
   return 2;
 }
 
@@ -132,6 +134,7 @@ int main(int argc, char** argv) {
   bool force_all = false;
   bool json = false;
   bool show_suppressed = false;
+  bool r12_burndown = false;
   std::vector<std::string> files;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -143,6 +146,8 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--show-suppressed") {
       show_suppressed = true;
+    } else if (arg == "--r12-burndown") {
+      r12_burndown = true;
     } else if (arg == "--list-rules") {
       list_rules();
       return 0;
@@ -186,8 +191,24 @@ int main(int argc, char** argv) {
 
   std::vector<Finding> findings;
   for (std::size_t i = 0; i < files.size(); ++i) {
-    apply_suppressions(models[i], show_suppressed, &per_file[i]);
+    std::vector<std::set<std::string>> matched;
+    apply_suppressions(models[i], show_suppressed, &per_file[i],
+                       r12_burndown ? &matched : nullptr);
     findings.insert(findings.end(), per_file[i].begin(), per_file[i].end());
+    if (!r12_burndown) continue;
+    // Stale-suppression rot: an allow(R12) whose covered statement no longer
+    // triggers R12 is dead weight that silently re-licenses a future
+    // allocation. Injected after suppression matching, so an allow can never
+    // excuse its own staleness.
+    for (std::size_t si = 0; si < models[i].suppressions.size(); ++si) {
+      const Suppression& sup = models[i].suppressions[si];
+      if (!sup.rules.count("R12") || matched[si].count("R12")) continue;
+      findings.push_back(
+          {models[i].path, sup.line, "R12",
+           "stale allow(R12): the covered statement no longer allocates on a hot path; "
+           "delete the suppression (or drop R12 from its rule list)",
+           false});
+    }
   }
   std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
     if (a.path != b.path) return a.path < b.path;

@@ -315,8 +315,11 @@ class SemanticRules {
 
   /// R12: allocation discipline in hot paths. Functions reachable from the
   /// `// rp-lint: hot` entry points may not construct Tensors, call operator
-  /// new, or grow containers without a triaged allow(R12) — this inventory
-  /// seeds the ROADMAP arena-allocator refactor.
+  /// new, or grow containers without a triaged allow(R12). The sanctioned
+  /// alternative is Tensor::scratch()/scratch_copy() — qualified calls never
+  /// match the Tensor-construction pattern, and the factory bodies (which by
+  /// definition construct the tensor) are exempted here: they are the
+  /// arena/pool engine, not a hot-path escapee.
   void rule_r12() {
     if (!force_all_ && !under(fm_.path, "src/")) return;
     const auto& t = toks();
@@ -325,6 +328,10 @@ class SemanticRules {
       if (seen.emplace(line, kind).second) add(line, "R12", msg);
     };
     for (const FunctionInfo& fi : fm_.functions) {
+      if (fm_.path == "src/tensor/tensor.hpp" &&
+          (fi.name == "scratch" || fi.name == "scratch_copy")) {
+        continue;  // the sanctioned construction path itself
+      }
       const auto reach = tm_.hot_reach.find(fi.name);
       if (reach == tm_.hot_reach.end()) continue;
       const std::string ctx = " in hot path '" + fi.name + "' (reachable from hot entry '" +
@@ -348,9 +355,26 @@ class SemanticRules {
                             (t[j + 2].text == "(" || t[j + 2].text == "{" ||
                              t[j + 2].text == "=" || t[j + 2].text == ";");
           if (temp || decl) {
-            add_once(t[j].line, "tensor", "Tensor construction of '" +
-                                              (decl ? t[j + 1].text : std::string("<temporary>")) +
-                                              "'" + ctx);
+            // A declaration whose initializer routes through the sanctioned
+            // factories (`Tensor d = Tensor::scratch_copy(...)`) is the fix,
+            // not the violation: scan the rest of the statement for a
+            // qualified scratch/scratch_copy call before flagging the decl
+            // pattern. A plain identifier named `scratch` does not qualify.
+            bool sanctioned = false;
+            for (std::size_t k = j + 1; k + 1 < fi.body_end && t[k].text != ";"; ++k) {
+              if (t[k].kind == Tok::Ident &&
+                  (t[k].text == "scratch" || t[k].text == "scratch_copy") &&
+                  t[k + 1].text == "(" &&
+                  (t[k - 1].text == "::" || t[k - 1].text == ".")) {
+                sanctioned = true;
+                break;
+              }
+            }
+            if (!sanctioned) {
+              add_once(t[j].line, "tensor", "Tensor construction of '" +
+                                                (decl ? t[j + 1].text : std::string("<temporary>")) +
+                                                "'" + ctx);
+            }
           }
           continue;
         }
