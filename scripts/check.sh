@@ -7,9 +7,12 @@
 # fast smoke pass with RP_TRACE active (the trace file must come out as valid
 # JSON), then a fault-injection pass (RP_FAULTS periodic transient write/read
 # faults over the storage-heavy suite slice including the sparse-artifact
-# tests, plus the SIGKILL crash-matrix tests), then a bench-provenance gate
-# (the micro-bench binary must self-report a true Release/NDEBUG build — a
-# debug timing must never reach the committed perf record), then the
+# tests, plus the SIGKILL crash-matrix tests), then a serving smoke gate
+# (the rp::serve suite serially: routing, lifecycle, bit-identity, and the
+# corrupt-variant quarantine-and-drop path), then a bench-provenance gate
+# (the micro-ops and serving bench binaries must self-report a true
+# Release/NDEBUG build — a debug timing must never reach the committed perf
+# record), then the
 # ASan+UBSan build and the same suite under it (also with SIMD dispatched, so
 # the sanitizers cover the intrinsic kernels). Exits non-zero on the first
 # failure.
@@ -25,7 +28,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
-echo "== [1/6] Release build + tests (warnings are errors, SIMD dispatched, RP_SPARSE=auto) =="
+echo "== [1/7] Release build + tests (warnings are errors, SIMD dispatched, RP_SPARSE=auto) =="
 cmake -B build -S . -DRP_WERROR=ON
 cmake --build build -j "$JOBS"
 RP_SPARSE=auto ctest --test-dir build --output-on-failure -j "$JOBS"
@@ -39,11 +42,11 @@ RP_LINT_JSON="${RP_LINT_JSON:-build/rp_lint_findings.json}"
 python3 -c "import json,sys; n=len(json.load(open(sys.argv[1]))); print(f'lint archive OK: {n} record(s) ->', sys.argv[1])" \
   "$RP_LINT_JSON"
 
-echo "== [2/6] Same suite with RP_SIMD=off (scalar fallback) and RP_SPARSE=off (dense path) =="
+echo "== [2/7] Same suite with RP_SIMD=off (scalar fallback) and RP_SPARSE=off (dense path) =="
 RP_SIMD=off ctest --test-dir build --output-on-failure -j "$JOBS"
 RP_SPARSE=off ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [3/6] Observability smoke: tracing on, results unchanged, trace is JSON =="
+echo "== [3/7] Observability smoke: tracing on, results unchanged, trace is JSON =="
 # One serial pass over a results-bearing slice of the suite with RP_TRACE
 # set. Each test process rewrites the shared path tmp-then-rename, so the
 # final file is a whole trace from the last process — check it parses.
@@ -54,7 +57,7 @@ python3 -c "import json,sys; json.load(open(sys.argv[1])); print('trace OK:', sy
   "$RP_TRACE_FILE"
 rm -f "$RP_TRACE_FILE"
 
-echo "== [4/6] Fault injection: transient faults absorbed, crashes recovered =="
+echo "== [4/7] Fault injection: transient faults absorbed, crashes recovered =="
 # Storage-heavy slice (including the sparse-artifact round-trip tests) under a
 # periodic transient-fault schedule: every third write and every fifth read
 # raises an injected fault that durable_write / read_file must absorb by
@@ -66,7 +69,15 @@ RP_FAULTS='write:every=3,read:every=5' ctest --test-dir build --output-on-failur
 # the SIGKILLed child processes it spawns.
 ctest --test-dir build --output-on-failure -R 'FaultMatrix' -j 1
 
-echo "== [5/6] Bench provenance: micro-bench binary must be a true Release build =="
+echo "== [5/7] Serving smoke: routing policy, queue lifecycle, corrupt-variant drop =="
+# Full rp::serve suite serially: registry load order, potential-aware
+# routing, admission/drain lifecycle, the bit-identity proof vs direct
+# predict across RP_THREADS x RP_SPARSE x RP_ARENA, and the corrupt-variant
+# degradation path (the test arms its own bitflip schedule through the
+# RP_FAULTS machinery and asserts quarantine-and-drop, never crash).
+ctest --test-dir build --output-on-failure -R 'Serve' -j 1
+
+echo "== [6/7] Bench provenance: bench binaries must be true Release builds =="
 # The committed BENCH_micro_ops.json is only meaningful from an NDEBUG build.
 # Two context keys must BOTH read "release": rp_build_type (the app's own
 # NDEBUG — catches an application-level -DNDEBUG drop, which has happened)
@@ -90,9 +101,26 @@ for key in ("rp_build_type", "library_build_type"):
 print("bench provenance OK: rp_build_type=release library_build_type=release")
 EOF
 rm -f "$BENCH_PROBE"
+# Same two-key check for the serving load generator (BENCH_serving.json's
+# producer): one tiny combo, one repetition, provenance keys only.
+SERVE_PROBE="$(mktemp /tmp/rp_check_serve.XXXXXX.json)"
+./build/bench/bench_serving --benchmark_filter='BM_ServeLoad/0/64/1/' \
+  --benchmark_repetitions=1 --benchmark_out="$SERVE_PROBE" \
+  --benchmark_out_format=json >/dev/null
+python3 - "$SERVE_PROBE" <<'XEOF'
+import json, sys
+ctx = json.load(open(sys.argv[1]))["context"]
+for key in ("rp_build_type", "library_build_type"):
+    bt = ctx.get(key)
+    if bt != "release":
+        sys.exit(f"serving bench gate: {key}={bt!r}, need 'release' "
+                 "(rebuild with -DCMAKE_BUILD_TYPE=Release)")
+print("serving bench provenance OK: rp_build_type=release library_build_type=release")
+XEOF
+rm -f "$SERVE_PROBE"
 
 if [[ "${RP_CHECK_SKIP_ASAN:-0}" != "1" ]]; then
-  echo "== [6/6] ASan+UBSan build + tests (arena engine forced on, poison canaries armed) =="
+  echo "== [7/7] ASan+UBSan build + tests (arena engine forced on, poison canaries armed) =="
   cmake -B build-asan -S . -DRP_SANITIZE=address,undefined -DRP_WERROR=ON
   cmake --build build-asan -j "$JOBS"
   # Full suite with the memory-discipline engine forced ON and the 0xA5C3DEAD

@@ -1,5 +1,7 @@
 #include "exp/cache.hpp"
 
+#include <unistd.h>
+
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -22,16 +24,82 @@ int64_t file_bytes(const std::string& path) {
   return ec ? 0 : static_cast<int64_t>(sz);
 }
 
-/// Moves a damaged artifact out of the key space so the recompute can
-/// publish a fresh one; the `.corrupt` copy is kept for forensics. Falls
-/// back to deletion if the rename itself fails — a corrupt file must never
-/// stay load-able under its original name.
-void quarantine(const std::string& path) {
+/// Quarantine, step 1 — atomically *take* the suspect file to a pid-unique
+/// name. Between our failed read and this rename, a concurrent writer
+/// sharing the directory may have published a fresh artifact at `path`;
+/// renaming blindly to `.corrupt` would steal that healthy file (readers
+/// miss forever, forensics keep a good copy, the recompute is wasted). The
+/// take-rename is atomic, so whatever we end up holding can be classified
+/// at leisure. Empty return = nothing to take (another process already
+/// quarantined it, or the writer's rename beat us and then lost a remove
+/// race — either way the key space is consistent).
+///
+/// The `.q.<pid>` naming is owned by fault::clean_stale_tmp the same way
+/// `.tmp.<pid>` is: a crash between take and classify leaves the file for
+/// the next sweep, never under the loadable key.
+std::string take_suspect(const std::string& path) {
+  const std::string taken = path + ".q." + std::to_string(::getpid());
+  std::error_code ec;
+  // rp-lint: allow(R8) atomic take-rename of a suspect file out of the key space; durability is moot
+  fs::rename(path, taken, ec);
+  return ec ? std::string() : taken;
+}
+
+/// Quarantine, step 2a — the taken file really is damaged: park it at
+/// `<name>.corrupt` for forensics (deleting it if even that rename fails —
+/// a corrupt file must never stay load-able under any cache name).
+void finish_quarantine(const std::string& taken, const std::string& path) {
   std::error_code ec;
   // rp-lint: allow(R8) quarantine rename moves a *broken* file out of the way; durability is moot
-  fs::rename(path, path + ".corrupt", ec);
-  if (ec) fs::remove(path, ec);
+  fs::rename(taken, path + ".corrupt", ec);
+  if (ec) fs::remove(taken, ec);
   obs::count(obs::Counter::kCacheCorrupt);
+}
+
+/// Quarantine, step 2b — the taken file parses: we stole a concurrent
+/// writer's fresh artifact, so put it back. Artifacts are deterministic
+/// (identical key => bit-identical bytes), so racing the writer's own next
+/// publish is harmless in either direction. If the rename fails the taken
+/// copy is dropped — the key is already served by the republished file.
+void restore_stolen(const std::string& taken, const std::string& path) {
+  std::error_code ec;
+  // rp-lint: allow(R8) returns a healthy just-taken artifact to its key; the original durable_write already fsynced these bytes
+  fs::rename(taken, path, ec);
+  if (ec) fs::remove(taken, ec);
+}
+
+/// Take-and-classify for a state bundle. Returns the rescued state when the
+/// "corrupt" read turned out to be a stale view of a key a concurrent
+/// writer had already refreshed; nullopt when the file was truly damaged
+/// (now parked at `.corrupt`) or already gone.
+std::optional<std::vector<std::pair<std::string, Tensor>>> rescue_or_quarantine_state(
+    const std::string& path) {
+  const std::string taken = take_suspect(path);
+  if (taken.empty()) return std::nullopt;
+  try {
+    auto state = load_tensors_file(taken);
+    restore_stolen(taken, path);
+    return state;
+  } catch (const std::exception&) {
+    finish_quarantine(taken, path);
+    return std::nullopt;
+  }
+}
+
+/// Take-and-classify for a values artifact; same protocol as state bundles.
+/// A well-formed bundle of the wrong kind is healthy — restored, but still
+/// a miss for this accessor.
+std::optional<std::vector<double>> rescue_or_quarantine_values(const std::string& path) {
+  const std::string taken = take_suspect(path);
+  if (taken.empty()) return std::nullopt;
+  try {
+    auto values = load_values_file(taken);
+    restore_stolen(taken, path);
+    return values;
+  } catch (const std::exception&) {
+    finish_quarantine(taken, path);
+    return std::nullopt;
+  }
 }
 
 }  // namespace
@@ -103,7 +171,13 @@ std::optional<std::vector<std::pair<std::string, Tensor>>> ArtifactCache::get_st
     obs::count(obs::Counter::kCacheBytesRead, file_bytes(path));
     return state;
   } catch (const CorruptArtifact&) {
-    quarantine(path);
+    // Take-and-classify instead of a blind rename: a concurrent writer may
+    // have already replaced the damaged file with a fresh artifact.
+    if (auto rescued = rescue_or_quarantine_state(path)) {
+      obs::count(obs::Counter::kCacheHits);
+      obs::count(obs::Counter::kCacheBytesRead, file_bytes(path));
+      return rescued;
+    }
   } catch (const std::runtime_error&) {
     obs::count(obs::Counter::kCacheReadErrors);
   }
@@ -135,7 +209,11 @@ std::optional<std::vector<double>> ArtifactCache::get_values(const std::string& 
       return values;
     }
   } catch (const CorruptArtifact&) {
-    quarantine(path);
+    if (auto rescued = rescue_or_quarantine_values(path)) {
+      obs::count(obs::Counter::kCacheHits);
+      obs::count(obs::Counter::kCacheBytesRead, file_bytes(path));
+      return rescued;
+    }
   } catch (const std::runtime_error&) {
     obs::count(obs::Counter::kCacheReadErrors);
   }

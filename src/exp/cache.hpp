@@ -28,7 +28,13 @@ namespace rp::exp {
 /// Reads verify the checked-artifact footer; a damaged file is *quarantined*
 /// — renamed to `<name>.corrupt` (kept for forensics), counted under
 /// obs Counter::kCacheCorrupt — and reported as a miss, so the caller
-/// recomputes instead of crashing or consuming garbage.
+/// recomputes instead of crashing or consuming garbage. Quarantine is
+/// race-free against concurrent writers sharing the directory: the suspect
+/// file is first *taken* with an atomic rename to a pid-unique `.q.<pid>`
+/// name and only then classified, so a fresh artifact published between the
+/// failed read and the rename is recognized (it parses) and restored as a
+/// hit instead of being stolen into `.corrupt`. Take-files orphaned by a
+/// crash are swept by fault::clean_stale_tmp like writer tmp files.
 class ArtifactCache {
  public:
   /// Creates `dir` if needed and sweeps out stale tmp files left by dead

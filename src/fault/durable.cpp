@@ -176,6 +176,23 @@ std::string read_file(const std::string& path) {
   }
 }
 
+namespace {
+
+/// True when a pid-marker suffix names a process that is certainly gone. A
+/// malformed marker is stale by definition; a well-formed one is stale only
+/// once its process is gone (never EPERM-alive writers).
+bool owner_gone(const std::string& pid_text) {
+  int64_t pid = 0;
+  bool digits = !pid_text.empty();
+  for (const char c : pid_text) {
+    digits = digits && std::isdigit(static_cast<unsigned char>(c)) != 0;
+    if (digits) pid = pid * 10 + (c - '0');
+  }
+  return !digits || (::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH);
+}
+
+}  // namespace
+
 int clean_stale_tmp(const std::string& dir) {
   int removed = 0;
   std::error_code ec;
@@ -189,16 +206,12 @@ int clean_stale_tmp(const std::string& dir) {
       // leftover of a crashed pre-durable writer.
       stale = true;
     } else if (const auto marker = name.rfind(".tmp."); marker != std::string::npos) {
-      const std::string pid_text = name.substr(marker + 5);
-      int64_t pid = 0;
-      bool digits = !pid_text.empty();
-      for (const char c : pid_text) {
-        digits = digits && std::isdigit(static_cast<unsigned char>(c)) != 0;
-        if (digits) pid = pid * 10 + (c - '0');
-      }
-      // A malformed owner marker is stale by definition; a well-formed one
-      // is stale only once its process is gone (never EPERM-alive writers).
-      stale = !digits || (::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH);
+      stale = owner_gone(name.substr(marker + 5));
+    } else if (const auto qmarker = name.rfind(".q."); qmarker != std::string::npos) {
+      // Quarantine take-files (`<artifact>.q.<pid>`, exp::ArtifactCache):
+      // pid-owned exactly like `.tmp.<pid>` — a crash between the take
+      // rename and its classification leaves one behind.
+      stale = owner_gone(name.substr(qmarker + 3));
     }
     if (stale) {
       std::error_code rm_ec;

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstring>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 #include "nn/loss.hpp"
 #include "nn/metrics.hpp"
@@ -106,6 +108,10 @@ void train(Network& net, const data::Dataset& ds, const TrainConfig& cfg) {
 
 // rp-lint: hot
 EvalResult evaluate(Network& net, const data::Dataset& ds, int batch_size) {
+  if (batch_size <= 0) {
+    throw std::invalid_argument("nn::evaluate: batch_size must be positive, got " +
+                                std::to_string(batch_size));
+  }
   const obs::Span span("nn.evaluate");
   const int64_t n = ds.size();
   obs::count(obs::Counter::kEvalSamples, n);
@@ -193,6 +199,10 @@ EvalResult evaluate(Network& net, const data::Dataset& ds, int batch_size) {
 
 // rp-lint: hot
 Tensor predict(Network& net, const Tensor& images, int batch_size) {
+  if (batch_size <= 0) {
+    throw std::invalid_argument("nn::predict: batch_size must be positive, got " +
+                                std::to_string(batch_size));
+  }
   const obs::Span span("nn.predict");
   const int64_t n = images.size(0);
   obs::count(obs::Counter::kEvalSamples, n);

@@ -38,10 +38,13 @@ struct EvalResult {
 void train(Network& net, const data::Dataset& ds, const TrainConfig& cfg);
 
 /// Full-dataset evaluation in eval mode (running batch-norm statistics).
+/// Throws std::invalid_argument when batch_size <= 0 — a nonpositive batch
+/// used to divide-by-zero its way into nonsense batch counts.
 EvalResult evaluate(Network& net, const data::Dataset& ds, int batch_size = 128);
 
 /// Forward pass over an [N, C, H, W] image stack in minibatches; returns the
-/// stacked logits ([N, classes] or [N, classes, H, W]).
+/// stacked logits ([N, classes] or [N, classes, H, W]). Throws
+/// std::invalid_argument when batch_size <= 0.
 Tensor predict(Network& net, const Tensor& images, int batch_size = 128);
 
 /// Runs a profiling pass over (a subset of) the dataset so that layers

@@ -200,6 +200,9 @@ const char* counter_name(Counter c) {
     case Counter::kMemArenaResets: return "mem.arena_resets";
     case Counter::kMemPoolHits: return "mem.pool_hits";
     case Counter::kMemHeapAllocsHot: return "mem.heap_allocs_hot";
+    case Counter::kServeRequests: return "serve.requests";
+    case Counter::kServeBatches: return "serve.batches";
+    case Counter::kServeRejects: return "serve.rejects";
     case Counter::kSpans: return "trace.spans";
     case Counter::kSpansDropped: return "trace.spans_dropped";
     case Counter::kCount: break;

@@ -48,6 +48,9 @@ enum class Counter : int {
   kMemArenaResets,      ///< arena scope resets (iteration boundaries)
   kMemPoolHits,         ///< scratch requests served from a pool free list
   kMemHeapAllocsHot,    ///< scratch requests that fell through to the heap
+  kServeRequests,       ///< requests admitted by the serving engine
+  kServeBatches,        ///< coalesced batches the serving engine executed
+  kServeRejects,        ///< requests rejected by admission control (queue full)
   kSpans,               ///< trace spans recorded
   kSpansDropped,        ///< spans dropped after the trace buffer cap
   kCount

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/cache.hpp"
+#include "nn/network.hpp"
+
+namespace rp::serve {
+
+/// rp::serve — batched async inference over a pruned-model family.
+///
+/// The paper's headline claim (§5, §7) is that *measured* prune potential
+/// should gate deployment of pruned networks. The serving stack turns that
+/// into a live policy: a ModelRegistry holds one prune-ratio family (the
+/// dense parent plus its PRUNERETRAIN checkpoints), a Router maps each
+/// request's declared distribution tag to the cheapest variant whose
+/// measured per-distribution potential covers it, and an Engine coalesces
+/// single-sample requests into batched forward passes on the persistent
+/// thread pool (engine.hpp).
+
+/// Declares one prune-ratio family by its artifact-cache keys. All states
+/// are RPT tensor bundles written by exp::Runner (or any put_state caller);
+/// they load through the CRC32C-checked, quarantine-on-corruption path.
+struct FamilySpec {
+  std::string arch;                       ///< architecture registry name
+  nn::TaskSpec task;
+  std::string parent_key;                 ///< dense parent artifact
+  std::vector<std::string> variant_keys;  ///< pruned checkpoints, any order
+};
+
+/// One loaded, servable model. `ratio` and `flops` are *measured* from the
+/// loaded masks (not trusted from config), so the router's cost ordering can
+/// never drift from the artifact actually being served.
+struct Variant {
+  std::string key;
+  double ratio = 0.0;   ///< achieved prune ratio over prunable weights
+  int64_t flops = 0;    ///< mask-aware MACs of one sample's forward pass
+  nn::NetworkPtr net;
+};
+
+/// Loads a prune-ratio family from RPT artifacts and keeps it resident for
+/// serving. Fault policy: a corrupt *variant* artifact is quarantined by the
+/// cache layer and dropped from the family — the server degrades to the
+/// remaining variants, it never crashes and never serves garbage (the CRC32C
+/// footer catches damage before a single weight is loaded). A missing or
+/// corrupt *parent* throws: the router's fallback target must exist.
+///
+/// Loaded networks have their masks re-enforced and, when the RP_SPARSE
+/// engine is live, their sparse forms compiled once at load — weights never
+/// mutate during serving, so the compiled forms cannot go stale (contrast
+/// nn::predict, which recompiles per call precisely because training may
+/// intervene between calls).
+class ModelRegistry {
+ public:
+  ModelRegistry(const FamilySpec& spec, exp::ArtifactCache& cache);
+
+  /// All loaded variants, parent first, then ratio-ascending (ties keep
+  /// declaration order). variants()[0] is always the dense parent.
+  const std::vector<Variant>& variants() const { return variants_; }
+  const Variant& parent() const { return variants_.front(); }
+
+  const nn::TaskSpec& task() const { return spec_.task; }
+  const std::string& arch() const { return spec_.arch; }
+
+  /// Variant artifacts dropped at load (corrupt or missing).
+  int dropped() const { return dropped_; }
+
+ private:
+  FamilySpec spec_;
+  std::vector<Variant> variants_;
+  int dropped_ = 0;
+};
+
+}  // namespace rp::serve

@@ -1,0 +1,28 @@
+#include "serve/router.hpp"
+
+namespace rp::serve {
+
+void Router::set_evidence(const std::string& tag, const core::PotentialEvidence& evidence) {
+  evidence_[tag] = evidence;
+}
+
+Router::Decision Router::route(const std::string& tag) const {
+  Decision d;
+  d.variant = &registry_.parent();
+  const auto it = evidence_.find(tag);
+  if (it == evidence_.end()) return d;  // unknown distribution: dense parent
+
+  d.evidence_found = true;
+  d.guideline = core::recommend(it->second);
+  const double safe = core::safe_prune_ratio(it->second);
+  // variants() is ratio-ascending with the parent (ratio 0) first, so the
+  // last covered entry is the cheapest servable model: highest prune ratio
+  // => fewest active MACs. DoNotPrune yields safe = 0, which covers only
+  // the parent.
+  for (const Variant& v : registry_.variants()) {
+    if (v.ratio <= safe) d.variant = &v;
+  }
+  return d;
+}
+
+}  // namespace rp::serve

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/guidelines.hpp"
+#include "serve/registry.hpp"
+
+namespace rp::serve {
+
+/// Potential-aware request router — the paper's §5/§7 guidelines as a live
+/// serving policy. Each request declares a distribution tag ("nominal",
+/// "corrupt/fog/3", ...); the router holds measured PotentialEvidence per
+/// tag and picks the *cheapest* variant whose prune ratio the evidence
+/// covers:
+///
+///   safe = core::safe_prune_ratio(evidence[tag])   // δ-margin potential
+///   pick = max-ratio variant with ratio <= safe    // fewest active MACs
+///
+/// Fallbacks are conservative: a tag with no registered evidence, or one
+/// whose guideline is DoNotPrune, is served by the dense parent — exactly
+/// the paper's "don't prune if unexpected shifts may occur".
+///
+/// Evidence is registered before serving starts and read-only afterwards, so
+/// route() takes no lock and is safe to call from the engine's dispatcher
+/// concurrently with client submissions.
+class Router {
+ public:
+  explicit Router(const ModelRegistry& registry) : registry_(registry) {}
+
+  /// Registers (or replaces) the measured evidence for one distribution
+  /// tag. Not thread-safe against route(); populate before serving.
+  void set_evidence(const std::string& tag, const core::PotentialEvidence& evidence);
+
+  /// True when `tag` has registered evidence.
+  bool has_evidence(const std::string& tag) const { return evidence_.count(tag) != 0; }
+
+  struct Decision {
+    const Variant* variant = nullptr;  ///< the model to serve this request
+    core::Guideline guideline = core::Guideline::DoNotPrune;
+    bool evidence_found = false;       ///< false => parent fallback (unknown tag)
+  };
+
+  /// Maps a distribution tag to the variant that serves it. Never fails:
+  /// the worst case is the dense parent.
+  Decision route(const std::string& tag) const;
+
+ private:
+  const ModelRegistry& registry_;
+  // std::map: deterministic iteration order (rp-lint R4 discipline).
+  std::map<std::string, core::PotentialEvidence> evidence_;
+};
+
+}  // namespace rp::serve

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "tensor/envspec.hpp"
 
 namespace rp::mem {
 
@@ -15,14 +16,25 @@ namespace {
 
 // -- mode resolution (mirrors sparse.cpp's RP_SPARSE handling) --------------
 
+}  // namespace
+
+Mode parse_mode_spec(const std::string& text) {
+  if (text == "off" || text == "0") return Mode::kOff;
+  if (text == "on" || text == "1") return Mode::kOn;
+  if (text == "auto") return Mode::kAuto;
+  throw std::invalid_argument("RP_ARENA: bad value '" + text +
+                              "' (expected off|0|on|1|auto)");
+}
+
+namespace {
+
 Mode resolve_from_env() {
   std::string want = "auto";
   if (const char* env = std::getenv("RP_ARENA")) want = env;
-  if (want == "off" || want == "0") return Mode::kOff;
-  if (want == "on" || want == "1") return Mode::kOn;
-  // auto (and unrecognized values): engine on — it is a pure relocation of
-  // bytes, bit-identical by construction, so there is nothing to tune yet.
-  return Mode::kAuto;
+  // Strict parse-or-exit(2): a typo'd RP_ARENA must not silently run the
+  // engine the operator thought they disabled. (auto still means engine on —
+  // a pure relocation of bytes, bit-identical by construction.)
+  return env::die_on_bad_spec([&] { return parse_mode_spec(want); });
 }
 
 // Mode override for force()/reset(); -1 = resolve from env. Written only by

@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <new>
+#include <string>
 #include <type_traits>
 
 // rp::mem — the memory-discipline engine: per-lane bump arenas with
@@ -46,6 +47,12 @@ void reset();
 
 /// Spec name of a mode ("off", "on", "auto").
 const char* mode_name(Mode m);
+
+/// Parses an RP_ARENA spec: "off"/"0" -> kOff, "on"/"1" -> kOn,
+/// "auto" -> kAuto. Anything else throws std::invalid_argument naming
+/// RP_ARENA — at the env-resolution site that means exit(2), never a silent
+/// fall-through to auto.
+Mode parse_mode_spec(const std::string& text);
 
 /// True when scratch requests route through the arena/pool engine.
 inline bool engine_on() { return mode() != Mode::kOff; }

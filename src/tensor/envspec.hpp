@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace rp::env {
+
+/// Strict environment-knob parsing — the RP_FAULTS convention generalized.
+///
+/// Every RP_* knob in this repository follows parse-or-exit(2): a value the
+/// subsystem does not recognize is a usage error on the level of a bad
+/// command line, never a silent fall-through to some default. ("RP_THREADS=
+/// 4junk" running with 4 threads, or "RP_SPARSE=csrr" silently serving the
+/// auto heuristic, are exactly the typos this exists to catch.)
+///
+/// The helpers here throw std::invalid_argument with a message naming the
+/// variable, the offending text, and the accepted grammar; env-resolution
+/// call sites wrap them in die_on_bad_spec so the process exits(2) loudly,
+/// while tests call the throwing form directly.
+
+/// Parses `text` as a full-string base-10 integer in [min, max]. Throws
+/// std::invalid_argument (naming `var`) on trailing junk, empty text,
+/// overflow, or an out-of-range value.
+int64_t parse_int_spec(const std::string& var, const std::string& text, int64_t min,
+                       int64_t max = INT64_MAX);
+
+[[noreturn]] void die_bad_spec(const char* what);
+
+/// Invokes `fn()` and returns its result; a std::invalid_argument escaping
+/// it is printed to stderr followed by exit(2). Use at environment
+/// resolution sites only — library entry points should let the exception
+/// propagate to the caller instead.
+template <typename Fn>
+auto die_on_bad_spec(Fn&& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const std::invalid_argument& e) {
+    die_bad_spec(e.what());
+  }
+}
+
+}  // namespace rp::env

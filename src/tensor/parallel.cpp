@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/obs.hpp"
+#include "tensor/envspec.hpp"
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
@@ -22,9 +23,17 @@ namespace {
 thread_local int tl_depth = 0;  // rp-lint: allow(R3) per-lane nesting depth, pool-internal
 
 int env_default_threads() {
+  // Strict parse-or-exit(2): "RP_THREADS=4junk" used to run with 4 threads
+  // via atoi; now any value that is not a positive integer (or the literal
+  // "auto", matching the sibling RP_SIMD/RP_SPARSE/RP_ARENA grammar) kills
+  // the process loudly instead of silently shaping every measurement.
   if (const char* env = std::getenv("RP_THREADS")) {
-    const int v = std::atoi(env);
-    if (v >= 1) return v;
+    const std::string text(env);
+    if (text != "auto") {
+      return env::die_on_bad_spec([&] {
+        return static_cast<int>(env::parse_int_spec("RP_THREADS", text, 1, 1 << 20));
+      });
+    }
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);

@@ -5,7 +5,10 @@
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
+
+#include "tensor/envspec.hpp"
 
 namespace rp::simd {
 
@@ -159,17 +162,43 @@ bool cpu_has_neon() {
 #endif
 }
 
+}  // namespace
+
+bool parse_isa_spec(const std::string& text, Isa* out) {
+  if (text == "off" || text == "scalar") {
+    *out = Isa::kScalar;
+    return true;
+  }
+  if (text == "avx2") {
+    *out = Isa::kAvx2;
+    return true;
+  }
+  if (text == "neon") {
+    *out = Isa::kNeon;
+    return true;
+  }
+  if (text == "auto") return false;
+  throw std::invalid_argument("RP_SIMD: bad value '" + text +
+                              "' (expected off|scalar|avx2|neon|auto)");
+}
+
+namespace {
+
 Isa resolve_from_env() {
   std::string want = "auto";
   if (const char* env = std::getenv("RP_SIMD")) want = env;
-  if (want == "off" || want == "scalar") return Isa::kScalar;
-  if (want == "avx2") {
-    return (avx2_kernels() != nullptr && cpu_has_avx2_fma()) ? Isa::kAvx2 : Isa::kScalar;
+  Isa requested = Isa::kScalar;
+  const bool specific = env::die_on_bad_spec([&] { return parse_isa_spec(want, &requested); });
+  if (specific) {
+    if (requested == Isa::kAvx2) {
+      return (avx2_kernels() != nullptr && cpu_has_avx2_fma()) ? Isa::kAvx2 : Isa::kScalar;
+    }
+    if (requested == Isa::kNeon) {
+      return (neon_kernels() != nullptr && cpu_has_neon()) ? Isa::kNeon : Isa::kScalar;
+    }
+    return Isa::kScalar;
   }
-  if (want == "neon") {
-    return (neon_kernels() != nullptr && cpu_has_neon()) ? Isa::kNeon : Isa::kScalar;
-  }
-  // auto (and unrecognized values): best ISA compiled in + supported.
+  // auto: best ISA compiled in + supported.
   if (avx2_kernels() != nullptr && cpu_has_avx2_fma()) return Isa::kAvx2;
   if (neon_kernels() != nullptr && cpu_has_neon()) return Isa::kNeon;
   return Isa::kScalar;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 // Runtime-dispatched SIMD kernels for the handful of hot loops the profiler
 // actually sees: the GEMM panel microkernel and the elementwise/reduction ops
@@ -77,6 +78,14 @@ struct Kernels {
 // force()); `kernels()` is the table for that ISA.
 Isa active();
 const Kernels& kernels();
+
+// Parses an RP_SIMD spec: sets *out and returns true for "off"/"scalar"
+// (kScalar), "avx2", "neon"; returns false for "auto" (resolution picks the
+// best available ISA). Anything else throws std::invalid_argument naming
+// RP_SIMD — at the env-resolution site that means exit(2), never a silent
+// fall-through to auto ("RP_SIMD=axv2" must not quietly change what a
+// benchmark measured).
+bool parse_isa_spec(const std::string& text, Isa* out);
 
 // Test hooks: pin the dispatch to a specific ISA (no-op fallback to scalar if
 // the ISA isn't available) / restore env+CPU resolution.

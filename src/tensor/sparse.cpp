@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "obs/obs.hpp"
+#include "tensor/envspec.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/parallel.hpp"
 #include "tensor/serialize.hpp"
@@ -19,14 +20,25 @@ namespace {
 
 // -- mode resolution (mirrors simd.cpp's RP_SIMD handling) ------------------
 
+}  // namespace
+
+Mode parse_mode_spec(const std::string& text) {
+  if (text == "off" || text == "dense") return Mode::kOff;
+  if (text == "csr") return Mode::kCsr;
+  if (text == "block") return Mode::kBlock;
+  if (text == "auto") return Mode::kAuto;
+  throw std::invalid_argument("RP_SPARSE: bad value '" + text +
+                              "' (expected off|dense|csr|block|auto)");
+}
+
+namespace {
+
 Mode resolve_from_env() {
   std::string want = "auto";
   if (const char* env = std::getenv("RP_SPARSE")) want = env;
-  if (want == "off" || want == "dense") return Mode::kOff;
-  if (want == "csr") return Mode::kCsr;
-  if (want == "block") return Mode::kBlock;
-  // auto (and unrecognized values): per-layer density decides.
-  return Mode::kAuto;
+  // Strict parse-or-exit(2): "RP_SPARSE=csrr" must not silently serve the
+  // auto heuristic while the operator believes they pinned a layout.
+  return env::die_on_bad_spec([&] { return parse_mode_spec(want); });
 }
 
 // Mode override for force()/reset(); -1 = resolve from env. Written only by

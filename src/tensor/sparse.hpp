@@ -41,6 +41,12 @@ void reset();
 /// Spec name of a mode ("off", "csr", "block", "auto").
 const char* mode_name(Mode m);
 
+/// Parses an RP_SPARSE spec: "off"/"dense" -> kOff, "csr" -> kCsr,
+/// "block" -> kBlock, "auto" -> kAuto. Anything else throws
+/// std::invalid_argument naming RP_SPARSE — at the env-resolution site that
+/// means exit(2), never a silent fall-through to auto.
+Mode parse_mode_spec(const std::string& text);
+
 // ---------------------------------------------------------------------------
 // Layouts
 

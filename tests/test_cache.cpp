@@ -5,6 +5,10 @@
 #include <filesystem>
 #include <unistd.h>
 
+#include <atomic>
+#include <thread>  // rp-lint: allow(R2) cache-race regression drives reader/writer threads
+
+#include "fault/fault.hpp"
 #include "tensor/rng.hpp"
 
 namespace rp::exp {
@@ -19,7 +23,10 @@ class CacheTest : public ::testing::Test {
                .string();
     std::filesystem::remove_all(dir_);
   }
-  void TearDown() override { std::filesystem::remove_all(dir_); }
+  void TearDown() override {
+    fault::configure("");
+    std::filesystem::remove_all(dir_);
+  }
   std::string dir_;
 };
 
@@ -126,6 +133,58 @@ TEST_F(CacheTest, FormerlyAliasingKeysNowMapToDistinctArtifacts) {
     files += entry.is_regular_file() ? 1u : 0u;
   }
   EXPECT_EQ(files, keys.size());
+}
+
+TEST_F(CacheTest, QuarantineLeavesNoTakeFileResidue) {
+  // Quarantine is a two-step take-and-classify (an atomic rename to
+  // `.q.<pid>`, then classification); when it completes, the suspect must
+  // be parked at `.corrupt` with no intermediate `.q.` file left behind.
+  ArtifactCache cache(dir_);
+  fault::configure("bitflip:once=1");
+  cache.put_values("decayed", {1.0, 2.0});
+  fault::configure("");
+  EXPECT_FALSE(cache.get_values("decayed").has_value());
+  bool corrupt_seen = false;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    EXPECT_EQ(name.find(".q."), std::string::npos) << name;
+    corrupt_seen = corrupt_seen || name.ends_with(".corrupt");
+  }
+  EXPECT_TRUE(corrupt_seen);
+  // The key space is clean: a republish serves again.
+  cache.put_values("decayed", {1.0, 2.0});
+  EXPECT_TRUE(cache.get_values("decayed").has_value());
+}
+
+TEST_F(CacheTest, ConcurrentWriterNeverLosesFreshArtifactsToQuarantine) {
+  // Regression for the quarantine/publish race: reader hits a corrupt file,
+  // writer republishes the key, reader's old blind `rename(path, .corrupt)`
+  // would steal the *fresh* artifact. With take-and-classify, every read
+  // returns either a miss or the exact payload — and the final state of the
+  // key is always servable. Periodic injected bitflips keep corrupt
+  // generations flowing through the shared directory while both sides run.
+  ArtifactCache cache(dir_);
+  const std::vector<double> payload{1.0, 2.0, 3.0};
+  fault::configure("bitflip:every=3");
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> garbage{0};
+  std::thread reader([&] {  // rp-lint: allow(R2) the cross-process race, compressed into one test process
+    while (!stop.load()) {
+      if (const auto got = cache.get_values("k"); got && *got != payload) ++garbage;
+    }
+  });
+  for (int i = 0; i < 60; ++i) cache.put_values("k", payload);
+  stop.store(true);
+  reader.join();
+  fault::configure("");
+
+  EXPECT_EQ(garbage.load(), 0);
+  // A final clean publish must always be visible — the key was never stolen.
+  cache.put_values("k", payload);
+  const auto final_read = cache.get_values("k");
+  ASSERT_TRUE(final_read.has_value());
+  EXPECT_EQ(*final_read, payload);
 }
 
 TEST_F(CacheTest, EscapeCharacterItselfDoesNotAlias) {

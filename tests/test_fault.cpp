@@ -218,6 +218,22 @@ TEST_F(FaultTest, CacheConstructionSweepsStaleTmpFiles) {
   EXPECT_FALSE(fs::exists(dir_ + "/stale.bin.tmp.999999999"));
 }
 
+TEST_F(FaultTest, CleanStaleTmpSweepsOrphanedQuarantineTakeFiles) {
+  // `.q.<pid>` is the cache's quarantine take-file naming: pid-owned like a
+  // writer tmp. A crash between the take rename and classification orphans
+  // one; the sweep reclaims it only once its owner is gone.
+  write_raw(dir_ + "/dead.bin.q.999999999", "x");    // no such pid
+  write_raw(dir_ + "/junk.bin.q.notapid", "x");      // malformed owner marker
+  const std::string mine = dir_ + "/live.bin.q." + std::to_string(::getpid());
+  write_raw(mine, "x");                              // live taker (us)
+  write_raw(dir_ + "/artifact.bin", "x");
+  EXPECT_EQ(fault::clean_stale_tmp(dir_), 2);
+  EXPECT_TRUE(fs::exists(mine));                     // never swept while alive
+  EXPECT_TRUE(fs::exists(dir_ + "/artifact.bin"));
+  EXPECT_FALSE(fs::exists(dir_ + "/dead.bin.q.999999999"));
+  EXPECT_FALSE(fs::exists(dir_ + "/junk.bin.q.notapid"));
+}
+
 // ---------------------------------------------------------------------------
 // Corrupt-artifact recovery at the cache level
 

@@ -6,6 +6,7 @@
 #include "nn/models.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/parallel.hpp"
+#include "tensor/rng.hpp"
 
 namespace rp::nn {
 namespace {
@@ -55,6 +56,20 @@ TEST(Trainer, TrainingIsSeedDeterministic) {
       ASSERT_EQ(sa[i].second[j], sb[i].second[j]) << sa[i].first;
     }
   }
+}
+
+TEST(Trainer, EvaluateAndPredictRejectNonpositiveBatchSize) {
+  // Regression: batch_size <= 0 used to flow straight into the batch-count
+  // arithmetic (division by zero / negative batch counts) instead of being
+  // rejected at the API boundary.
+  auto ds = tiny_train();
+  auto net = build_network("resnet8", synth_cifar_task(), 1);
+  EXPECT_THROW(evaluate(*net, *ds, 0), std::invalid_argument);
+  EXPECT_THROW(evaluate(*net, *ds, -8), std::invalid_argument);
+  Rng rng(5);
+  const Tensor stack = Tensor::randn(Shape{4, 3, 16, 16}, rng);
+  EXPECT_THROW(predict(*net, stack, 0), std::invalid_argument);
+  EXPECT_THROW(predict(*net, stack, -1), std::invalid_argument);
 }
 
 TEST(Trainer, EvaluateReportsLossAndAccuracy) {

@@ -399,7 +399,7 @@ class SemanticRules {
 
 const std::map<std::string, std::set<std::string>>& layer_allowed_edges() {
   // The committed layer DAG, lowest first: obs (result-neutral substrate) →
-  // fault → tensor → data → corrupt → nn → core → exp. A layer may include
+  // fault → tensor → data → corrupt → nn → core → exp → serve. A layer may include
   // itself and exactly the layers listed here. DESIGN.md §7's layer table
   // is generated from this map and must match it row for row.
   static const std::map<std::string, std::set<std::string>> kEdges = {
@@ -411,6 +411,7 @@ const std::map<std::string, std::set<std::string>>& layer_allowed_edges() {
       {"nn", {"obs", "tensor", "data"}},
       {"core", {"obs", "tensor", "data", "corrupt", "nn"}},
       {"exp", {"obs", "fault", "tensor", "data", "corrupt", "nn", "core"}},
+      {"serve", {"obs", "fault", "tensor", "data", "corrupt", "nn", "core", "exp"}},
   };
   return kEdges;
 }
