@@ -7,7 +7,8 @@
 # fast smoke pass with RP_TRACE active (the trace file must come out as valid
 # JSON), then a fault-injection pass (RP_FAULTS periodic transient write/read
 # faults over the storage-heavy suite slice including the sparse-artifact
-# tests, plus the SIGKILL crash-matrix tests), then a serving smoke gate
+# tests, plus the SIGKILL crash-matrix tests and the multi-worker
+# distributed-scheduler matrix), then a serving smoke gate
 # (the rp::serve suite serially: routing, lifecycle, bit-identity, and the
 # corrupt-variant quarantine-and-drop path), then a bench-provenance gate
 # (the micro-ops and serving bench binaries must self-report a true
@@ -68,6 +69,12 @@ RP_FAULTS='write:every=3,read:every=5' ctest --test-dir build --output-on-failur
 # Crash matrix runs without an ambient schedule: it arms RP_FAULTS itself in
 # the SIGKILLed child processes it spawns.
 ctest --test-dir build --output-on-failure -R 'FaultMatrix' -j 1
+# Distributed-scheduler matrix: graph executor semantics, the lease
+# primitives, a genuine two-process claim race, SIGKILLed-owner reclaim, and
+# the 4-worker sharded sweep that must come out bit-identical to a serial
+# run. Serial: the multi-process tests own their timing, and each child arms
+# its own RP_FAULTS schedule.
+ctest --test-dir build --output-on-failure -R 'SchedTest' -j 1
 
 echo "== [5/7] Serving smoke: routing policy, queue lifecycle, corrupt-variant drop =="
 # Full rp::serve suite serially: registry load order, potential-aware

@@ -57,6 +57,12 @@ class ArtifactCache {
 
   const std::string& dir() const { return dir_; }
 
+  /// Artifact path a scheduler lease / poison marker for `key` hangs off
+  /// (sched::Node::claim_base): the claim lives at `claim_base + ".claim"`,
+  /// right next to the artifact it guards, so fault::clean_stale_tmp's
+  /// directory hygiene covers locks and artifacts alike.
+  std::string claim_base(const std::string& key) const { return path_for(key); }
+
  private:
   std::string path_for(const std::string& key) const;
   std::string dir_;

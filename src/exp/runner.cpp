@@ -4,10 +4,13 @@
 #include <cctype>
 #include <cstring>
 #include <map>
+#include <mutex>
 #include <stdexcept>
 
 #include "data/augment.hpp"
 #include "obs/obs.hpp"
+#include "sched/executor.hpp"
+#include "sched/graph.hpp"
 
 namespace rp::exp {
 
@@ -100,8 +103,14 @@ namespace {
 /// In-process dataset memoization: generation is deterministic but not free,
 /// and several benches request the same sets.
 data::DatasetPtr memoized(const std::string& key, const std::function<data::DatasetPtr()>& make) {
+  // Guarded: graph cells running on pool lanes (sched::Executor) request
+  // datasets concurrently. Generation outside the lock would be wasted-work
+  // safe (deterministic), but the map itself must be serialized.
+  // rp-lint: allow(R3) in-process memo of deterministic datasets; keyed by seed-bearing name
+  static std::mutex m;
   // rp-lint: allow(R3) in-process memo of deterministic datasets; keyed by seed-bearing name
   static std::map<std::string, data::DatasetPtr> cache;
+  std::lock_guard<std::mutex> lock(m);
   auto it = cache.find(key);
   if (it != cache.end()) return it->second;
   auto ds = make();
@@ -217,41 +226,55 @@ nn::NetworkPtr Runner::separate(const std::string& arch, const nn::TaskSpec& tas
   return trained(arch, task, rep + 100, {}, tag);
 }
 
-std::vector<Checkpoint> Runner::sweep(const std::string& arch, const nn::TaskSpec& task,
-                                      core::PruneMethod method, int rep,
-                                      const data::ImageTransform& extra_augment,
-                                      const std::string& tag) {
-  const std::string base = task.name + "/" + arch + (tag.empty() ? "" : "/" + tag) + "/" +
-                           core::to_string(method) + "/rep" + std::to_string(rep);
+std::string Runner::family_base(const nn::TaskSpec& task, const std::string& arch,
+                                core::PruneMethod method, int rep,
+                                const std::string& tag) const {
+  return task.name + "/" + arch + (tag.empty() ? "" : "/" + tag) + "/" +
+         core::to_string(method) + "/rep" + std::to_string(rep);
+}
 
-  std::vector<Checkpoint> family;
-  family.reserve(static_cast<size_t>(scale_.cycles));
+bool Runner::cycle_done(const std::string& base, int c) const {
+  const std::string key = base + "/cycle" + std::to_string(c);
+  // The ratio artifact is tiny, so the probe validates it whole (a
+  // cached-but-empty or corrupt ratio counts as missing — never as data);
+  // the state bundle is checked for existence only, and a deep problem
+  // there surfaces at load time, quarantines, and recomputes.
+  const auto ratio = cache_.get_values(key + "/ratio");
+  return ratio && !ratio->empty() && cache_.has(key);
+}
 
-  // Longest-prefix resume: collect complete cached cycles until the first
-  // gap. Cycles 1..k fully determine the cycle-k network (weights + masks +
-  // BN statistics), and prune_retrain's per-cycle state is exactly that
-  // checkpoint (PruneRetrainConfig::start_cycle), so a sweep interrupted at
-  // cycle k+1 restarts there and reproduces the uninterrupted run
-  // bit-for-bit instead of discarding k cycles of work. A cached-but-empty
-  // ratio artifact counts as the gap, not as cycle data.
-  for (int c = 1; c <= scale_.cycles; ++c) {
-    const std::string key = base + "/cycle" + std::to_string(c);
+nn::NetworkPtr Runner::materialize_cycle(const std::string& arch, const nn::TaskSpec& task,
+                                         core::PruneMethod method, int rep,
+                                         const data::ImageTransform& extra_augment,
+                                         const std::string& tag, int c) {
+  const std::string base = family_base(task, arch, method, rep, tag);
+  auto net = trained(arch, task, rep, extra_augment, tag);
+  if (c <= 0) return net;
+
+  // Longest-prefix resume, generalized to any target cycle: load the
+  // deepest loadable checkpoint at or before `c` and replay only the
+  // cycles after it. Cycles 1..k fully determine the cycle-k network
+  // (weights + masks + BN statistics), and prune_retrain's per-cycle state
+  // is exactly that checkpoint (PruneRetrainConfig::start_cycle), so the
+  // replay reproduces an uninterrupted run bit-for-bit — including when
+  // the gap is a quarantined corrupt checkpoint mid-chain.
+  int prefix = c;
+  for (; prefix >= 1; --prefix) {
+    const std::string key = base + "/cycle" + std::to_string(prefix);
     auto state = cache_.get_state(key);
     auto ratio = cache_.get_values(key + "/ratio");
-    if (!state || state->empty() || !ratio || ratio->empty()) break;
-    family.push_back({(*ratio)[0], std::move(*state)});
+    if (state && !state->empty() && ratio && !ratio->empty()) {
+      net->load_state(*state);
+      break;
+    }
   }
-  const int cached_prefix = static_cast<int>(family.size());
-  if (cached_prefix == scale_.cycles) return family;
+  if (prefix == c) return net;
 
-  const obs::Span span("runner.sweep/" + arch + "/" + core::to_string(method));
-  auto net = trained(arch, task, rep, extra_augment, tag);
-  if (cached_prefix > 0) net->load_state(family.back().state);
   core::PruneRetrainConfig cfg;
   cfg.method = method;
   cfg.keep_per_cycle = scale_.keep_per_cycle;
-  cfg.cycles = scale_.cycles;
-  cfg.start_cycle = cached_prefix + 1;
+  cfg.cycles = c;
+  cfg.start_cycle = prefix + 1;
   cfg.retrain = train_config(arch, rep, extra_augment);
   cfg.retrain.epochs = scale_.retrain_epochs;
   // Retraining re-uses the schedule *shape* compressed to the retrain
@@ -267,9 +290,96 @@ std::vector<Checkpoint> Runner::sweep(const std::string& arch, const nn::TaskSpe
     const std::string key = base + "/cycle" + std::to_string(cycle);
     cache_.put_state(key, net->state());
     cache_.put_values(key + "/ratio", {ratio});
-    family.push_back({ratio, net->state()});
   });
-  return family;
+  return net;
+}
+
+Runner::FamilyNodeIds Runner::add_family_nodes(sched::TaskGraph& g, const nn::TaskSpec& task,
+                                               const std::string& arch, core::PruneMethod method,
+                                               int rep, const data::ImageTransform& extra_augment,
+                                               const std::string& tag) {
+  const std::string base = family_base(task, arch, method, rep, tag);
+  const std::string dense_key = task.name + "/" + arch + (tag.empty() ? "" : "/" + tag) +
+                                "/rep" + std::to_string(rep) + "/dense";
+  FamilyNodeIds ids;
+
+  sched::Node train_node;
+  train_node.label = "train/" + dense_key;
+  train_node.claim_base = cache_.claim_base(dense_key);
+  train_node.done = [this, dense_key] { return cache_.has(dense_key); };
+  train_node.run = [this, arch, task, rep, extra_augment, tag] {
+    trained(arch, task, rep, extra_augment, tag);
+  };
+  ids.train = g.add_node(std::move(train_node));
+
+  ids.cycles.reserve(static_cast<size_t>(scale_.cycles));
+  for (int c = 1; c <= scale_.cycles; ++c) {
+    sched::Node cycle_node;
+    cycle_node.label = "cycle/" + base + "/cycle" + std::to_string(c);
+    cycle_node.claim_base = cache_.claim_base(base + "/cycle" + std::to_string(c));
+    cycle_node.done = [this, base, c] { return cycle_done(base, c); };
+    cycle_node.run = [this, arch, task, method, rep, extra_augment, tag, c] {
+      materialize_cycle(arch, task, method, rep, extra_augment, tag, c);
+    };
+    cycle_node.deps = {c == 1 ? ids.train : ids.cycles.back()};
+    ids.cycles.push_back(g.add_node(std::move(cycle_node)));
+  }
+  return ids;
+}
+
+namespace {
+
+/// Raises the first non-done cell of a failed graph run as an exception —
+/// the degrade-to-throw policy of the single-family entry points (grid()
+/// instead degrades to reporting holes).
+void throw_on_failed_cell(const sched::TaskGraph& g, const sched::Report& report,
+                          const char* what) {
+  for (size_t i = 0; i < report.status.size(); ++i) {
+    if (report.status[i] == sched::CellStatus::kDone) continue;
+    throw std::runtime_error(std::string(what) + ": cell failed (" + g.node(static_cast<int>(i)).label +
+                             ": " + report.note[i] + ")");
+  }
+}
+
+}  // namespace
+
+std::vector<Checkpoint> Runner::sweep(const std::string& arch, const nn::TaskSpec& task,
+                                      core::PruneMethod method, int rep,
+                                      const data::ImageTransform& extra_augment,
+                                      const std::string& tag) {
+  const std::string base = family_base(task, arch, method, rep, tag);
+
+  // Whole-family collection; any gap (missing, empty, or quarantined-on-
+  // load artifact) reports failure so the graph below recomputes it.
+  const auto collect = [&]() -> std::optional<std::vector<Checkpoint>> {
+    std::vector<Checkpoint> family;
+    family.reserve(static_cast<size_t>(scale_.cycles));
+    for (int c = 1; c <= scale_.cycles; ++c) {
+      const std::string key = base + "/cycle" + std::to_string(c);
+      auto state = cache_.get_state(key);
+      auto ratio = cache_.get_values(key + "/ratio");
+      if (!state || state->empty() || !ratio || ratio->empty()) return std::nullopt;
+      family.push_back({(*ratio)[0], std::move(*state)});
+    }
+    return family;
+  };
+  if (auto family = collect()) return *family;
+
+  const obs::Span span("runner.sweep/" + arch + "/" + core::to_string(method));
+  // The sweep is a graph submission: train node -> chained cycle nodes,
+  // shareable with any worker process on the same cache dir. Two passes:
+  // the second covers an artifact damaged between the graph's done()
+  // probe and collection (the failed load quarantined it, so the re-run
+  // recomputes it).
+  for (int pass = 0; pass < 2; ++pass) {
+    sched::TaskGraph g;
+    add_family_nodes(g, task, arch, method, rep, extra_augment, tag);
+    sched::Executor executor(sched::Config::from_env());
+    const sched::Report report = executor.run(g);
+    throw_on_failed_cell(g, report, "sweep");
+    if (auto family = collect()) return *family;
+  }
+  throw std::runtime_error("sweep: artifacts for " + base + " could not be materialized");
 }
 
 nn::NetworkPtr Runner::instantiate(const std::string& arch, const nn::TaskSpec& task,
@@ -306,42 +416,135 @@ std::vector<core::CurvePoint> Runner::curve_cached(const std::string& arch,
                                                    const data::Dataset& ds,
                                                    const std::string& tag,
                                                    const data::ImageTransform& extra_augment) {
-  const std::string base = task.name + "/" + arch + (tag.empty() ? "" : "/" + tag) + "/" +
-                           core::to_string(method) + "/rep" + std::to_string(rep);
-  // Probe the cache before forcing the (expensive) sweep artifacts to load.
-  std::vector<core::CurvePoint> points;
-  bool all_cached = true;
-  for (int c = 1; c <= scale_.cycles; ++c) {
-    const std::string key =
-        base + "/cycle" + std::to_string(c) + "/eval/" + dataset_id(ds);
-    auto err = cache_.get_values(key);
-    auto ratio = cache_.get_values(base + "/cycle" + std::to_string(c) + "/ratio");
-    // Empty cached vectors are treated as misses — never indexed.
-    if (!err || err->empty() || !ratio || ratio->empty()) {
-      all_cached = false;
-      break;
+  const std::string base = family_base(task, arch, method, rep, tag);
+  const std::string ds_id = dataset_id(ds);
+
+  // Curve collection straight from the eval/ratio artifacts — never forces
+  // a checkpoint load. Empty cached vectors are misses, never indexed.
+  const auto collect = [&]() -> std::optional<std::vector<core::CurvePoint>> {
+    std::vector<core::CurvePoint> points;
+    points.reserve(static_cast<size_t>(scale_.cycles));
+    for (int c = 1; c <= scale_.cycles; ++c) {
+      const std::string cycle_key = base + "/cycle" + std::to_string(c);
+      auto err = cache_.get_values(cycle_key + "/eval/" + ds_id);
+      auto ratio = cache_.get_values(cycle_key + "/ratio");
+      if (!err || err->empty() || !ratio || ratio->empty()) return std::nullopt;
+      points.push_back({(*ratio)[0], (*err)[0]});
     }
-    points.push_back({(*ratio)[0], (*err)[0]});
-  }
-  if (all_cached) return points;
-  points.clear();
+    return points;
+  };
+  if (auto points = collect()) return *points;
 
   const obs::Span span("runner.eval/" + arch + "/" + core::to_string(method));
-  const auto family = sweep(arch, task, method, rep, extra_augment, tag);
-  for (size_t i = 0; i < family.size(); ++i) {
-    const std::string key =
-        base + "/cycle" + std::to_string(i + 1) + "/eval/" + dataset_id(ds);
-    double err;
-    if (auto v = cache_.get_values(key); v && !v->empty()) {
-      err = (*v)[0];
-    } else {
-      auto net = instantiate(arch, task, family[i]);
-      err = nn::evaluate(*net, ds).error();
-      cache_.put_values(key, {err});
+  // Graph submission: the family chain plus one eval node per checkpoint.
+  // Each eval node materializes only the single checkpoint it scores
+  // (materialize_cycle's direct load on the fast path), so one missing
+  // eval cell costs one state load + one evaluation — not a whole-family
+  // load, which is what made sparse eval-cache gaps so expensive before.
+  for (int pass = 0; pass < 2; ++pass) {
+    sched::TaskGraph g;
+    const FamilyNodeIds ids = add_family_nodes(g, task, arch, method, rep, extra_augment, tag);
+    for (int c = 1; c <= scale_.cycles; ++c) {
+      const std::string key = base + "/cycle" + std::to_string(c) + "/eval/" + ds_id;
+      sched::Node eval_node;
+      eval_node.label = "eval/" + key;
+      eval_node.claim_base = cache_.claim_base(key);
+      eval_node.done = [this, key] {
+        const auto v = cache_.get_values(key);
+        return v && !v->empty();
+      };
+      eval_node.run = [this, arch, task, method, rep, extra_augment, tag, c, key, &ds] {
+        auto net = materialize_cycle(arch, task, method, rep, extra_augment, tag, c);
+        cache_.put_values(key, {nn::evaluate(*net, ds).error()});
+      };
+      eval_node.deps = {ids.cycles[static_cast<size_t>(c - 1)]};
+      g.add_node(std::move(eval_node));
     }
-    points.push_back({family[i].ratio, err});
+    sched::Executor executor(sched::Config::from_env());
+    const sched::Report report = executor.run(g);
+    throw_on_failed_cell(g, report, "curve_cached");
+    if (auto points = collect()) return *points;
   }
-  return points;
+  throw std::runtime_error("curve_cached: artifacts for " + base + "/eval/" + ds_id +
+                           " could not be materialized");
+}
+
+Runner::GridResult Runner::grid(const nn::TaskSpec& task, const std::vector<std::string>& archs,
+                                const std::vector<core::PruneMethod>& methods,
+                                const std::vector<const data::Dataset*>& datasets,
+                                const std::string& tag) {
+  const obs::Span span("runner.grid");
+  sched::TaskGraph g;
+  GridResult result;
+  // reduce-node id -> cell index, resolved against the report afterwards.
+  std::vector<std::pair<int, size_t>> reduce_of_cell;
+
+  for (const std::string& arch : archs) {
+    for (const core::PruneMethod method : methods) {
+      for (int rep = 0; rep < scale_.reps; ++rep) {
+        const FamilyNodeIds ids = add_family_nodes(g, task, arch, method, rep, {}, tag);
+        const std::string base = family_base(task, arch, method, rep, tag);
+        for (const data::Dataset* ds : datasets) {
+          const std::string ds_id = dataset_id(*ds);
+          std::vector<int> eval_ids;
+          eval_ids.reserve(static_cast<size_t>(scale_.cycles));
+          for (int c = 1; c <= scale_.cycles; ++c) {
+            const std::string key = base + "/cycle" + std::to_string(c) + "/eval/" + ds_id;
+            sched::Node eval_node;
+            eval_node.label = "eval/" + key;
+            eval_node.claim_base = cache_.claim_base(key);
+            eval_node.done = [this, key] {
+              const auto v = cache_.get_values(key);
+              return v && !v->empty();
+            };
+            eval_node.run = [this, arch, task, method, rep, tag, c, key, ds] {
+              auto net = materialize_cycle(arch, task, method, rep, {}, tag, c);
+              cache_.put_values(key, {nn::evaluate(*net, *ds).error()});
+            };
+            eval_node.deps = {ids.cycles[static_cast<size_t>(c - 1)]};
+            eval_ids.push_back(g.add_node(std::move(eval_node)));
+          }
+
+          // Table reduce: driver-local (empty claim_base), so the executor
+          // runs it inline on the submitting thread in node-id order — the
+          // deterministic reduction order of the result table.
+          const size_t cell_index = result.cells.size();
+          result.cells.push_back({arch, method, rep, ds_id, {}, false, ""});
+          sched::Node reduce_node;
+          reduce_node.label = "reduce/" + base + "/" + ds_id;
+          reduce_node.deps = eval_ids;
+          reduce_node.run = [this, base, ds_id, cell_index, &result] {
+            GridCell& cell = result.cells[cell_index];
+            cell.curve.clear();
+            for (int c = 1; c <= scale_.cycles; ++c) {
+              const std::string cycle_key = base + "/cycle" + std::to_string(c);
+              auto err = cache_.get_values(cycle_key + "/eval/" + ds_id);
+              auto ratio = cache_.get_values(cycle_key + "/ratio");
+              if (!err || err->empty() || !ratio || ratio->empty()) {
+                throw std::runtime_error("eval artifact for " + cycle_key + "/eval/" + ds_id +
+                                         " unreadable at reduce time");
+              }
+              cell.curve.push_back({(*ratio)[0], (*err)[0]});
+            }
+            cell.complete = true;
+          };
+          reduce_of_cell.emplace_back(g.add_node(std::move(reduce_node)), cell_index);
+        }
+      }
+    }
+  }
+
+  sched::Executor executor(sched::Config::from_env());
+  const sched::Report report = executor.run(g);
+  for (const auto& [reduce_id, cell_index] : reduce_of_cell) {
+    if (report.status[static_cast<size_t>(reduce_id)] == sched::CellStatus::kDone) continue;
+    GridCell& cell = result.cells[cell_index];
+    cell.complete = false;
+    cell.curve.clear();
+    cell.note = report.note[static_cast<size_t>(reduce_id)];
+    ++result.holes;
+  }
+  return result;
 }
 
 std::vector<core::CurvePoint> Runner::curve(const std::string& arch, const nn::TaskSpec& task,

@@ -7,6 +7,10 @@
 #include "nn/models.hpp"
 #include "nn/trainer.hpp"
 
+namespace rp::sched {
+class TaskGraph;
+}
+
 namespace rp::exp {
 
 /// Knobs that scale every experiment between a single-core-friendly fast
@@ -83,10 +87,14 @@ class Runner {
                           const std::string& tag = "");
 
   /// Full PRUNERETRAIN sweep from the trained dense model: one checkpoint
-  /// per cycle, each individually cached. An interrupted sweep resumes from
-  /// the longest complete cached cycle prefix and replays the remaining
-  /// cycles bit-identically to an uninterrupted run (each cycle's retrain
-  /// state resets from the seed, so the checkpoint is the whole state).
+  /// per cycle, each individually cached. Submitted as a sched::TaskGraph
+  /// (train node -> chained cycle nodes) so any number of worker processes
+  /// sharing the cache directory can split the cycles via lease files; an
+  /// interrupted sweep resumes from the longest complete cached cycle
+  /// prefix and replays the remaining cycles bit-identically to an
+  /// uninterrupted run (each cycle's retrain state resets from the seed,
+  /// so the checkpoint is the whole state). Throws when a cell was
+  /// poisoned (failed past RP_CELL_RETRIES).
   std::vector<Checkpoint> sweep(const std::string& arch, const nn::TaskSpec& task,
                                 core::PruneMethod method, int rep,
                                 const data::ImageTransform& extra_augment = {},
@@ -109,18 +117,80 @@ class Runner {
                      const data::ImageTransform& extra_augment = {});
 
   /// Prune-accuracy curve of the (arch, method, rep) checkpoint family on
-  /// `ds`, with every point's error disk-cached. The evaluation-heavy
-  /// benches (per-corruption potentials, overparameterization tables) share
-  /// results through this path.
+  /// `ds`, with every point's error disk-cached. Submitted as a
+  /// sched::TaskGraph whose eval nodes each load *only the checkpoint they
+  /// evaluate* — a single missing eval cell costs one checkpoint load plus
+  /// one evaluation, never a whole-family load. The evaluation-heavy
+  /// benches (per-corruption potentials, overparameterization tables)
+  /// share results through this path.
   std::vector<core::CurvePoint> curve_cached(const std::string& arch, const nn::TaskSpec& task,
                                              core::PruneMethod method, int rep,
                                              const data::Dataset& ds,
                                              const std::string& tag = "",
                                              const data::ImageTransform& extra_augment = {});
 
+  /// One assembled (arch, method, rep, dataset) cell of a grid() run.
+  struct GridCell {
+    std::string arch;
+    core::PruneMethod method = core::PruneMethod::WT;
+    int rep = 0;
+    std::string dataset;
+    std::vector<core::CurvePoint> curve;  ///< empty when !complete
+    bool complete = false;
+    std::string note;  ///< poison/skip reason when the cell is a hole
+  };
+  struct GridResult {
+    std::vector<GridCell> cells;
+    int holes = 0;  ///< poisoned/skipped cells reported instead of thrown
+    bool complete() const { return holes == 0; }
+  };
+
+  /// The full experiment grid as ONE dependency graph: per (arch, method,
+  /// rep) a train node feeding a cycle chain, per dataset one eval node per
+  /// checkpoint, and per cell a driver-local table-reduce node assembling
+  /// the curve — reduces always run on the submitting thread in node-id
+  /// order, so result tables are assembled in the same deterministic order
+  /// no matter how many workers shared the compute. Unlike sweep() /
+  /// curve_cached(), a poisoned cell does not throw: the grid degrades to
+  /// reporting the hole (GridCell::complete == false, note carries the
+  /// poison reason).
+  GridResult grid(const nn::TaskSpec& task, const std::vector<std::string>& archs,
+                  const std::vector<core::PruneMethod>& methods,
+                  const std::vector<const data::Dataset*>& datasets, const std::string& tag = "");
+
   ArtifactCache& cache() { return cache_; }
 
  private:
+  /// Cache key prefix of an (arch, method, rep) checkpoint family.
+  std::string family_base(const nn::TaskSpec& task, const std::string& arch,
+                          core::PruneMethod method, int rep, const std::string& tag) const;
+
+  /// Node ids of one family's train node + cycle chain inside a graph.
+  struct FamilyNodeIds {
+    int train = -1;
+    std::vector<int> cycles;
+  };
+
+  /// Adds the train node and chained cycle nodes of one (arch, method,
+  /// rep) family to `g`; every node claims/publishes through the cache.
+  FamilyNodeIds add_family_nodes(sched::TaskGraph& g, const nn::TaskSpec& task,
+                                 const std::string& arch, core::PruneMethod method, int rep,
+                                 const data::ImageTransform& extra_augment,
+                                 const std::string& tag);
+
+  /// Materializes the network at the end of cycle `c` (0 = dense),
+  /// recomputing and republishing any missing/corrupt cycle along the way
+  /// from the longest loadable prefix — the self-healing core every graph
+  /// node runs through.
+  nn::NetworkPtr materialize_cycle(const std::string& arch, const nn::TaskSpec& task,
+                                   core::PruneMethod method, int rep,
+                                   const data::ImageTransform& extra_augment,
+                                   const std::string& tag, int c);
+
+  /// True when cycle `c`'s checkpoint is published whole and non-empty (a
+  /// cached-but-empty ratio artifact counts as missing, never as data).
+  bool cycle_done(const std::string& base, int c) const;
+
   ExperimentScale scale_;
   ArtifactCache cache_;
 };

@@ -14,6 +14,7 @@
 #include <stdexcept>
 
 #include "fault/fault.hpp"
+#include "fault/lease.hpp"
 #include "obs/obs.hpp"
 
 namespace rp::fault {
@@ -31,13 +32,6 @@ void backoff_sleep(int attempt) {
   const long us = 1000L << (2 * attempt);
   ::timespec ts{us / 1000000, (us % 1000000) * 1000};
   ::nanosleep(&ts, nullptr);
-}
-
-/// The crash injection points model a power cut / OOM kill: no stack
-/// unwinding, no atexit — the process is simply gone.
-[[noreturn]] void crash_now() {
-  ::raise(SIGKILL);
-  ::_exit(128 + SIGKILL);  // unreachable unless SIGKILL is somehow blocked
 }
 
 std::string errno_text() { return std::strerror(errno); }
@@ -191,6 +185,14 @@ bool owner_gone(const std::string& pid_text) {
   return !digits || (::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH);
 }
 
+bool all_digits(const std::string& text) {
+  if (text.empty()) return false;
+  for (const char c : text) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int clean_stale_tmp(const std::string& dir) {
@@ -208,10 +210,30 @@ int clean_stale_tmp(const std::string& dir) {
     } else if (const auto marker = name.rfind(".tmp."); marker != std::string::npos) {
       stale = owner_gone(name.substr(marker + 5));
     } else if (const auto qmarker = name.rfind(".q."); qmarker != std::string::npos) {
-      // Quarantine take-files (`<artifact>.q.<pid>`, exp::ArtifactCache):
-      // pid-owned exactly like `.tmp.<pid>` — a crash between the take
-      // rename and its classification leaves one behind.
+      // Quarantine take-files (`<artifact>.q.<pid>`, exp::ArtifactCache)
+      // and lease-reclaim take-files (`<artifact>.claim.q.<pid>`,
+      // fault::lease_try_acquire): pid-owned exactly like `.tmp.<pid>` — a
+      // crash between the take rename and its classification/unlink leaves
+      // one behind.
       stale = owner_gone(name.substr(qmarker + 3));
+    } else if (const auto cmarker = name.rfind(".claim."); cmarker != std::string::npos &&
+                                                          all_digits(name.substr(cmarker + 7))) {
+      // Pid-marked lease source links (`<artifact>.claim.<pid>`,
+      // fault::lease_try_acquire): the owner unlinks its own on release,
+      // so one with a dead owner is a crashed claimant's leftover. The
+      // all-digits guard keeps artifact names that merely contain
+      // ".claim." out of the sweep.
+      stale = owner_gone(name.substr(cmarker + 7));
+    } else if (name.ends_with(".claim")) {
+      // Canonical lease files: the content names the owner pid
+      // (lease.hpp). A dead-owner or malformed claim will never be
+      // released; sweeping it here means a restarted grid starts clean
+      // instead of waiting one lease period per crashed cell. Liveness
+      // only — an alive-but-slow owner's claim is the executor's
+      // lease-period decision, not directory hygiene.
+      const LeaseInfo info = lease_probe(entry.path().string().substr(
+          0, entry.path().string().size() - 6));
+      stale = info.exists && (info.malformed || (::kill(info.owner, 0) != 0 && errno == ESRCH));
     }
     if (stale) {
       std::error_code rm_ec;

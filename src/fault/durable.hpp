@@ -33,11 +33,14 @@ void durable_write(const std::string& path, const std::string& bytes);
 std::string read_file(const std::string& path);
 
 /// Removes stale in-flight tmp files from `dir` (non-recursive): any
-/// `*.tmp` (the legacy shared tmp suffix, which has no owner marker), and
-/// any `*.tmp.<pid>` writer tmp or `*.q.<pid>` quarantine take-file
-/// (exp::ArtifactCache) whose owning process is gone (kill(pid, 0) ==
-/// ESRCH). Live writers keep their files — safe to call while concurrent
-/// runners share the directory. Returns the number of files removed.
+/// `*.tmp` (the legacy shared tmp suffix, which has no owner marker); any
+/// `*.tmp.<pid>` writer tmp, `*.q.<pid>` quarantine/reclaim take-file
+/// (exp::ArtifactCache, fault::lease_try_acquire), or `*.claim.<pid>`
+/// lease source link whose owning process is gone (kill(pid, 0) ==
+/// ESRCH); and any canonical `*.claim` lease whose content-recorded owner
+/// is gone or unparseable (lease.hpp). Live writers and live lease
+/// holders keep their files — safe to call while concurrent runners share
+/// the directory. Returns the number of files removed.
 int clean_stale_tmp(const std::string& dir);
 
 }  // namespace rp::fault

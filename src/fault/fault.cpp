@@ -1,5 +1,8 @@
 #include "fault/fault.hpp"
 
+#include <signal.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <charconv>
 #include <cstdio>
@@ -39,7 +42,7 @@ Point parse_point(const std::string& name, const std::string& spec) {
   }
   throw std::invalid_argument("RP_FAULTS: unknown injection point '" + name + "' in '" + spec +
                               "' (points: write, fsync, rename, read, torn-write, bitflip, "
-                              "crash-write, crash-rename)");
+                              "crash-write, crash-rename, claim, heartbeat, crash-claim)");
 }
 
 int64_t parse_count(const std::string& text, const std::string& spec) {
@@ -86,6 +89,9 @@ const char* point_name(Point p) {
     case Point::kBitflip: return "bitflip";
     case Point::kCrashWrite: return "crash-write";
     case Point::kCrashRename: return "crash-rename";
+    case Point::kClaim: return "claim";
+    case Point::kHeartbeat: return "heartbeat";
+    case Point::kCrashClaim: return "crash-claim";
     case Point::kCount: break;
   }
   return "?";
@@ -157,6 +163,11 @@ int64_t arrival_count(Point p) {
 
 int64_t fired_count(Point p) {
   return g_fired[static_cast<int>(p)].load(std::memory_order_relaxed);
+}
+
+void crash_now() {
+  ::raise(SIGKILL);
+  ::_exit(128 + SIGKILL);  // unreachable unless SIGKILL is somehow blocked
 }
 
 uint64_t mix64(uint64_t x) {

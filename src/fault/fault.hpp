@@ -21,6 +21,7 @@ namespace rp::fault {
 ///   clause    = point [":" trigger]
 ///   point     = "write" | "fsync" | "rename" | "read"
 ///             | "torn-write" | "bitflip" | "crash-write" | "crash-rename"
+///             | "claim" | "heartbeat" | "crash-claim"
 ///   trigger   = "once=N" | "every=N" | "always"      (default: once=1)
 ///
 /// Triggers index the per-point *arrival counter*: `once=N` fires at the
@@ -37,6 +38,9 @@ enum class Point : int {
   kBitflip,      ///< silent: one payload bit flipped, call succeeds
   kCrashWrite,   ///< SIGKILL mid payload write (tmp file left half-written)
   kCrashRename,  ///< SIGKILL after fsync, before the publish rename
+  kClaim,        ///< transient failure while acquiring a lease (lease.hpp)
+  kHeartbeat,    ///< transient failure of a lease heartbeat refresh
+  kCrashClaim,   ///< SIGKILL immediately after winning a lease acquisition
   kCount
 };
 
@@ -69,6 +73,11 @@ bool should_fire(Point p);
 /// Arrivals at / fires of a point since the last configure() (tests).
 int64_t arrival_count(Point p);
 int64_t fired_count(Point p);
+
+/// SIGKILLs the calling process — no unwinding, no atexit, exactly what a
+/// power cut / OOM kill looks like. The crash injection points (kCrashWrite,
+/// kCrashRename, kCrashClaim) all funnel through this.
+[[noreturn]] void crash_now();
 
 /// Deterministic 64-bit mixer (splitmix64 finalizer). The fault layer's own
 /// schedule randomness (e.g. which bit a kBitflip flips at arrival k) goes

@@ -1,0 +1,166 @@
+#include "fault/lease.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "fault/durable.hpp"
+#include "fault/fault.hpp"
+#include "obs/obs.hpp"
+
+namespace rp::fault {
+
+namespace {
+
+/// Same retry budget / backoff shape as durable_write: first try + 3
+/// retries at 1ms, 4ms, 16ms.
+constexpr int kMaxAttempts = 4;
+
+void backoff_sleep(int attempt) {
+  const long us = 1000L << (2 * attempt);
+  ::timespec ts{us / 1000000, (us % 1000000) * 1000};
+  ::nanosleep(&ts, nullptr);
+}
+
+constexpr const char* kLeaseMagic = "RPLEASE1";
+
+std::string lease_record(pid_t pid) {
+  return std::string(kLeaseMagic) + "\n" + std::to_string(pid) + "\n";
+}
+
+int64_t now_ms() {
+  ::timespec ts{};
+  ::clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+/// Parses a claim file already renamed (or linked) to `path`. Claim
+/// contents are always whole — they are published by durable_write's
+/// atomic rename and shared by link(2) — so a short or garbled read means
+/// a foreign/legacy file, which lease_expired treats as stale.
+LeaseInfo parse_claim(const std::string& path) {
+  LeaseInfo info;
+  struct ::stat st{};
+  if (::stat(path.c_str(), &st) != 0) return info;
+  info.exists = true;
+  const int64_t mtime_ms =
+      static_cast<int64_t>(st.st_mtim.tv_sec) * 1000 + st.st_mtim.tv_nsec / 1000000;
+  const int64_t age = now_ms() - mtime_ms;
+  info.age_ms = age < 0 ? 0 : age;
+
+  // Plain (non-injected) read: a claim is lock metadata, not an artifact,
+  // and probes must stay cheap and side-effect free.
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream buf;
+  if (is) buf << is.rdbuf();
+  const std::string text = std::move(buf).str();
+  std::istringstream lines(text);
+  std::string magic, pid_text;
+  std::getline(lines, magic);
+  std::getline(lines, pid_text);
+  bool digits = !pid_text.empty();
+  int64_t pid = 0;
+  for (const char c : pid_text) {
+    digits = digits && std::isdigit(static_cast<unsigned char>(c)) != 0;
+    if (digits) pid = pid * 10 + (c - '0');
+  }
+  if (magic != kLeaseMagic || !digits) {
+    info.malformed = true;
+    return info;
+  }
+  info.owner = static_cast<pid_t>(pid);
+  return info;
+}
+
+bool owner_gone(pid_t pid) { return ::kill(pid, 0) != 0 && errno == ESRCH; }
+
+void remove_quiet(const std::string& path) { ::unlink(path.c_str()); }
+
+}  // namespace
+
+std::string claim_path(const std::string& base) { return base + ".claim"; }
+
+LeaseInfo lease_probe(const std::string& base) { return parse_claim(claim_path(base)); }
+
+bool lease_expired(const LeaseInfo& info, int64_t lease_ms) {
+  if (!info.exists) return false;
+  if (info.malformed) return true;
+  return owner_gone(info.owner) || info.age_ms > lease_ms;
+}
+
+LeaseAcquire lease_try_acquire(const std::string& base, int64_t lease_ms) {
+  const std::string claim = claim_path(base);
+  const std::string src = claim + "." + std::to_string(::getpid());
+  bool reclaimed = false;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      const LeaseInfo info = parse_claim(claim);
+      if (info.exists) {
+        if (!lease_expired(info, lease_ms)) return LeaseAcquire::kHeld;
+        // Take-and-reclaim: rename the stale claim to a pid-unique
+        // take-file so exactly one reclaimer wins, mirroring the cache
+        // quarantine protocol. A failed rename means we lost the race (or
+        // the owner released); either way someone else is making progress
+        // on this cell, so report it held and let the caller poll.
+        const std::string taken = claim + ".q." + std::to_string(::getpid());
+        if (::rename(claim.c_str(), taken.c_str()) != 0) {
+          return LeaseAcquire::kHeld;
+        }
+        // ABA guard: between our probe and the take rename, another
+        // process may have reclaimed the stale claim and acquired a fresh
+        // one — which our rename just stole. Restore it (re-link the taken
+        // inode back; EEXIST means yet another claimant moved in, and the
+        // victim's heartbeat will report the loss either way).
+        const LeaseInfo took = parse_claim(taken);
+        if (!lease_expired(took, lease_ms)) {
+          ::link(taken.c_str(), claim.c_str());
+          remove_quiet(taken);
+          return LeaseAcquire::kHeld;
+        }
+        remove_quiet(taken);
+        reclaimed = true;
+      }
+      if (should_fire(Point::kClaim)) {
+        throw InjectedFault("injected claim fault [" + claim + "]");
+      }
+      durable_write(src, lease_record(::getpid()));
+      if (::link(src.c_str(), claim.c_str()) != 0) {
+        const int err = errno;
+        remove_quiet(src);
+        if (err == EEXIST) return LeaseAcquire::kHeld;  // lost the race
+        throw std::runtime_error("lease: link to " + claim + " failed");
+      }
+      if (should_fire(Point::kCrashClaim)) crash_now();
+      return reclaimed ? LeaseAcquire::kReclaimed : LeaseAcquire::kAcquired;
+    } catch (const InjectedFault& e) {
+      remove_quiet(src);
+      if (attempt + 1 >= kMaxAttempts) {
+        throw std::runtime_error("lease: retries exhausted for " + claim + ": " + e.what());
+      }
+      obs::count(obs::Counter::kIoRetries);
+      backoff_sleep(attempt);
+    }
+  }
+}
+
+bool lease_heartbeat(const std::string& base) {
+  if (should_fire(Point::kHeartbeat)) return false;  // dropped tick
+  return ::utimensat(AT_FDCWD, claim_path(base).c_str(), nullptr, 0) == 0;
+}
+
+void lease_release(const std::string& base) {
+  const std::string claim = claim_path(base);
+  remove_quiet(claim);
+  remove_quiet(claim + "." + std::to_string(::getpid()));
+}
+
+}  // namespace rp::fault

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <sys/types.h>
+
+namespace rp::fault {
+
+/// rp::fault lease files — serverless mutual exclusion over a shared
+/// artifact directory (DESIGN.md "Distributed sweep & leases").
+///
+/// A lease guards one grid cell (one artifact key). The canonical lock name
+/// is `<base>.claim`; acquisition goes through a pid-marked source file so
+/// every step is atomic on POSIX filesystems:
+///
+///   1. durable_write the owner record to `<base>.claim.<pid>` (pid-unique,
+///      so concurrent claimants never clobber each other);
+///   2. ::link it to `<base>.claim` — link(2) fails with EEXIST if any
+///      other claimant already holds the canonical name, so exactly one
+///      process wins no matter how many race.
+///
+/// Ownership while held is advertised two ways: the claim *content* names
+/// the owner pid (liveness probe, mirroring clean_stale_tmp's owner_gone)
+/// and the claim *mtime* is refreshed by lease_heartbeat (staleness probe
+/// for owners that are alive but wedged). A claim is reclaimable when its
+/// owner is certainly gone OR its mtime is older than the lease period.
+/// Reclaim itself is race-safe: the reclaimer atomically renames the
+/// specific stale claim to a pid-unique `.q.<pid>` take-file (exactly one
+/// reclaimer wins the rename; losers see ENOENT and re-probe) before
+/// unlinking it — the same take-and-classify protocol the cache quarantine
+/// uses.
+///
+/// Injection points (fault.hpp): `claim` raises a transient fault inside
+/// acquisition (absorbed by bounded retry), `heartbeat` drops one refresh
+/// tick (the next tick catches up), `crash-claim` SIGKILLs the winner the
+/// instant it holds the lease — the schedule every crashed-worker reclaim
+/// test is built on.
+
+/// Outcome of one lease_try_acquire call.
+enum class LeaseAcquire {
+  kHeld,      ///< another live, fresh owner holds the lease — back off
+  kAcquired,  ///< this process now holds the lease
+  kReclaimed  ///< held, after first reclaiming a dead-owner/expired claim
+};
+
+/// What lease_probe saw at the canonical claim name.
+struct LeaseInfo {
+  bool exists = false;    ///< a canonical claim file is present
+  bool malformed = false; ///< present but unparseable (stale by definition)
+  pid_t owner = 0;        ///< owner pid from the claim content
+  int64_t age_ms = 0;     ///< now - claim mtime, clamped at 0
+};
+
+/// Canonical claim path for a cell (`base + ".claim"`). `base` is the
+/// artifact path the lease guards, so claims live next to their artifacts
+/// and are swept by the same directory hygiene.
+std::string claim_path(const std::string& base);
+
+/// Reads the canonical claim without touching it (tests / diagnostics).
+LeaseInfo lease_probe(const std::string& base);
+
+/// True when the claim at `base` can be reclaimed: malformed, owner gone,
+/// or mtime older than `lease_ms`.
+bool lease_expired(const LeaseInfo& info, int64_t lease_ms);
+
+/// One acquisition attempt (with bounded internal retry of *transient*
+/// faults only — a held lease returns kHeld immediately, it is the
+/// caller's scheduling loop that polls). Reclaims a stale claim first when
+/// it finds one. Throws std::runtime_error on unrecoverable I/O failure.
+LeaseAcquire lease_try_acquire(const std::string& base, int64_t lease_ms);
+
+/// Refreshes the claim mtime to now. Only the owner may call this. Returns
+/// false when the refresh was dropped (injected heartbeat fault or a
+/// vanished claim file — e.g. it was wrongly reclaimed); the caller's next
+/// tick retries.
+bool lease_heartbeat(const std::string& base);
+
+/// Releases a held lease: unlinks the canonical claim and the pid-marked
+/// source link. Idempotent; never throws.
+void lease_release(const std::string& base);
+
+}  // namespace rp::fault

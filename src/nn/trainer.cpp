@@ -62,6 +62,13 @@ class SparseScope {
   bool on_;
 };
 
+/// Working-set hint for the size-hinted mem::Scope: under RP_ARENA=auto a
+/// model this size keeps its per-iteration scratch in the lane pool when it
+/// is tiny, and gets a real arena generation otherwise.
+std::size_t arena_hint(const Network& net) {
+  return static_cast<std::size_t>(net.param_count()) * sizeof(float);
+}
+
 }  // namespace
 
 void train(Network& net, const data::Dataset& ds, const TrainConfig& cfg) {
@@ -70,6 +77,7 @@ void train(Network& net, const data::Dataset& ds, const TrainConfig& cfg) {
   Sgd opt(net.params(), cfg.sgd);
   const int64_t n = ds.size();
   const bool seg = ds.segmentation();
+  const std::size_t hint = arena_hint(net);
   obs::count(obs::Counter::kTrainSamples, n * cfg.epochs);
 
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
@@ -83,7 +91,7 @@ void train(Network& net, const data::Dataset& ds, const TrainConfig& cfg) {
       // below (batch staging, activations, gradients) dies before the scope
       // resets, so steady-state iterations never touch the heap.
       const obs::Span arena_span("mem.arena");
-      const mem::Scope arena_scope;
+      const mem::Scope arena_scope(hint);
       const int64_t end = std::min<int64_t>(start + cfg.batch_size, n);
       std::span<const int64_t> idx(order.data() + start, static_cast<size_t>(end - start));
       data::Batch batch =
@@ -134,6 +142,7 @@ EvalResult evaluate(Network& net, const data::Dataset& ds, int batch_size) {
   const int shards = parallel::shard_count(nbatches);
   ShardNets nets(net, shards);
   const SparseScope sparse_scope(net, nets);
+  const std::size_t hint = arena_hint(net);
   parallel::run_shards(shards, nbatches, [&](int s, int64_t b0, int64_t b1) {
     Network& worker = nets[s];
     std::vector<int64_t, mem::ScratchAllocator<int64_t>> idx{
@@ -152,7 +161,7 @@ EvalResult evaluate(Network& net, const data::Dataset& ds, int batch_size) {
       // Per-batch arena generation on this lane: batch staging, activations,
       // and loss gradients all die before the reset below.
       const obs::Span arena_span("mem.arena");
-      const mem::Scope arena_scope;
+      const mem::Scope arena_scope(hint);
       data::Batch batch = data::make_batch(ds, idx);
 
       auto logits = worker.forward(batch.images, /*train=*/false);
@@ -212,6 +221,7 @@ Tensor predict(Network& net, const Tensor& images, int batch_size) {
   const int shards = parallel::shard_count(nbatches - 1);
   ShardNets nets(net, shards);
   const SparseScope sparse_scope(net, nets);
+  const std::size_t hint = arena_hint(net);
 
   const int64_t rowsz = images.numel() / n;
   const float* src = images.data().data();
@@ -224,7 +234,7 @@ Tensor predict(Network& net, const Tensor& images, int batch_size) {
   int64_t lrow = 0;
   {
     const obs::Span arena_span("mem.arena");
-    const mem::Scope arena_scope;
+    const mem::Scope arena_scope(hint);
     const int64_t end = std::min<int64_t>(batch_size, n);
     Tensor chunk = Tensor::scratch_copy(
         Shape{end, images.size(1), images.size(2), images.size(3)}, src);
@@ -245,7 +255,7 @@ Tensor predict(Network& net, const Tensor& images, int batch_size) {
       // Per-batch arena generation on this lane; batch `b` owns rows
       // [b*batch_size, end) of `out`, disjoint across shards.
       const obs::Span arena_span("mem.arena");
-      const mem::Scope arena_scope;
+      const mem::Scope arena_scope(hint);
       const int64_t start = b * batch_size;
       const int64_t end = std::min<int64_t>(start + batch_size, n);
       Tensor chunk = Tensor::scratch_copy(
@@ -269,6 +279,7 @@ void profile_activations(Network& net, const data::Dataset& ds, int64_t max_samp
   const int shards = parallel::shard_count(nchunks);
   ShardNets nets(net, shards);
   const SparseScope sparse_scope(net, nets);
+  const std::size_t hint = arena_hint(net);
   net.set_profiling(true);
   for (auto& c : nets.clones()) c->set_profiling(true);
 
@@ -284,7 +295,7 @@ void profile_activations(Network& net, const data::Dataset& ds, int64_t max_samp
       idx.resize(static_cast<size_t>(end - start));  // rp-lint: allow(R12) index scratch reused across chunks; grows to chunk size once, through the lane pool
       std::iota(idx.begin(), idx.end(), start);
       const obs::Span arena_span("mem.arena");
-      const mem::Scope arena_scope;
+      const mem::Scope arena_scope(hint);
       data::Batch batch = data::make_batch(ds, idx);
       worker.forward(batch.images, /*train=*/false);
     }

@@ -203,6 +203,10 @@ const char* counter_name(Counter c) {
     case Counter::kServeRequests: return "serve.requests";
     case Counter::kServeBatches: return "serve.batches";
     case Counter::kServeRejects: return "serve.rejects";
+    case Counter::kSchedCellsClaimed: return "sched.cells_claimed";
+    case Counter::kSchedCellsReclaimed: return "sched.cells_reclaimed";
+    case Counter::kSchedRetries: return "sched.retries";
+    case Counter::kSchedPoisoned: return "sched.poisoned";
     case Counter::kSpans: return "trace.spans";
     case Counter::kSpansDropped: return "trace.spans_dropped";
     case Counter::kCount: break;

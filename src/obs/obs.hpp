@@ -51,6 +51,10 @@ enum class Counter : int {
   kServeRequests,       ///< requests admitted by the serving engine
   kServeBatches,        ///< coalesced batches the serving engine executed
   kServeRejects,        ///< requests rejected by admission control (queue full)
+  kSchedCellsClaimed,   ///< grid cells this process claimed and ran (sched)
+  kSchedCellsReclaimed, ///< stale/dead-owner leases reclaimed before a claim
+  kSchedRetries,        ///< failed cell executions retried with backoff
+  kSchedPoisoned,       ///< cells poisoned after the retry budget (grid holes)
   kSpans,               ///< trace spans recorded
   kSpansDropped,        ///< spans dropped after the trace buffer cap
   kCount

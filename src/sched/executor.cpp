@@ -1,0 +1,310 @@
+#include "sched/executor.hpp"
+
+#include <time.h>
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>  // rp-lint: allow(R2) the lease heartbeat is a long-lived control thread; all compute parallelism stays in rp::parallel
+
+#include "fault/durable.hpp"
+#include "fault/lease.hpp"
+#include "obs/obs.hpp"
+#include "tensor/envspec.hpp"
+#include "tensor/parallel.hpp"
+
+namespace rp::sched {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void sleep_ms(int64_t ms) {
+  ::timespec ts{ms / 1000, (ms % 1000) * 1000000};
+  ::nanosleep(&ts, nullptr);
+}
+
+int64_t env_knob(const char* var, int64_t fallback, int64_t min, int64_t max) {
+  const char* text = std::getenv(var);
+  if (text == nullptr) return fallback;
+  return env::die_on_bad_spec([&] { return env::parse_int_spec(var, text, min, max); });
+}
+
+/// Refreshes the mtime of every currently-held claim so a long-running
+/// cell is not reclaimed out from under its live owner. One long-lived
+/// control thread per Executor::run, ticking at lease_ms/4; a dropped tick
+/// (injected heartbeat fault, transient FS hiccup) is caught up by the
+/// next one well inside the lease period.
+class HeartbeatRegistry {
+ public:
+  explicit HeartbeatRegistry(int64_t lease_ms)
+      : interval_ms_(std::max<int64_t>(10, lease_ms / 4)) {
+    ticker_ = std::thread([this] { tick_loop(); });  // rp-lint: allow(R2) one long-lived heartbeat thread; all compute parallelism stays in rp::parallel
+  }
+
+  ~HeartbeatRegistry() {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    ticker_.join();
+  }
+
+  void track(std::string base) {
+    std::lock_guard<std::mutex> lock(m_);
+    held_.push_back(std::move(base));
+  }
+
+  void remove(const std::string& base) {
+    std::lock_guard<std::mutex> lock(m_);
+    held_.erase(std::remove(held_.begin(), held_.end(), base), held_.end());
+  }
+
+ private:
+  void tick_loop() {
+    std::unique_lock<std::mutex> lock(m_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_), [this] { return stop_; });
+      if (stop_) return;
+      // Copy out so the filesystem touch happens unlocked — add/remove on
+      // the scheduling thread must never wait on I/O.
+      const std::vector<std::string> held = held_;
+      lock.unlock();
+      for (const std::string& base : held) fault::lease_heartbeat(base);
+      lock.lock();
+    }
+  }
+
+  const int64_t interval_ms_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::vector<std::string> held_;
+  bool stop_ = false;
+  std::thread ticker_;  // rp-lint: allow(R2) single long-lived heartbeat ticker; compute runs on rp::parallel
+};
+
+constexpr const char* kPoisonMagic = "RPPOISON1";
+
+/// Reads the human-readable reason out of a poison marker (metadata, not
+/// an artifact — plain uninjected read, empty on any problem).
+std::string poison_reason(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream buf;
+  if (is) buf << is.rdbuf();
+  std::string text = std::move(buf).str();
+  if (text.rfind(kPoisonMagic, 0) == 0) text.erase(0, std::string(kPoisonMagic).size());
+  while (!text.empty() && (text.front() == '\n' || text.front() == ' ')) text.erase(0, 1);
+  while (!text.empty() && text.back() == '\n') text.pop_back();
+  return text;
+}
+
+}  // namespace
+
+Config Config::from_env() {
+  Config cfg;
+  cfg.workers = static_cast<int>(env_knob("RP_WORKERS", cfg.workers, 1, 4096));
+  cfg.lease_ms = env_knob("RP_LEASE_MS", cfg.lease_ms, 50, 3600000);
+  cfg.cell_retries = static_cast<int>(env_knob("RP_CELL_RETRIES", cfg.cell_retries, 0, 100));
+  cfg.poll_ms = env_knob("RP_POLL_MS", cfg.poll_ms, 0, 60000);
+  return cfg;
+}
+
+bool Report::complete() const {
+  for (const CellStatus s : status) {
+    if (s != CellStatus::kDone) return false;
+  }
+  return true;
+}
+
+int Report::holes() const {
+  int n = 0;
+  for (const CellStatus s : status) {
+    n += (s == CellStatus::kPoisoned || s == CellStatus::kSkipped) ? 1 : 0;
+  }
+  return n;
+}
+
+std::string poison_path(const std::string& claim_base) { return claim_base + ".poison"; }
+
+Executor::Executor(Config cfg) : cfg_(cfg) {
+  if (cfg_.workers < 1) cfg_.workers = 1;
+  if (cfg_.lease_ms < 50) cfg_.lease_ms = 50;
+  if (cfg_.cell_retries < 0) cfg_.cell_retries = 0;
+  if (cfg_.poll_ms <= 0) cfg_.poll_ms = std::clamp<int64_t>(cfg_.lease_ms / 10, 10, 250);
+}
+
+Report Executor::run(const TaskGraph& graph) {
+  const obs::Span run_span("sched.run");
+  const int n = graph.size();
+  Report report;
+  report.status.assign(static_cast<size_t>(n), CellStatus::kPending);
+  report.note.assign(static_cast<size_t>(n), std::string());
+  std::vector<int> attempts(static_cast<size_t>(n), 0);
+  if (n == 0) return report;
+
+  HeartbeatRegistry heartbeat(cfg_.lease_ms);
+
+  for (;;) {
+    // -- Wave step 1: one forward probe pass. Deps always point backwards,
+    // so a single pass propagates completions and failures fully.
+    bool progress = false;
+    int pending = 0;
+    std::vector<int> ready_local;
+    std::vector<int> ready_shared;
+    for (int i = 0; i < n; ++i) {
+      if (report.status[i] != CellStatus::kPending) continue;
+      const Node& nd = graph.node(i);
+      bool deps_done = true;
+      bool deps_failed = false;
+      for (const int dep : nd.deps) {
+        deps_done = deps_done && report.status[dep] == CellStatus::kDone;
+        deps_failed = deps_failed || report.status[dep] == CellStatus::kPoisoned ||
+                      report.status[dep] == CellStatus::kSkipped;
+      }
+      if (deps_failed) {
+        report.status[i] = CellStatus::kSkipped;
+        // Carry the root cause through skip chains so a grid hole's note
+        // names the poisoned cell, not just its nearest dependent.
+        for (const int dep : nd.deps) {
+          if (report.status[dep] == CellStatus::kPoisoned ||
+              report.status[dep] == CellStatus::kSkipped) {
+            report.note[i] = "upstream " + graph.node(dep).label + ": " + report.note[dep];
+            break;
+          }
+        }
+        progress = true;
+        continue;
+      }
+      if (!deps_done) {
+        ++pending;
+        continue;
+      }
+      if (nd.done && nd.done()) {
+        report.status[i] = CellStatus::kDone;
+        progress = true;
+        continue;
+      }
+      if (!nd.claim_base.empty() && fs::exists(poison_path(nd.claim_base))) {
+        report.status[i] = CellStatus::kPoisoned;
+        report.note[i] = poison_reason(poison_path(nd.claim_base));
+        progress = true;
+        continue;
+      }
+      ++pending;
+      (nd.claim_base.empty() ? ready_local : ready_shared).push_back(i);
+    }
+    if (pending == 0) break;
+
+    // -- Wave step 2: driver-local nodes (table reduces) run inline on the
+    // submitting thread in node-id order — the deterministic reduction
+    // order no amount of sharding may disturb.
+    for (const int i : ready_local) {
+      const Node& nd = graph.node(i);
+      try {
+        const obs::Span cell_span("sched.cell");
+        nd.run();
+        report.status[i] = CellStatus::kDone;
+      } catch (const std::exception& e) {
+        if (++attempts[i] > cfg_.cell_retries) {
+          report.status[i] = CellStatus::kPoisoned;
+          report.note[i] = e.what();
+          obs::count(obs::Counter::kSchedPoisoned);
+        } else {
+          report.note[i] = e.what();
+          obs::count(obs::Counter::kSchedRetries);
+        }
+      }
+      progress = true;
+    }
+
+    // -- Wave step 3: try-claim ready shared cells in id order. kHeld means
+    // a live foreign owner is on it — poll, never spin.
+    std::vector<int> claimed;
+    for (const int i : ready_shared) {
+      const Node& nd = graph.node(i);
+      const fault::LeaseAcquire r = fault::lease_try_acquire(nd.claim_base, cfg_.lease_ms);
+      if (r == fault::LeaseAcquire::kHeld) continue;
+      if (r == fault::LeaseAcquire::kReclaimed) {
+        obs::count(obs::Counter::kSchedCellsReclaimed);
+      }
+      obs::count(obs::Counter::kSchedCellsClaimed);
+      // The previous owner may have published between our done() probe and
+      // the claim — re-probe before spending compute.
+      if (nd.done && nd.done()) {
+        fault::lease_release(nd.claim_base);
+        report.status[i] = CellStatus::kDone;
+        progress = true;
+        continue;
+      }
+      heartbeat.track(nd.claim_base);
+      claimed.push_back(i);
+    }
+
+    // -- Wave step 4: run the claimed cells over the pool, at most
+    // `workers` at a time. Compute inside a cell observes itself nested
+    // and runs serial, so every artifact is bit-identical to a serial run.
+    if (!claimed.empty()) {
+      const int shards = std::min<int>(cfg_.workers, static_cast<int>(claimed.size()));
+      std::vector<std::string> error(claimed.size());
+      std::vector<char> ok(claimed.size(), 0);
+      parallel::run_shards(shards, static_cast<int64_t>(claimed.size()),
+                           [&](int, int64_t begin, int64_t end) {
+                             for (int64_t k = begin; k < end; ++k) {
+                               const obs::Span cell_span("sched.cell");
+                               try {
+                                 graph.node(claimed[static_cast<size_t>(k)]).run();
+                                 ok[static_cast<size_t>(k)] = 1;
+                               } catch (const std::exception& e) {
+                                 error[static_cast<size_t>(k)] = e.what();
+                               } catch (...) {
+                                 error[static_cast<size_t>(k)] = "unknown error";
+                               }
+                             }
+                           });
+      bool any_failed = false;
+      for (size_t k = 0; k < claimed.size(); ++k) {
+        const int i = claimed[k];
+        const Node& nd = graph.node(i);
+        heartbeat.remove(nd.claim_base);
+        if (ok[k] != 0) {
+          report.status[i] = CellStatus::kDone;
+        } else if (++attempts[i] > cfg_.cell_retries) {
+          // Retry budget spent: quarantine the cell durably so every
+          // process (now and later) degrades to reporting the hole
+          // instead of re-failing or crashing.
+          fault::durable_write(poison_path(nd.claim_base),
+                               std::string(kPoisonMagic) + "\n" + nd.label + "\n" + error[k] +
+                                   "\n");
+          report.status[i] = CellStatus::kPoisoned;
+          report.note[i] = nd.label + ": " + error[k];
+          obs::count(obs::Counter::kSchedPoisoned);
+        } else {
+          report.note[i] = error[k];
+          obs::count(obs::Counter::kSchedRetries);
+          any_failed = true;
+        }
+        fault::lease_release(nd.claim_base);
+      }
+      progress = true;
+      if (any_failed) {
+        // Bounded backoff before the failing cells' next attempt.
+        sleep_ms(std::min<int64_t>(cfg_.poll_ms, 100));
+      }
+    }
+
+    // -- Blocked entirely on foreign progress (their leases, their deps):
+    // sleep one poll interval, then re-probe. A crashed owner surfaces as
+    // an expired/dead-pid lease within one lease period.
+    if (!progress && claimed.empty()) sleep_ms(cfg_.poll_ms);
+  }
+
+  return report;
+}
+
+}  // namespace rp::sched

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/graph.hpp"
+
+namespace rp::sched {
+
+/// Executor — runs a TaskGraph to completion across threads *and*
+/// processes, tolerating SIGKILLed workers and repeatedly-failing cells
+/// (DESIGN.md "Distributed sweep & leases").
+///
+/// Scheduling is wave-based. Each wave: (1) re-probe every pending node —
+/// dependency-failed nodes become kSkipped, done() nodes become kDone
+/// (this is how foreign processes' progress is observed), poisoned-marker
+/// nodes become kPoisoned; (2) execute ready driver-local nodes inline in
+/// node-id order (deterministic reduction); (3) try-claim each ready
+/// shared node via fault::lease_try_acquire and run the claimed ones over
+/// the rp::parallel pool, at most `workers` concurrently; (4) release the
+/// leases, retrying failures with backoff until the retry budget is spent,
+/// at which point the cell is poisoned (a durable `.poison` marker beside
+/// its artifact) and its dependents degrade to kSkipped holes. When a wave
+/// makes no progress because every ready cell is leased to a live foreign
+/// owner, the executor sleeps one poll interval and re-probes — a crashed
+/// owner's lease expires (dead-pid probe or stale heartbeat mtime) and is
+/// reclaimed, so a killed worker never wedges the grid.
+///
+/// A lease-holding worker refreshes its claims' mtimes from one long-lived
+/// heartbeat thread (the serve-dispatcher idiom) every lease_ms/4, so a
+/// cell legitimately running longer than the lease period is not reclaimed
+/// out from under a live owner.
+
+/// Terminal state of each node after Executor::run.
+enum class CellStatus {
+  kPending,   ///< not terminal (only ever observed mid-run)
+  kDone,      ///< artifact published (by this process or any other)
+  kPoisoned,  ///< failed past the retry budget; durable marker written
+  kSkipped    ///< a dependency was poisoned/skipped — reported hole
+};
+
+/// Executor knobs; from_env() applies the strict parse-or-exit(2)
+/// convention (rp::env::parse_int_spec) to RP_WORKERS / RP_LEASE_MS /
+/// RP_CELL_RETRIES.
+struct Config {
+  /// Max shared cells this process runs concurrently (RP_WORKERS). The
+  /// cells execute on the rp::parallel pool; compute inside a cell sees
+  /// itself nested and runs serial, preserving bit-identity.
+  int workers = 1;
+  /// Lease period in ms (RP_LEASE_MS): a claim whose owner is dead, or
+  /// whose heartbeat-refreshed mtime is older than this, is reclaimable.
+  int64_t lease_ms = 10000;
+  /// Retries after a cell's first failed attempt before it is poisoned
+  /// (RP_CELL_RETRIES). 0 means one attempt total.
+  int cell_retries = 2;
+  /// Sleep between waves when blocked on foreign leases; 0 derives
+  /// lease_ms/10 clamped to [10, 250] ms.
+  int64_t poll_ms = 0;
+
+  static Config from_env();
+};
+
+/// Outcome of one Executor::run, indexed by node id.
+struct Report {
+  std::vector<CellStatus> status;
+  std::vector<std::string> note;  ///< failure text for poisoned/skipped nodes
+
+  /// True when every node is kDone.
+  bool complete() const;
+  /// Poisoned + skipped nodes — the holes a degraded grid reports.
+  int holes() const;
+};
+
+/// Durable poison-marker path for a cell (`claim_base + ".poison"`). The
+/// marker outlives the writing process by design: a cell that failed its
+/// whole retry budget is treated as a grid hole by every later run until
+/// an operator removes the marker (or the artifact itself is published).
+std::string poison_path(const std::string& claim_base);
+
+class Executor {
+ public:
+  explicit Executor(Config cfg);
+
+  /// Runs `graph` until no node is pending. Returns the per-node report;
+  /// never throws on cell failure (that is what poisoning is for), only on
+  /// executor-level invariant violations.
+  Report run(const TaskGraph& graph);
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace rp::sched

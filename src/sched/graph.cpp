@@ -1,0 +1,24 @@
+#include "sched/graph.hpp"
+
+#include <stdexcept>
+
+namespace rp::sched {
+
+int TaskGraph::add_node(Node n) {
+  const int id = static_cast<int>(nodes_.size());
+  if (!n.run) {
+    throw std::invalid_argument("sched: node '" + n.label + "' (id " + std::to_string(id) +
+                                ") has no run step");
+  }
+  for (const int dep : n.deps) {
+    if (dep < 0 || dep >= id) {
+      throw std::invalid_argument("sched: node '" + n.label + "' (id " + std::to_string(id) +
+                                  ") depends on out-of-range id " + std::to_string(dep) +
+                                  " (deps must name earlier nodes)");
+    }
+  }
+  nodes_.push_back(std::move(n));
+  return id;
+}
+
+}  // namespace rp::sched

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rp::sched {
+
+/// rp::sched — dependency-graph execution over the artifact cache
+/// (DESIGN.md "Distributed sweep & leases").
+///
+/// A TaskGraph describes one experiment grid as nodes (train /
+/// prune-retrain-cycle / eval / table-reduce steps) connected by artifact
+/// dependencies. The graph carries no tensors and no results — every node
+/// publishes through the ArtifactCache and probes completion through it,
+/// which is what lets N processes execute the same graph concurrently with
+/// the cache directory as the only coordination substrate.
+
+/// One schedulable step.
+struct Node {
+  /// Human-readable step name for spans, poison records, and error text.
+  std::string label;
+
+  /// Artifact path this cell's lease and poison marker hang off
+  /// (`ArtifactCache::claim_base(key)`). Empty marks a *driver-local* node
+  /// (table reduces): never shared, never claimed, always executed inline
+  /// on the submitting thread in node-id order — the deterministic
+  /// reduction order of the grid.
+  std::string claim_base;
+
+  /// Fast completion probe ("is the artifact already published, whole and
+  /// non-empty?"). Null means the node is never already-done. The executor
+  /// re-probes on every scheduling wave, which is how work finished by
+  /// *other* processes is observed without any messaging.
+  std::function<bool()> done;
+
+  /// Computes and publishes the cell. Must be deterministic (the same bits
+  /// regardless of which process/thread runs it — the repo-wide
+  /// bit-identity contract) and idempotent under republish (durable_write
+  /// renames atomically, and identical bytes make a double publish
+  /// harmless). Throwing counts as a failed attempt toward the retry
+  /// budget.
+  std::function<void()> run;
+
+  /// Ids of nodes whose artifacts this node consumes. Each must be < this
+  /// node's id, so every TaskGraph is acyclic by construction.
+  std::vector<int> deps;
+};
+
+class TaskGraph {
+ public:
+  /// Appends a node and returns its id. Throws std::invalid_argument when
+  /// `run` is null or a dep is out of range (>= the new id) — the
+  /// deps-point-backwards rule is what stands in for cycle detection.
+  int add_node(Node n);
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  const Node& node(int id) const { return nodes_[static_cast<size_t>(id)]; }
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace rp::sched

@@ -263,7 +263,8 @@ void Engine::run_batch(const Variant& variant, const std::vector<int>& group) {
   // forward-pass temporary die before the scope resets — steady-state
   // serving never touches the heap (the response rows live in per-slot
   // buffers that grew once).
-  const mem::Scope arena_scope;
+  const mem::Scope arena_scope(
+      static_cast<std::size_t>(variant.net->param_count()) * sizeof(float));
   Tensor batch = Tensor::scratch(Shape{k, t.in_c, t.in_h, t.in_w});
   float* bd = batch.data().data();
   for (int64_t i = 0; i < k; ++i) {

@@ -228,7 +228,15 @@ bool poison_enabled() {
 // ---------------------------------------------------------------------------
 // Scope
 
-Scope::Scope() : chunk_(0), used_(0) {
+// The unhinted scope is always active: a hint exactly at the threshold is
+// the smallest hint auto keeps, so delegating with it preserves behavior.
+Scope::Scope() : Scope(kAutoArenaMinBytes) {}
+
+Scope::Scope(std::size_t model_bytes_hint)
+    : active_(!(mode() == Mode::kAuto && model_bytes_hint < kAutoArenaMinBytes)),
+      chunk_(0),
+      used_(0) {
+  if (!active_) return;  // inert: lane pool serves this iteration's scratch
   Lane& l = lane();
   chunk_ = l.cur;
   used_ = l.cur < l.chunks.size() ? l.chunks[l.cur].used : 0;
@@ -236,6 +244,7 @@ Scope::Scope() : chunk_(0), used_(0) {
 }
 
 Scope::~Scope() {
+  if (!active_) return;
   Lane& l = lane();
   arena_reset_to(l, chunk_, used_);
   --l.depth;

@@ -27,9 +27,12 @@
 // that reach steady state after the first batch and then recycle forever.
 //
 // Selection: RP_ARENA=off forces plain heap tensors everywhere (the exact
-// pre-engine behavior), =on/=auto enable the engine (auto is reserved for
-// future size heuristics and currently equals on). Mirrors the RP_SIMD /
-// RP_SPARSE escape hatches.
+// pre-engine behavior), =on enables the engine unconditionally, and =auto
+// (the default) enables it with a size heuristic: a Scope constructed with a
+// model-size hint below kAutoArenaMinBytes stays inert, so tiny models skip
+// the arena's chunk reservation and run off the lane pool, which reaches
+// steady state after the first batch anyway. Mirrors the RP_SIMD / RP_SPARSE
+// escape hatches; every mode is bit-identical by construction.
 namespace rp::mem {
 
 // ---------------------------------------------------------------------------
@@ -60,6 +63,12 @@ inline bool engine_on() { return mode() != Mode::kOff; }
 // ---------------------------------------------------------------------------
 // Scope — RAII iteration boundary.
 
+/// RP_ARENA=auto activation threshold. A model whose parameters fit in less
+/// than this keeps its whole working set inside a handful of pool buckets;
+/// reserving a >= 1 MiB arena chunk per lane for it is pure overhead. Models
+/// at or above the threshold get the arena exactly as under =on.
+inline constexpr std::size_t kAutoArenaMinBytes = std::size_t{64} << 10;  // 64 KiB
+
 /// Marks the calling lane's arena on construction and resets it on
 /// destruction, reclaiming every scratch tensor bumped in between in O(1).
 /// Scopes nest (inner scopes reclaim only their own suffix); each lane's
@@ -72,11 +81,22 @@ inline bool engine_on() { return mode() != Mode::kOff; }
 class Scope {
  public:
   Scope();
+
+  /// Size-hinted scope: `model_bytes_hint` approximates the iteration's
+  /// working set (callers pass param_count() * sizeof(float)). Under
+  /// RP_ARENA=auto a hint below kAutoArenaMinBytes leaves the scope inert —
+  /// scratch on this lane routes through the lane pool instead of bumping an
+  /// arena generation, and the destructor resets nothing. Under =on/=off the
+  /// hint is ignored. Inert or not, scratch acquisition zero-fills the same
+  /// way, so results are bit-identical across the threshold.
+  explicit Scope(std::size_t model_bytes_hint);
+
   ~Scope();
   Scope(const Scope&) = delete;
   Scope& operator=(const Scope&) = delete;
 
  private:
+  bool active_;        ///< false: inert auto-mode scope, no mark/reset
   std::size_t chunk_;  ///< arena watermark: active chunk index...
   std::size_t used_;   ///< ...and bump offset inside it at entry
 };

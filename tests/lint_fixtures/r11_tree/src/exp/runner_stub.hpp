@@ -1,0 +1,5 @@
+// R11 fixture: stands in for the exp layer so sched/bad_up.hpp has a real
+// upward target to include.
+#pragma once
+
+inline int runner_stub() { return 7; }

@@ -1,0 +1,7 @@
+// R11 fixture: sched sits below exp in the layer DAG, so this include is an
+// upward edge and must fail the layering check (asserted at line 5).
+#pragma once
+
+#include "exp/runner_stub.hpp"
+
+inline int sched_bad_up() { return runner_stub(); }

@@ -1,0 +1,82 @@
+// Child binary of the distributed-scheduler tests (test_sched.cpp). Two
+// modes, selected by argv[1]:
+//
+//   sweep CACHE_DIR
+//     Runs one tiny PRUNERETRAIN sweep against the shared cache directory,
+//     exactly like fault_sweep_child. Any number of these children may share
+//     the directory: the sched executor shards the cycle chain across them
+//     via lease files. RP_FAULTS / RP_LEASE_MS / RP_WORKERS arrive through
+//     the environment; exit 0 iff the child observed the complete family.
+//
+//   claim CACHE_DIR NAME [HOLD_MS]
+//     Waits for CACHE_DIR/go to appear (start barrier, <= 5 s), then makes
+//     one lease_try_acquire attempt on CACHE_DIR/NAME, prints the outcome
+//     ("acquired" / "reclaimed" / "held") and holds the lease for HOLD_MS
+//     before exiting WITHOUT releasing — the parent inspects the claim a
+//     dead owner leaves behind. With RP_FAULTS=crash-claim:once=1 this is
+//     the SIGKILLed-owner scenario: the process dies the instant it wins.
+
+#include <time.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "exp/runner.hpp"
+#include "fault/lease.hpp"
+#include "nn/models.hpp"
+
+namespace {
+
+void sleep_ms(long ms) {
+  ::timespec ts{ms / 1000, (ms % 1000) * 1000000};
+  ::nanosleep(&ts, nullptr);
+}
+
+int run_sweep(const std::string& dir) {
+  // Keep in sync with sched_matrix_scale() in test_sched.cpp (and the
+  // FaultMatrix scale): a mismatch trips the Runner's fingerprint guard
+  // instead of testing recovery.
+  rp::exp::ExperimentScale s;
+  s.reps = 1;
+  s.train_n = 96;
+  s.test_n = 48;
+  s.epochs = 2;
+  s.retrain_epochs = 1;
+  s.cycles = 4;
+  s.keep_per_cycle = 0.6;
+  s.profile_samples = 32;
+
+  rp::exp::ArtifactCache cache(dir);
+  rp::exp::Runner runner(s, cache);
+  const auto family =
+      runner.sweep("resnet8", rp::nn::synth_cifar_task(), rp::core::PruneMethod::WT, 0);
+  return family.size() == static_cast<size_t>(s.cycles) ? 0 : 1;
+}
+
+int run_claim(const std::string& dir, const std::string& name, long hold_ms) {
+  std::filesystem::create_directories(dir);
+  // Start barrier: the parent launches every contender first, then touches
+  // `go`, so the acquisition attempts genuinely overlap.
+  const std::string go = dir + "/go";
+  for (int i = 0; i < 500 && !std::filesystem::exists(go); ++i) sleep_ms(10);
+  const auto r = rp::fault::lease_try_acquire(dir + "/" + name, /*lease_ms=*/10000);
+  std::printf("%s\n", r == rp::fault::LeaseAcquire::kAcquired    ? "acquired"
+                      : r == rp::fault::LeaseAcquire::kReclaimed ? "reclaimed"
+                                                                 : "held");
+  std::fflush(stdout);
+  if (r != rp::fault::LeaseAcquire::kHeld) sleep_ms(hold_ms);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "";
+  if (mode == "sweep" && argc == 3) return run_sweep(argv[2]);
+  if (mode == "claim" && (argc == 4 || argc == 5)) {
+    return run_claim(argv[2], argv[3], argc == 5 ? std::atol(argv[4]) : 0);
+  }
+  std::fprintf(stderr, "usage: sched_worker_child sweep CACHE_DIR | claim CACHE_DIR NAME [HOLD_MS]\n");
+  return 2;
+}

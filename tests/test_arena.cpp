@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "data/synth.hpp"
+#include "nn/layers.hpp"
 #include "nn/models.hpp"
 #include "nn/network.hpp"
 #include "nn/trainer.hpp"
@@ -182,6 +183,107 @@ TEST(ArenaRouting, ScopeActiveTracksLaneDepth) {
     EXPECT_TRUE(mem::scope_active());
   }
   EXPECT_FALSE(mem::scope_active());
+}
+
+// ---------------------------------------------------------------------------
+// RP_ARENA=auto size heuristic: tiny models skip the arena, big ones get it
+
+/// A one-layer linear head whose parameters sit well below
+/// kAutoArenaMinBytes — the model the auto heuristic should run pool-only.
+nn::NetworkPtr tiny_linear_net() {
+  const auto task = nn::synth_cifar_task();
+  Rng rng(11);
+  auto root = std::make_unique<nn::Sequential>("tiny_fc");
+  root->add(std::make_unique<nn::Flatten>());
+  root->add(std::make_unique<nn::Linear>("fc", task.in_c * task.in_h * task.in_w,
+                                         task.num_classes, /*use_bias=*/true, rng));
+  return std::make_unique<nn::Network>("tiny_fc", task, std::move(root));
+}
+
+TEST(ArenaAuto, TinyHintedScopeIsInertThresholdHintIsNot) {
+  ArenaGuard guard;
+  mem::force(mem::Mode::kAuto);
+  mem::release_lane();
+  {
+    const mem::Scope tiny(mem::kAutoArenaMinBytes - 1);
+    EXPECT_FALSE(mem::scope_active());  // inert: no generation opened
+    Tensor t = Tensor::scratch(Shape{128});
+    for (float v : t.data()) EXPECT_EQ(v, 0.0f);  // zero-filled exactly like arena scratch
+    EXPECT_EQ(mem::lane_stats().arena_used, 0u);  // routed to the lane pool
+  }
+  EXPECT_EQ(mem::lane_stats().pool_buffers, 1u);
+  {
+    const mem::Scope big(mem::kAutoArenaMinBytes);  // at the threshold: kept
+    EXPECT_TRUE(mem::scope_active());
+    Tensor t = Tensor::scratch(Shape{128});
+    EXPECT_GT(mem::lane_stats().arena_used, 0u);
+  }
+  EXPECT_EQ(mem::lane_stats().arena_used, 0u);
+  mem::release_lane();
+}
+
+TEST(ArenaAuto, HintIsIgnoredUnderForcedOn) {
+  ArenaGuard guard;
+  mem::force(mem::Mode::kOn);
+  mem::release_lane();
+  {
+    const mem::Scope tiny(1);
+    EXPECT_TRUE(mem::scope_active());
+    Tensor t = Tensor::scratch(Shape{128});
+    EXPECT_GT(mem::lane_stats().arena_used, 0u);
+  }
+  mem::release_lane();
+}
+
+TEST(ArenaAuto, RegisteredArchesSitAboveTheAutoThreshold) {
+  // The suite's conv nets must keep their arena under RP_ARENA=auto — if an
+  // architecture shrinks below the threshold this loudly flags that the
+  // steady-state expectations now ride the pool instead.
+  const auto task = nn::synth_cifar_task();
+  for (const std::string& arch : nn::classification_archs()) {
+    const auto net = nn::build_network(arch, task, 1);
+    EXPECT_GE(static_cast<std::size_t>(net->param_count()) * sizeof(float),
+              mem::kAutoArenaMinBytes)
+        << arch;
+  }
+}
+
+TEST(ArenaAuto, TinyModelTrainsBitIdenticalAcrossTheThreshold) {
+  ArenaGuard arena_guard;
+  SparseGuard sparse_guard;
+  ThreadGuard thread_guard;
+  parallel::set_num_threads(1);
+  sparse::force(sparse::Mode::kOff);
+  const auto ds = tiny_ds();
+
+  // Reference: engine off — the exact pre-engine path.
+  mem::force(mem::Mode::kOff);
+  auto ref = tiny_linear_net();
+  ASSERT_LT(static_cast<std::size_t>(ref->param_count()) * sizeof(float),
+            mem::kAutoArenaMinBytes);
+  nn::train(*ref, *ds, tiny_config());
+  const auto ref_state = state_bits(*ref);
+  const nn::EvalResult ref_eval = nn::evaluate(*ref, *ds);
+
+  for (const auto mode : {mem::Mode::kOn, mem::Mode::kAuto}) {
+    SCOPED_TRACE(std::string("RP_ARENA=") + mem::mode_name(mode));
+    mem::force(mode);
+    mem::release_lane();
+    auto net = tiny_linear_net();
+    nn::train(*net, *ds, tiny_config());
+    EXPECT_EQ(state_bits(*net), ref_state);
+    const nn::EvalResult ev = nn::evaluate(*net, *ds);
+    EXPECT_EQ(ev.loss, ref_eval.loss);
+    EXPECT_EQ(ev.accuracy, ref_eval.accuracy);
+    if (mode == mem::Mode::kAuto) {
+      // The heuristic engaged: no arena chunk was ever reserved for the
+      // tiny model — its whole working set rode the lane pool.
+      EXPECT_EQ(mem::lane_stats().arena_reserved, 0u);
+    } else {
+      EXPECT_GT(mem::lane_stats().arena_reserved, 0u);
+    }
+  }
+  mem::release_lane();
 }
 
 // ---------------------------------------------------------------------------

@@ -497,9 +497,15 @@ TEST_F(FaultMatrix, SweepSurvivesSigkillsAtEveryWritePointBitIdentical) {
 TEST_F(FaultMatrix, TornWriteIsQuarantinedAndRecomputedBitIdentical) {
   const auto reference = reference_family();
 
-  // The 5th durable write of a fresh sweep is cycle 2's checkpoint; tearing
-  // it leaves a silently damaged artifact behind a *successful* run.
-  ASSERT_TRUE(exited_cleanly(run_child("torn-write:once=5", run_dir_)));
+  // The 8th durable write of a fresh sweep is cycle 2's checkpoint state
+  // (the scale fingerprint, then per cell a lease-claim write before its
+  // artifacts: train claim, dense state, cycle-1 claim/state/ratio,
+  // cycle-2 claim, cycle-2 state); tearing it mid-payload leaves a damaged
+  // artifact behind a successfully published cycle. Cycle 3's
+  // longest-intact-prefix probe loads it, quarantines it, and recomputes
+  // it — the sweep heals itself before the child even exits.
+  ASSERT_TRUE(exited_cleanly(run_child("torn-write:once=8", run_dir_)));
+  EXPECT_TRUE(any_file_matches(run_dir_, ".corrupt"));
 
   obs::Config cfg;
   cfg.metrics = true;
@@ -508,10 +514,9 @@ TEST_F(FaultMatrix, TornWriteIsQuarantinedAndRecomputedBitIdentical) {
   exp::Runner runner(crash_matrix_scale(), cache);
   const auto resumed = runner.sweep("resnet8", nn::synth_cifar_task(), core::PruneMethod::WT, 0);
 
-  // The damaged checkpoint was quarantined — never loaded — and recomputed
-  // from the longest intact prefix, reproducing the reference exactly.
-  EXPECT_GE(obs::counter_value(obs::Counter::kCacheCorrupt), 1);
-  EXPECT_TRUE(any_file_matches(run_dir_, ".corrupt"));
+  // The healed family reads back without a single further quarantine and
+  // reproduces the reference exactly.
+  EXPECT_EQ(obs::counter_value(obs::Counter::kCacheCorrupt), 0);
   expect_families_bit_identical(reference, resumed);
 }
 

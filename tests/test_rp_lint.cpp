@@ -129,8 +129,9 @@ TEST(RpLint, R10FiresOnEveryRacyCapturePattern) {
 TEST(RpLint, R11FlagsUpwardIncludeAndCycleOnly) {
   const LintRun r = run_lint("--root " + kFixtures + "/r11_tree");
   EXPECT_EQ(r.exit_code, 1) << r.output;
-  // tensor -> nn is an upward edge in the committed layer DAG.
+  // tensor -> nn and sched -> exp are upward edges in the committed layer DAG.
   EXPECT_NE(r.output.find("src/tensor/bad_up.hpp:5: [R11]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("src/sched/bad_up.hpp:5: [R11]"), std::string::npos) << r.output;
   // cyc_a <-> cyc_b is a deliberate same-layer cycle; sorted DFS enters at
   // cyc_a, so the include in cyc_b closes (and reports) the loop.
   EXPECT_NE(r.output.find("src/core/cyc_b.hpp:4: [R11]"), std::string::npos) << r.output;
@@ -138,7 +139,7 @@ TEST(RpLint, R11FlagsUpwardIncludeAndCycleOnly) {
   // The legal nn -> tensor edge must not be flagged (no finding is anchored
   // at thing.hpp; the upward-edge message quoting its path is fine).
   EXPECT_EQ(r.output.find("thing.hpp:"), std::string::npos) << r.output;
-  EXPECT_NE(r.output.find("rp-lint: 2 violation(s)"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("rp-lint: 3 violation(s)"), std::string::npos) << r.output;
 }
 
 TEST(RpLint, R12FlagsAllocationsReachableFromHotEntryPoints) {

@@ -1,0 +1,519 @@
+// Distributed sweep scheduler suite (DESIGN.md "Distributed sweep &
+// leases"). Three layers under test:
+//
+//   1. In-process: TaskGraph validation; the wave executor's dependency
+//      order, deterministic driver-local (reduce) ordering, retry budget,
+//      poison markers and skip propagation; strict env knob parsing.
+//   2. Lease primitives: acquire / held / release, mtime expiry (backdated
+//      via utimensat), heartbeat refresh, malformed-claim reclaim, and the
+//      directory hygiene that sweeps dead-owner claim files.
+//   3. Multi-process, via the sched_worker_child binary: a genuine claim
+//      race where exactly one contender wins, reclaim of a SIGKILLed
+//      owner's lease within one lease period, and the acceptance gate — a
+//      4-worker sharded sweep with SIGKILLs at claim/heartbeat/publish
+//      points that must end bit-identical to a serial run with no cell
+//      lost, duplicated, or wedged.
+
+#include "sched/executor.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/cache.hpp"
+#include "exp/runner.hpp"
+#include "fault/durable.hpp"
+#include "fault/fault.hpp"
+#include "fault/lease.hpp"
+#include "nn/models.hpp"
+#include "obs/obs.hpp"
+#include "sched/graph.hpp"
+
+namespace rp {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_all(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+bool any_claim_left(const std::string& dir) {
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.path().filename().string().ends_with(".claim")) return true;
+  }
+  return false;
+}
+
+/// std::system reports the shell's wait status; a SIGKILLed child surfaces
+/// as the raw signal or the shell's 128+9 exit code.
+bool was_killed(int status) {
+  if (status == -1) return false;
+  if (WIFSIGNALED(status)) return WTERMSIG(status) == SIGKILL;
+  return WIFEXITED(status) && WEXITSTATUS(status) == 128 + SIGKILL;
+}
+
+class SchedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::configure("");
+    obs::configure({});
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (fs::temp_directory_path() /
+            ("rp_sched_" + std::string(info->name()) + "_" + std::to_string(::getpid())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    fs::remove_all(dir_);
+    fault::configure("");
+    obs::configure({});
+  }
+
+  /// A shared cell that publishes `name` under dir_ on success.
+  sched::Node cell(const std::string& name, std::function<void()> body = {}) {
+    sched::Node n;
+    n.label = name;
+    n.claim_base = dir_ + "/" + name;
+    const std::string artifact = dir_ + "/" + name + ".bin";
+    n.done = [artifact] { return fs::exists(artifact); };
+    n.run = [artifact, body] {
+      if (body) body();
+      fault::durable_write(artifact, "x");
+    };
+    return n;
+  }
+
+  std::string dir_;
+};
+
+// ---------------------------------------------------------------------------
+// TaskGraph validation
+
+TEST_F(SchedTest, GraphRejectsNullRunAndBadDeps) {
+  sched::TaskGraph g;
+  sched::Node no_run;
+  no_run.label = "no-run";
+  EXPECT_THROW(g.add_node(no_run), std::invalid_argument);
+
+  sched::Node ok;
+  ok.run = [] {};
+  EXPECT_EQ(g.add_node(ok), 0);
+
+  sched::Node fwd;
+  fwd.run = [] {};
+  fwd.deps = {1};  // >= its own id: deps must point backwards
+  EXPECT_THROW(g.add_node(fwd), std::invalid_argument);
+  sched::Node neg;
+  neg.run = [] {};
+  neg.deps = {-1};
+  EXPECT_THROW(g.add_node(neg), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Executor semantics (single process)
+
+TEST_F(SchedTest, DriverLocalNodesRunInIdOrderRespectingDeps) {
+  // Wave 1 runs the ready locals {0, 2} in id order; node 1 becomes ready
+  // only after its dep — the deterministic reduction order no sharding may
+  // disturb.
+  std::vector<int> order;
+  sched::TaskGraph g;
+  sched::Node a;
+  a.run = [&] { order.push_back(0); };
+  const int ia = g.add_node(std::move(a));
+  sched::Node b;
+  b.deps = {ia};
+  b.run = [&] { order.push_back(1); };
+  g.add_node(std::move(b));
+  sched::Node c;
+  c.run = [&] { order.push_back(2); };
+  g.add_node(std::move(c));
+
+  sched::Executor ex(sched::Config{});
+  const auto report = ex.run(g);
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+}
+
+TEST_F(SchedTest, SharedCellsClaimRunReleaseAndCount) {
+  obs::Config ocfg;
+  ocfg.metrics = true;
+  obs::configure(ocfg);
+
+  sched::TaskGraph g;
+  g.add_node(cell("train"));
+  sched::Node dep = cell("cycle1");
+  dep.deps = {0};
+  g.add_node(std::move(dep));
+
+  sched::Executor ex(sched::Config{});
+  const auto report = ex.run(g);
+  EXPECT_TRUE(report.complete());
+  EXPECT_TRUE(fs::exists(dir_ + "/train.bin"));
+  EXPECT_TRUE(fs::exists(dir_ + "/cycle1.bin"));
+  EXPECT_FALSE(any_claim_left(dir_));  // leases released at completion
+  EXPECT_EQ(obs::counter_value(obs::Counter::kSchedCellsClaimed), 2);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kSchedCellsReclaimed), 0);
+
+  // Re-submission observes every cell already done and claims nothing.
+  sched::TaskGraph g2;
+  g2.add_node(cell("train"));
+  const auto again = sched::Executor(sched::Config{}).run(g2);
+  EXPECT_TRUE(again.complete());
+  EXPECT_EQ(obs::counter_value(obs::Counter::kSchedCellsClaimed), 2);
+}
+
+TEST_F(SchedTest, FailingCellRetriesWithinBudgetThenSucceeds) {
+  obs::Config ocfg;
+  ocfg.metrics = true;
+  obs::configure(ocfg);
+
+  int calls = 0;
+  sched::TaskGraph g;
+  g.add_node(cell("flaky", [&] {
+    if (++calls == 1) throw std::runtime_error("transient");
+  }));
+
+  sched::Config cfg;
+  cfg.cell_retries = 1;
+  const auto report = sched::Executor(cfg).run(g);
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kSchedRetries), 1);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kSchedPoisoned), 0);
+  EXPECT_FALSE(fs::exists(sched::poison_path(dir_ + "/flaky")));
+}
+
+TEST_F(SchedTest, ExhaustedRetriesPoisonTheCellAndSkipDependents) {
+  obs::Config ocfg;
+  ocfg.metrics = true;
+  obs::configure(ocfg);
+
+  sched::TaskGraph g;
+  g.add_node(cell("bad", [] { throw std::runtime_error("deterministic failure"); }));
+  sched::Node downstream = cell("after");
+  downstream.deps = {0};
+  g.add_node(std::move(downstream));
+
+  sched::Config cfg;
+  cfg.cell_retries = 0;
+  const auto report = sched::Executor(cfg).run(g);
+  EXPECT_FALSE(report.complete());
+  EXPECT_EQ(report.holes(), 2);
+  EXPECT_EQ(report.status[0], sched::CellStatus::kPoisoned);
+  EXPECT_NE(report.note[0].find("deterministic failure"), std::string::npos);
+  EXPECT_EQ(report.status[1], sched::CellStatus::kSkipped);
+  // Skip notes carry the root cause, not just the nearest dependent.
+  EXPECT_NE(report.note[1].find("upstream"), std::string::npos);
+  EXPECT_NE(report.note[1].find("deterministic failure"), std::string::npos);
+
+  // The poison marker is durable: a later process degrades to reporting the
+  // hole without ever re-running the cell.
+  EXPECT_TRUE(fs::exists(sched::poison_path(dir_ + "/bad")));
+  bool reran = false;
+  sched::TaskGraph g2;
+  g2.add_node(cell("bad", [&] { reran = true; }));
+  const auto later = sched::Executor(cfg).run(g2);
+  EXPECT_EQ(later.status[0], sched::CellStatus::kPoisoned);
+  EXPECT_FALSE(reran);
+  EXPECT_NE(later.note[0].find("deterministic failure"), std::string::npos);
+}
+
+TEST_F(SchedTest, ConfigFromEnvParsesStrictKnobs) {
+  ::setenv("RP_WORKERS", "3", 1);
+  ::setenv("RP_LEASE_MS", "500", 1);
+  ::setenv("RP_CELL_RETRIES", "7", 1);
+  ::setenv("RP_POLL_MS", "20", 1);
+  const auto cfg = sched::Config::from_env();
+  EXPECT_EQ(cfg.workers, 3);
+  EXPECT_EQ(cfg.lease_ms, 500);
+  EXPECT_EQ(cfg.cell_retries, 7);
+  EXPECT_EQ(cfg.poll_ms, 20);
+  ::unsetenv("RP_LEASE_MS");
+  ::unsetenv("RP_CELL_RETRIES");
+  ::unsetenv("RP_POLL_MS");
+  // A typo'd knob is exit(2) naming the variable, never a silent default.
+  ::setenv("RP_WORKERS", "many", 1);
+  EXPECT_EXIT(sched::Config::from_env(), ::testing::ExitedWithCode(2), "RP_WORKERS");
+  ::unsetenv("RP_WORKERS");
+}
+
+// ---------------------------------------------------------------------------
+// Lease primitives
+
+TEST_F(SchedTest, LeaseAcquireHoldReleaseRoundTrip) {
+  const std::string base = dir_ + "/cell";
+  EXPECT_EQ(fault::lease_try_acquire(base, 10000), fault::LeaseAcquire::kAcquired);
+  const auto info = fault::lease_probe(base);
+  EXPECT_TRUE(info.exists);
+  EXPECT_FALSE(info.malformed);
+  EXPECT_EQ(info.owner, ::getpid());
+  // Held by a live, fresh owner: every further attempt backs off.
+  EXPECT_EQ(fault::lease_try_acquire(base, 10000), fault::LeaseAcquire::kHeld);
+  fault::lease_release(base);
+  EXPECT_FALSE(fault::lease_probe(base).exists);
+  EXPECT_EQ(fault::lease_try_acquire(base, 10000), fault::LeaseAcquire::kAcquired);
+  fault::lease_release(base);
+}
+
+/// Backdates the canonical claim's timestamps by `ms` so expiry tests never
+/// sleep through a real lease period.
+void backdate_claim(const std::string& base, int64_t ms) {
+  ::timespec now{};
+  ::clock_gettime(CLOCK_REALTIME, &now);
+  ::timespec past = now;
+  past.tv_sec -= ms / 1000;
+  const long nsec_off = (ms % 1000) * 1000000L;
+  if (past.tv_nsec >= nsec_off) {
+    past.tv_nsec -= nsec_off;
+  } else {
+    past.tv_sec -= 1;
+    past.tv_nsec += 1000000000L - nsec_off;
+  }
+  const ::timespec times[2] = {past, past};
+  ASSERT_EQ(::utimensat(AT_FDCWD, fault::claim_path(base).c_str(), times, 0), 0);
+}
+
+TEST_F(SchedTest, StaleMtimeLeaseIsExpiredAndReclaimed) {
+  const std::string base = dir_ + "/cell";
+  ASSERT_EQ(fault::lease_try_acquire(base, 10000), fault::LeaseAcquire::kAcquired);
+  backdate_claim(base, 60000);
+  const auto info = fault::lease_probe(base);
+  EXPECT_GE(info.age_ms, 60000);
+  // The owner (this process) is alive, so expiry rides purely on mtime:
+  // fresh against a long lease, stale against a short one.
+  EXPECT_FALSE(fault::lease_expired(info, 120000));
+  EXPECT_TRUE(fault::lease_expired(info, 1000));
+  EXPECT_EQ(fault::lease_try_acquire(base, 1000), fault::LeaseAcquire::kReclaimed);
+  fault::lease_release(base);
+}
+
+TEST_F(SchedTest, HeartbeatRefreshesMtimeAndDropsInjectedTicks) {
+  const std::string base = dir_ + "/cell";
+  ASSERT_EQ(fault::lease_try_acquire(base, 10000), fault::LeaseAcquire::kAcquired);
+  backdate_claim(base, 60000);
+  ASSERT_GE(fault::lease_probe(base).age_ms, 60000);
+  EXPECT_TRUE(fault::lease_heartbeat(base));
+  EXPECT_LT(fault::lease_probe(base).age_ms, 5000);  // refreshed to now
+
+  // An injected heartbeat fault drops exactly one tick; the next catches up.
+  fault::configure("heartbeat:once=1");
+  EXPECT_FALSE(fault::lease_heartbeat(base));
+  EXPECT_TRUE(fault::lease_heartbeat(base));
+  fault::lease_release(base);
+}
+
+TEST_F(SchedTest, MalformedClaimIsStaleAndReclaimed) {
+  const std::string base = dir_ + "/cell";
+  fault::durable_write(fault::claim_path(base), "not a lease record\n");
+  const auto info = fault::lease_probe(base);
+  EXPECT_TRUE(info.exists);
+  EXPECT_TRUE(info.malformed);
+  EXPECT_TRUE(fault::lease_expired(info, 1 << 30));
+  EXPECT_EQ(fault::lease_try_acquire(base, 10000), fault::LeaseAcquire::kReclaimed);
+  fault::lease_release(base);
+}
+
+TEST_F(SchedTest, TransientClaimFaultsAreAbsorbedByBoundedRetry) {
+  obs::Config ocfg;
+  ocfg.metrics = true;
+  obs::configure(ocfg);
+  // One transient fault on the first attempt: absorbed by a single retry.
+  fault::configure("claim:once=1");
+  const std::string base = dir_ + "/cell";
+  EXPECT_EQ(fault::lease_try_acquire(base, 10000), fault::LeaseAcquire::kAcquired);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kIoRetries), 1);
+  fault::lease_release(base);
+
+  // A fault that never clears exhausts the budget (first try + 3 retries)
+  // and surfaces as an error instead of spinning forever.
+  fault::configure("claim:every=1");
+  EXPECT_THROW(fault::lease_try_acquire(dir_ + "/cell2", 10000), std::runtime_error);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kIoRetries), 4);
+}
+
+TEST_F(SchedTest, CleanStaleTmpSweepsDeadOwnerClaimsKeepsLiveOnes) {
+  // A reaped child pid is guaranteed dead; our own pid is guaranteed live.
+  const pid_t dead = ::fork();
+  if (dead == 0) ::_exit(0);
+  ASSERT_GT(dead, 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(dead, &status, 0), dead);
+
+  const std::string record = "RPLEASE1\n" + std::to_string(dead) + "\n";
+  fault::durable_write(dir_ + "/a.bin.claim", record);
+  fault::durable_write(dir_ + "/a.bin.claim." + std::to_string(dead), record);
+  const std::string live = "RPLEASE1\n" + std::to_string(::getpid()) + "\n";
+  fault::durable_write(dir_ + "/b.bin.claim", live);
+
+  fault::clean_stale_tmp(dir_);
+  EXPECT_FALSE(fs::exists(dir_ + "/a.bin.claim"));
+  EXPECT_FALSE(fs::exists(dir_ + "/a.bin.claim." + std::to_string(dead)));
+  EXPECT_TRUE(fs::exists(dir_ + "/b.bin.claim"));  // live owner: kept
+}
+
+// ---------------------------------------------------------------------------
+// Multi-process: claim race, crashed-owner reclaim, 4-worker crash matrix
+
+/// Keep in sync with sched_worker_child.cpp's sweep mode.
+exp::ExperimentScale sched_matrix_scale() {
+  exp::ExperimentScale s;
+  s.reps = 1;
+  s.train_n = 96;
+  s.test_n = 48;
+  s.epochs = 2;
+  s.retrain_epochs = 1;
+  s.cycles = 4;
+  s.keep_per_cycle = 0.6;
+  s.profile_samples = 32;
+  return s;
+}
+
+void expect_families_bit_identical(const std::vector<exp::Checkpoint>& a,
+                                   const std::vector<exp::Checkpoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t c = 0; c < a.size(); ++c) {
+    SCOPED_TRACE("cycle " + std::to_string(c + 1));
+    EXPECT_EQ(a[c].ratio, b[c].ratio);
+    ASSERT_EQ(a[c].state.size(), b[c].state.size());
+    for (size_t i = 0; i < a[c].state.size(); ++i) {
+      ASSERT_EQ(a[c].state[i].first, b[c].state[i].first);
+      const Tensor& ta = a[c].state[i].second;
+      const Tensor& tb = b[c].state[i].second;
+      ASSERT_EQ(ta.numel(), tb.numel());
+      EXPECT_EQ(std::memcmp(ta.data().data(), tb.data().data(),
+                            static_cast<size_t>(ta.numel()) * sizeof(float)),
+                0)
+          << a[c].state[i].first;
+    }
+  }
+}
+
+TEST_F(SchedTest, TwoProcessClaimRaceExactlyOneWins) {
+  const std::string child = RP_SCHED_CHILD;
+  const std::string out_a = dir_ + "/out_a";
+  const std::string out_b = dir_ + "/out_b";
+  // Launch both contenders, then drop the start barrier; the winner holds
+  // the lease across the loser's attempt, so outcomes are one "acquired"
+  // and one "held".
+  const std::string cmd = "'" + child + "' claim '" + dir_ + "' cell.bin 700 > '" + out_a +
+                          "' 2>/dev/null & '" + child + "' claim '" + dir_ + "' cell.bin 700 > '" +
+                          out_b + "' 2>/dev/null & sleep 0.05; : > '" + dir_ + "/go'; wait";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  std::vector<std::string> outcomes{read_all(out_a), read_all(out_b)};
+  int acquired = 0, held = 0;
+  for (const auto& o : outcomes) {
+    acquired += o.find("acquired") != std::string::npos;
+    held += o.find("held") != std::string::npos;
+  }
+  EXPECT_EQ(acquired, 1) << outcomes[0] << " / " << outcomes[1];
+  EXPECT_EQ(held, 1) << outcomes[0] << " / " << outcomes[1];
+  // The winner exited without releasing: its claim (dead owner now) is
+  // still on disk, naming one of the children — not this process.
+  const auto info = fault::lease_probe(dir_ + "/cell.bin");
+  EXPECT_TRUE(info.exists);
+  EXPECT_NE(info.owner, ::getpid());
+}
+
+TEST_F(SchedTest, SigkilledOwnerLeaseIsReclaimedImmediately) {
+  const std::string child = RP_SCHED_CHILD;
+  // crash-claim SIGKILLs the child the instant it wins the lease.
+  const std::string cmd = ": > '" + dir_ + "/go'; RP_FAULTS='crash-claim:once=1' '" + child +
+                          "' claim '" + dir_ + "' cell.bin >/dev/null 2>&1";
+  EXPECT_TRUE(was_killed(std::system(cmd.c_str())));
+  const auto info = fault::lease_probe(dir_ + "/cell.bin");
+  ASSERT_TRUE(info.exists);
+  EXPECT_NE(info.owner, ::getpid());
+  // The owner-liveness probe reclaims a dead owner's lease on the very next
+  // attempt — no waiting out the lease period (10 s here), which is the
+  // "reclaim within one lease period" guarantee with margin to spare.
+  EXPECT_EQ(fault::lease_try_acquire(dir_ + "/cell.bin", 10000),
+            fault::LeaseAcquire::kReclaimed);
+  fault::lease_release(dir_ + "/cell.bin");
+}
+
+TEST_F(SchedTest, FourWorkerSweepWithSigkillsMatchesSerialRunBitIdentical) {
+  // Serial reference in its own directory.
+  const std::string ref_dir = dir_ + "/ref";
+  std::vector<exp::Checkpoint> reference;
+  {
+    exp::ArtifactCache cache(ref_dir);
+    exp::Runner runner(sched_matrix_scale(), cache);
+    reference = runner.sweep("resnet8", nn::synth_cifar_task(), core::PruneMethod::WT, 0);
+  }
+
+  const std::string run_dir = dir_ + "/run";
+  const std::string child = RP_SCHED_CHILD;
+  const auto run_worker = [&](const std::string& env) {
+    const std::string cmd =
+        env + " RP_THREADS=1 RP_LEASE_MS=2000 '" + child + "' sweep '" + run_dir +
+        "' >/dev/null 2>&1";
+    return std::system(cmd.c_str());
+  };
+
+  // Three workers SIGKILLed at deterministic points, each leaving a
+  // different mess for its successors:
+  //  - crash-claim: dies the instant it wins the train lease (a dead-owner
+  //    claim file, no artifact);
+  //  - crash-write (2nd durable write = the dense-state publish): dies
+  //    mid-artifact-write while HOLDING the reclaimed train lease (torn tmp
+  //    + a dead-owner claim);
+  //  - crash-rename: dies between fsync and publish of its first durable
+  //    write (fully-written tmp litter, nothing published).
+  EXPECT_TRUE(was_killed(run_worker("RP_FAULTS='crash-claim:once=1'")));
+  EXPECT_TRUE(was_killed(run_worker("RP_FAULTS='crash-write:once=2'")));
+  EXPECT_TRUE(was_killed(run_worker("RP_FAULTS='crash-rename:once=1'")));
+
+  // Four workers now share the directory concurrently — three clean, one
+  // dropping every second heartbeat tick. RP_LEASE_MS=2000 keeps the
+  // heartbeat ticking at 500 ms, well inside any cell's runtime even
+  // degraded. Every worker must reclaim/observe around the corpses above
+  // and exit having seen the complete family: nothing lost, nothing
+  // wedged.
+  std::string cmd;
+  for (int i = 0; i < 4; ++i) {
+    const std::string env = i == 3 ? "RP_FAULTS='heartbeat:every=2'" : "";
+    cmd += "( " + env + " RP_THREADS=1 RP_LEASE_MS=2000 '" + child + "' sweep '" + run_dir +
+           "' >/dev/null 2>&1; echo $? > '" + dir_ + "/status" + std::to_string(i) + "' ) & ";
+  }
+  cmd += "wait";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(std::atoi(read_all(dir_ + "/status" + std::to_string(i)).c_str()), 0)
+        << "worker " << i;
+  }
+
+  // The parent loads the shared artifacts and memcmps them against the
+  // serial reference: no cell lost, duplicated, or damaged.
+  exp::ArtifactCache cache(run_dir);  // attach sweeps dead-owner claims and tmp litter
+  exp::Runner runner(sched_matrix_scale(), cache);
+  const auto sharded = runner.sweep("resnet8", nn::synth_cifar_task(), core::PruneMethod::WT, 0);
+  expect_families_bit_identical(reference, sharded);
+  EXPECT_FALSE(any_claim_left(run_dir));
+  for (const auto& e : fs::directory_iterator(run_dir)) {
+    const std::string name = e.path().filename().string();
+    EXPECT_EQ(name.find(".tmp"), std::string::npos) << name;
+    EXPECT_EQ(name.find(".corrupt"), std::string::npos) << name;
+    EXPECT_EQ(name.find(".poison"), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace rp

@@ -399,9 +399,9 @@ class SemanticRules {
 
 const std::map<std::string, std::set<std::string>>& layer_allowed_edges() {
   // The committed layer DAG, lowest first: obs (result-neutral substrate) →
-  // fault → tensor → data → corrupt → nn → core → exp → serve. A layer may include
-  // itself and exactly the layers listed here. DESIGN.md §7's layer table
-  // is generated from this map and must match it row for row.
+  // fault → tensor → data → corrupt → nn → core → sched → exp → serve. A layer
+  // may include itself and exactly the layers listed here. DESIGN.md §7's
+  // layer table is generated from this map and must match it row for row.
   static const std::map<std::string, std::set<std::string>> kEdges = {
       {"obs", {}},
       {"fault", {"obs"}},
@@ -410,7 +410,8 @@ const std::map<std::string, std::set<std::string>>& layer_allowed_edges() {
       {"corrupt", {"obs", "tensor", "data"}},
       {"nn", {"obs", "tensor", "data"}},
       {"core", {"obs", "tensor", "data", "corrupt", "nn"}},
-      {"exp", {"obs", "fault", "tensor", "data", "corrupt", "nn", "core"}},
+      {"sched", {"obs", "fault", "tensor"}},
+      {"exp", {"obs", "fault", "tensor", "data", "corrupt", "nn", "core", "sched"}},
       {"serve", {"obs", "fault", "tensor", "data", "corrupt", "nn", "core", "exp"}},
   };
   return kEdges;
